@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the simulator substrate: assembler,
+//! cache, end-to-end kernel execution and injection-campaign overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpufi_core::{profile, run_campaign, CampaignConfig, Workload};
+use gpufi_faults::{CampaignSpec, Structure};
+use gpufi_isa::Module;
+use gpufi_sim::{CacheConfig, Gpu, GpuConfig, LaunchDims};
+use gpufi_workloads::{HotSpot, VectorAdd};
+
+const KERNEL: &str = r#"
+.kernel saxpy
+.params 4
+    S2R  R4, SR_TID.X
+    S2R  R5, SR_CTAID.X
+    S2R  R6, SR_NTID.X
+    IMAD R4, R5, R6, R4
+    ISETP.GE P0, R4, R3
+@P0 EXIT
+    SHL  R5, R4, 2
+    IADD R6, R0, R5
+    LDG  R7, [R6]
+    IADD R8, R1, R5
+    LDG  R9, [R8]
+    FFMA R7, R7, 2.0f, R9
+    IADD R10, R2, R5
+    STG  [R10], R7
+    EXIT
+"#;
+
+fn bench_assembler(c: &mut Criterion) {
+    c.bench_function("assemble_saxpy_module", |b| {
+        b.iter(|| Module::assemble(std::hint::black_box(KERNEL)).unwrap())
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CacheConfig::with_capacity(64 * 1024, 4, 128);
+    c.bench_function("cache_fill_read_64k", |b| {
+        b.iter_batched(
+            || gpufi_sim::mem::Cache::new(cfg),
+            |mut cache| {
+                let line = vec![0u8; 128];
+                let mut buf = [0u8; 4];
+                for la in 0..512u64 {
+                    cache.fill(la, &line, false);
+                    cache.read(la, 0, &mut buf);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_kernel_execution(c: &mut Criterion) {
+    let module = Module::assemble(KERNEL).unwrap();
+    let kernel = module.kernel("saxpy").unwrap();
+    c.bench_function("launch_saxpy_4096_rtx2060", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::rtx2060());
+            let x = gpu.malloc(4096 * 4).unwrap();
+            let y = gpu.malloc(4096 * 4).unwrap();
+            let z = gpu.malloc(4096 * 4).unwrap();
+            gpu.launch(kernel, LaunchDims::new(32, 128), &[x, y, z, 4096])
+                .unwrap()
+        })
+    });
+}
+
+fn bench_workload_golden(c: &mut Criterion) {
+    let hs = HotSpot::default();
+    let card = GpuConfig::rtx2060();
+    c.bench_function("golden_profile_hotspot", |b| {
+        b.iter(|| profile(&hs, &card).unwrap())
+    });
+}
+
+fn bench_injection_campaign(c: &mut Criterion) {
+    let va = VectorAdd::default();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(&va, &card).unwrap();
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 4, 7)
+        .with_threads(1);
+    c.bench_function("campaign_4_runs_va_regfile", |b| {
+        b.iter(|| run_campaign(&va, &card, &cfg, &golden).unwrap())
+    });
+    // Baseline: the same 4 executions without any injection machinery.
+    c.bench_function("baseline_4_runs_va_no_injection", |b| {
+        b.iter(|| {
+            for _ in 0..4 {
+                let mut gpu = Gpu::new(card.clone());
+                va.run(&mut gpu).unwrap();
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_assembler, bench_cache, bench_kernel_execution,
+              bench_workload_golden, bench_injection_campaign
+}
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! Renderers for Figures 1–7, producing paper-style textual tables.
+
+use crate::suite::{CardResults, SuiteResults};
+use gpufi_core::AppAnalysis;
+use gpufi_faults::Structure;
+use gpufi_metrics::FaultEffect;
+use std::fmt::Write as _;
+
+fn pct(v: f64) -> String {
+    format!("{:6.3}", 100.0 * v)
+}
+
+/// A small ASCII bar for at-a-glance magnitude comparison.
+fn bar(v: f64, scale: f64) -> String {
+    let width = ((v / scale).clamp(0.0, 1.0) * 30.0).round() as usize;
+    "#".repeat(width)
+}
+
+fn rf_breakdown_table(out: &mut String, card: &CardResults) {
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7} {:>7} {:>7} {:>8}  (derated %, register file)",
+        "bench", "SDC", "Crash", "Timeout", "AVF(RF)"
+    );
+    for b in &card.benchmarks {
+        if let Some(rf) = b.structure(Structure::RegisterFile) {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>7} {:>7} {:>7} {:>8} {}",
+                b.benchmark,
+                pct(rf.rates.sdc),
+                pct(rf.rates.crash),
+                pct(rf.rates.timeout),
+                pct(rf.rates.failure_rate()),
+                bar(rf.rates.failure_rate(), 0.3),
+            );
+        }
+    }
+}
+
+/// Fig. 1 — register-file fault-effect breakdown, single-bit, all three
+/// cards × twelve benchmarks.
+pub fn fig1(suite: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "FIG. 1. Register-file fault effects, single-bit faults.");
+    for card in &suite.single {
+        let _ = writeln!(out, "\n--- {} ---", card.card);
+        rf_breakdown_table(&mut out, card);
+    }
+    out
+}
+
+/// Fig. 2 — per-structure share of the total AVF for SRAD2 and HS
+/// (RTX 2060).
+pub fn fig2(suite: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIG. 2. Hardware-structure contribution to total AVF (RTX 2060)."
+    );
+    for target in ["SRAD2", "HS"] {
+        let Some(b) = suite.single[0].benchmarks.iter().find(|b| b.benchmark == target) else {
+            continue;
+        };
+        let _ = writeln!(out, "\n--- {target} ---");
+        let shares = b.avf_shares();
+        if shares.is_empty() {
+            let _ = writeln!(out, "  (zero AVF — no structure contributed failures)");
+        }
+        for (s, share) in shares {
+            let _ = writeln!(out, "  {:<18} {:>7} % {}", s.name(), pct(share), bar(share, 1.0));
+        }
+    }
+    out
+}
+
+/// Fig. 3 — total chip wAVF and occupancy per card × benchmark,
+/// single-bit.
+pub fn fig3(suite: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "FIG. 3. Total GPU chip AVF (single-bit) and warp occupancy.");
+    for card in &suite.single {
+        let _ = writeln!(out, "\n--- {} ---", card.card);
+        let _ = writeln!(out, "{:<8} {:>9} {:>10}", "bench", "wAVF %", "occupancy");
+        for b in &card.benchmarks {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>9} {:>10.3} {}",
+                b.benchmark,
+                pct(b.wavf),
+                b.occupancy,
+                bar(b.wavf, 0.10),
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 4 — Performance fault effects as a share of functionally masked
+/// faults (RTX 2060), aggregated over the on-chip structures.
+pub fn fig4(suite: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIG. 4. Performance faults as % of functionally masked faults (RTX 2060)."
+    );
+    let _ = writeln!(out, "{:<8} {:>9}", "bench", "perf %");
+    let mut total_share = 0.0;
+    let mut n = 0usize;
+    for b in &suite.single[0].benchmarks {
+        let tally = b
+            .structures
+            .iter()
+            .fold(gpufi_metrics::Tally::default(), |acc, s| acc + s.tally);
+        let share = tally.performance_share_of_masked();
+        total_share += share;
+        n += 1;
+        let _ = writeln!(out, "{:<8} {:>9} {}", b.benchmark, pct(share), bar(share, 0.10));
+    }
+    if n > 0 {
+        let _ = writeln!(out, "{:<8} {:>9}", "mean", pct(total_share / n as f64));
+    }
+    out
+}
+
+/// Fig. 5 — register-file fault-effect breakdown for triple-bit faults
+/// (RTX 2060).
+pub fn fig5(suite: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "FIG. 5. Register-file fault effects, triple-bit faults (RTX 2060).");
+    let card = CardResults {
+        card: "RTX 2060".to_string(),
+        benchmarks: suite.triple_rtx.clone(),
+    };
+    rf_breakdown_table(&mut out, &card);
+    out
+}
+
+/// Fig. 6 — wAVF, single-bit vs triple-bit (RTX 2060).
+pub fn fig6(suite: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "FIG. 6. wAVF single-bit vs triple-bit (RTX 2060).");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>7}",
+        "bench", "1-bit %", "3-bit %", "ratio"
+    );
+    for (s, t) in suite.single[0].benchmarks.iter().zip(&suite.triple_rtx) {
+        let ratio = if s.wavf > 0.0 { t.wavf / s.wavf } else { f64::NAN };
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>10} {:>7.2}",
+            s.benchmark,
+            pct(s.wavf),
+            pct(t.wavf),
+            ratio
+        );
+    }
+    out
+}
+
+/// Fig. 7 — total chip FIT rates for the three cards and twelve
+/// benchmarks.
+pub fn fig7(suite: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "FIG. 7. Total FIT rates (failures per 10^9 device-hours).");
+    let _ = write!(out, "{:<8}", "bench");
+    for card in &suite.single {
+        let _ = write!(out, "{:>16}", card.card);
+    }
+    let _ = writeln!(out);
+    let n = suite.single[0].benchmarks.len();
+    for i in 0..n {
+        let _ = write!(out, "{:<8}", suite.single[0].benchmarks[i].benchmark);
+        for card in &suite.single {
+            let _ = write!(out, "{:>16.4}", card.benchmarks[i].fit);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Per-class per-structure dump used by EXPERIMENTS.md (not a paper
+/// figure, but the raw numbers behind the shape checks).
+pub fn raw_dump(suite: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "RAW per-structure tallies (single-bit).");
+    for card in &suite.single {
+        for b in &card.benchmarks {
+            dump_one(&mut out, &card.card, b);
+        }
+    }
+    let _ = writeln!(out, "\nRAW per-structure tallies (triple-bit, RTX 2060).");
+    for b in &suite.triple_rtx {
+        dump_one(&mut out, "RTX 2060", b);
+    }
+    out
+}
+
+fn dump_one(out: &mut String, card: &str, b: &AppAnalysis) {
+    for s in &b.structures {
+        let t = &s.tally;
+        let _ = writeln!(
+            out,
+            "{card:<14} {:<7} {:<18} total={:<5} masked={:<5} sdc={:<4} crash={:<4} timeout={:<4} perf={:<4}",
+            b.benchmark,
+            s.structure.name(),
+            t.total(),
+            t.count(FaultEffect::Masked),
+            t.count(FaultEffect::Sdc),
+            t.count(FaultEffect::Crash),
+            t.count(FaultEffect::Timeout),
+            t.count(FaultEffect::Performance),
+        );
+    }
+}

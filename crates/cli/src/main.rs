@@ -1,0 +1,315 @@
+//! `gpufi` — the command-line front-end of the gpuFI-4 reproduction.
+//!
+//! Mirrors the paper's bash front-end (§III.C): it profiles a benchmark
+//! fault-free, runs parameterised injection campaigns, and aggregates the
+//! results into the paper's metrics.
+//!
+//! ```text
+//! gpufi list
+//! gpufi profile  --bench VA [--card rtx2060]
+//! gpufi campaign --bench VA --structure rf [--runs 120] [--bits 1]
+//!                [--kernel vec_add] [--scope warp] [--spread] [--seed 1]
+//! gpufi analyze  --bench VA [--card gv100] [--runs 60] [--bits 3]
+//! ```
+
+use gpufi_core::{analyze_with_golden, profile, run_campaign, AnalysisConfig, CampaignConfig};
+use gpufi_faults::{CampaignSpec, MultiBitMode, Structure};
+use gpufi_metrics::{margin_of_error, FaultEffect};
+use gpufi_sim::{GpuConfig, Scope};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  gpufi list
+  gpufi profile  --bench <NAME> [--card <CARD> | --config <FILE>]
+  gpufi campaign --bench <NAME> --structure <S> [--card <CARD>] [--runs N]
+                 [--bits K] [--kernel <K>] [--scope thread|warp] [--spread]
+                 [--seed S] [--threads T] [--csv FILE]
+  gpufi analyze  --bench <NAME> [--card <CARD>] [--runs N] [--bits K] [--seed S]
+
+cards:      rtx2060 (default) | gv100 | titan, or --config <FILE> with a
+            gpgpusim.config-style `key = value` chip description
+structures: rf | local | shared | l1d | l1t | l1c | l2";
+
+/// Minimal `--flag value` parser over the argument list.
+struct Args<'a> {
+    argv: &'a [String],
+}
+
+impl<'a> Args<'a> {
+    fn value(&self, flag: &str) -> Option<&'a str> {
+        self.argv
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: `{v}`")),
+        }
+    }
+}
+
+/// Resolves the target chip: `--config FILE` (a gpgpusim.config-style
+/// description) wins over `--card PRESET`.
+fn card_of(args: &Args<'_>) -> Result<GpuConfig, String> {
+    if let Some(path) = args.value("--config") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read config `{path}`: {e}"))?;
+        return GpuConfig::from_config_text(&text).map_err(|e| e.to_string());
+    }
+    let name = args.value("--card").unwrap_or("rtx2060");
+    GpuConfig::preset(name).ok_or_else(|| format!("unknown card `{name}`"))
+}
+
+fn structure_of(name: &str) -> Result<Structure, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "rf" | "regfile" | "register-file" => Ok(Structure::RegisterFile),
+        "local" | "lmem" => Ok(Structure::LocalMemory),
+        "shared" | "smem" => Ok(Structure::SharedMemory),
+        "l1d" => Ok(Structure::L1Data),
+        "l1t" | "tex" => Ok(Structure::L1Tex),
+        "l1c" | "const" => Ok(Structure::L1Const),
+        "l2" => Ok(Structure::L2),
+        other => Err(format!("unknown structure `{other}`")),
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing command".into());
+    };
+    let args = Args { argv: &argv[1..] };
+    match cmd.as_str() {
+        "list" => {
+            println!("benchmarks:");
+            for w in gpufi_workloads::paper_suite() {
+                println!("  {}", w.name());
+            }
+            println!("cards: rtx2060, gv100, titan");
+            Ok(())
+        }
+        "profile" => cmd_profile(&args),
+        "campaign" => cmd_campaign(&args),
+        "analyze" => cmd_analyze(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn workload_of(args: &Args<'_>) -> Result<Box<dyn gpufi_core::Workload>, String> {
+    let name = args.value("--bench").ok_or("--bench is required")?;
+    gpufi_workloads::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))
+}
+
+fn cmd_profile(args: &Args<'_>) -> Result<(), String> {
+    let workload = workload_of(args)?;
+    let card = card_of(args)?;
+    let golden = profile(workload.as_ref(), &card).map_err(|e| e.to_string())?;
+    println!("benchmark: {}  card: {}", workload.name(), card.name);
+    println!("fault-free cycles: {}", golden.total_cycles());
+    println!("output bytes: {}", golden.output.len());
+    println!("launches: {}", golden.app.launches.len());
+    println!();
+    println!(
+        "{:<16} {:>6} {:>10} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8}",
+        "static kernel", "invoc", "cycles", "occup", "regs", "smem", "lmem", "L1D hit", "L2 hit"
+    );
+    for k in golden.app.static_kernels() {
+        let space = &golden.fault_spaces[&k];
+        let invocations = golden.app.windows_of(&k).len();
+        let (mut l1d, mut l2) = (gpufi_sim::CacheStats::default(), gpufi_sim::CacheStats::default());
+        for l in golden.app.launches.iter().filter(|l| l.kernel == k) {
+            l1d.hits += l.l1d_stats.hits;
+            l1d.misses += l.l1d_stats.misses;
+            l2.hits += l.l2_stats.hits;
+            l2.misses += l.l2_stats.misses;
+        }
+        println!(
+            "{:<16} {:>6} {:>10} {:>8.3} {:>6} {:>6} {:>6} {:>7.1}% {:>7.1}%",
+            k,
+            invocations,
+            golden.app.cycles_of(&k),
+            golden.app.occupancy_of(&k),
+            space.regs_per_thread,
+            space.smem_bits / 8,
+            space.lmem_bits / 8,
+            100.0 * l1d.hit_ratio(),
+            100.0 * l2.hit_ratio(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
+    let workload = workload_of(args)?;
+    let card = card_of(args)?;
+    let structure = structure_of(args.value("--structure").ok_or("--structure is required")?)?;
+    let runs: usize = args.parse("--runs", 120)?;
+    let seed: u64 = args.parse("--seed", 1)?;
+    let bits: u32 = args.parse("--bits", 1)?;
+    let threads: usize = args.parse("--threads", 0)?;
+    let mut spec = CampaignSpec::new(structure).bits(bits);
+    if args.flag("--spread") {
+        spec = spec.mode(MultiBitMode::Spread);
+    }
+    if let Some(scope) = args.value("--scope") {
+        spec.scope = match scope {
+            "thread" => Scope::Thread,
+            "warp" => Scope::Warp,
+            other => return Err(format!("unknown scope `{other}`")),
+        };
+    }
+    let golden = profile(workload.as_ref(), &card).map_err(|e| e.to_string())?;
+    let mut cfg = CampaignConfig::new(spec, runs, seed).with_threads(threads);
+    if let Some(kernel) = args.value("--kernel") {
+        cfg = cfg.for_kernel(kernel);
+    }
+    let result =
+        run_campaign(workload.as_ref(), &card, &cfg, &golden).map_err(|e| e.to_string())?;
+    println!(
+        "benchmark: {}  card: {}  structure: {}  bits/fault: {}  runs: {}",
+        workload.name(),
+        card.name,
+        structure,
+        bits,
+        runs
+    );
+    let t = &result.tally;
+    for effect in FaultEffect::ALL {
+        println!(
+            "  {:<12} {:>6}  ({:>6.2} %)",
+            effect.name(),
+            t.count(effect),
+            100.0 * t.fraction(effect)
+        );
+    }
+    println!("  failure ratio (eq. 1): {:.4}", t.failure_ratio());
+    println!(
+        "  error margin at 99% confidence: ±{:.2} %",
+        100.0 * margin_of_error(0.99, runs.max(1) as u64, u64::MAX)
+    );
+    if let Some(path) = args.value("--csv") {
+        let csv = gpufi_core::campaign_csv(&result);
+        std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  per-run records written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args<'_>) -> Result<(), String> {
+    let workload = workload_of(args)?;
+    let card = card_of(args)?;
+    let runs: usize = args.parse("--runs", 60)?;
+    let seed: u64 = args.parse("--seed", 1)?;
+    let bits: u32 = args.parse("--bits", 1)?;
+    let threads: usize = args.parse("--threads", 0)?;
+    let mut cfg = AnalysisConfig::new(runs, seed).bits(bits);
+    cfg.threads = threads;
+    let golden = profile(workload.as_ref(), &card).map_err(|e| e.to_string())?;
+    let analysis = analyze_with_golden(workload.as_ref(), &card, &cfg, &golden);
+    println!(
+        "benchmark: {}  card: {}  ({} runs per kernel x structure, {}-bit faults)",
+        analysis.benchmark, analysis.card, analysis.runs_per_campaign, analysis.bits_per_fault
+    );
+    println!(
+        "{:<18} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "structure", "size (bits)", "SDC", "Crash", "Timeout", "Perf"
+    );
+    for s in &analysis.structures {
+        println!(
+            "{:<18} {:>14} {:>10.5} {:>10.5} {:>10.5} {:>10.5}",
+            s.structure.name(),
+            s.size_bits,
+            s.rates.sdc,
+            s.rates.crash,
+            s.rates.timeout,
+            s.rates.performance
+        );
+    }
+    println!();
+    println!("wAVF (eq. 3):      {:.6}", analysis.wavf);
+    println!("occupancy:         {:.4}", analysis.occupancy);
+    println!("chip FIT (\u{00a7}VI.F): {:.4}", analysis.fit);
+    if let Some(path) = args.value("--csv") {
+        let csv = gpufi_core::analysis_csv(&analysis);
+        std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("per-structure table written to {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parser() {
+        let argv = args(&["--bench", "VA", "--runs", "50", "--spread"]);
+        let a = Args { argv: &argv };
+        assert_eq!(a.value("--bench"), Some("VA"));
+        assert_eq!(a.parse("--runs", 10usize).unwrap(), 50);
+        assert_eq!(a.parse("--seed", 7u64).unwrap(), 7);
+        assert!(a.flag("--spread"));
+        assert!(!a.flag("--missing"));
+        assert!(a.parse::<usize>("--bench", 0).is_err());
+    }
+
+    #[test]
+    fn structure_aliases() {
+        assert_eq!(structure_of("rf").unwrap(), Structure::RegisterFile);
+        assert_eq!(structure_of("L1D").unwrap(), Structure::L1Data);
+        assert_eq!(structure_of("const").unwrap(), Structure::L1Const);
+        assert!(structure_of("dram").is_err());
+    }
+
+    #[test]
+    fn card_resolution() {
+        let argv = args(&["--card", "titan"]);
+        let a = Args { argv: &argv };
+        assert_eq!(card_of(&a).unwrap().name, "GTX Titan");
+        let argv = args(&[]);
+        let a = Args { argv: &argv };
+        assert_eq!(card_of(&a).unwrap().name, "RTX 2060");
+        let argv = args(&["--card", "amd"]);
+        let a = Args { argv: &argv };
+        assert!(card_of(&a).is_err());
+        let argv = args(&["--config", "/nonexistent/x.config"]);
+        let a = Args { argv: &argv };
+        assert!(card_of(&a).unwrap_err().contains("cannot read"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&["list"])).is_ok());
+        assert!(run(&args(&["campaign", "--bench", "VA"])).is_err(), "missing --structure");
+    }
+}

@@ -1,0 +1,242 @@
+//! The injection-campaign controller (the paper's front-end loop, §V.B).
+
+use crate::classify::classify;
+use crate::profile::GoldenProfile;
+use crate::workload::Workload;
+use gpufi_faults::{CampaignSpec, DrawError, MaskGenerator};
+use gpufi_metrics::{FaultEffect, Tally};
+use gpufi_sim::{Gpu, GpuConfig, KernelWindow};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of one injection campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// The fault shape (structure, bits, scope, …).
+    pub spec: CampaignSpec,
+    /// Number of injection runs (the paper uses 3 000 per campaign).
+    pub runs: usize,
+    /// Campaign seed; each run derives its own generator seed from it.
+    pub seed: u64,
+    /// Target static kernel, or `None` to sample the whole application.
+    pub kernel: Option<String>,
+    /// Worker threads (0 = autodetect).
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// A whole-application campaign with the given fault shape.
+    pub fn new(spec: CampaignSpec, runs: usize, seed: u64) -> Self {
+        CampaignConfig {
+            spec,
+            runs,
+            seed,
+            kernel: None,
+            threads: 0,
+        }
+    }
+
+    /// Restricts injections to all invocations of one static kernel.
+    pub fn for_kernel(mut self, kernel: impl Into<String>) -> Self {
+        self.kernel = Some(kernel.into());
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// The outcome of one injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The classified fault effect.
+    pub effect: FaultEffect,
+    /// Total cycles of the (possibly aborted) run.
+    pub cycles: u64,
+    /// Whether the fault actually changed state (e.g. cache flips on
+    /// invalid lines change nothing).
+    pub applied: bool,
+}
+
+/// The aggregated result of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The fault shape that was injected.
+    pub spec: CampaignSpec,
+    /// The targeted kernel (`None` = whole application).
+    pub kernel: Option<String>,
+    /// Aggregated fault-effect counts.
+    pub tally: Tally,
+    /// Per-run records, in run order.
+    pub records: Vec<RunRecord>,
+}
+
+/// Why a campaign could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The mask generator could not draw a fault (empty structure or
+    /// windows).
+    Draw(DrawError),
+    /// The targeted kernel never executed in the golden run.
+    UnknownKernel(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Draw(e) => write!(f, "cannot draw fault: {e}"),
+            CampaignError::UnknownKernel(k) => write!(f, "kernel `{k}` not in golden profile"),
+        }
+    }
+}
+
+impl Error for CampaignError {}
+
+impl From<DrawError> for CampaignError {
+    fn from(e: DrawError) -> Self {
+        CampaignError::Draw(e)
+    }
+}
+
+/// Executes one injection run and classifies it.
+fn one_run(
+    workload: &dyn Workload,
+    card: &GpuConfig,
+    cfg: &CampaignConfig,
+    golden: &GoldenProfile,
+    run_idx: u64,
+) -> Result<RunRecord, CampaignError> {
+    // Derive a per-run generator so results are independent of the thread
+    // interleaving.
+    let mut gen = MaskGenerator::new(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ run_idx);
+
+    // Pick the window set and the fault space of the kernel it belongs to.
+    let windows: Vec<KernelWindow> = golden.windows(cfg.kernel.as_deref());
+    if windows.is_empty() {
+        return Err(match &cfg.kernel {
+            Some(k) => CampaignError::UnknownKernel(k.clone()),
+            None => CampaignError::Draw(DrawError::EmptyWindows),
+        });
+    }
+    // For whole-application campaigns, the per-kernel fault space follows
+    // the drawn cycle's kernel; approximate by drawing the window first.
+    let (window, space) = match &cfg.kernel {
+        Some(k) => {
+            let space = golden
+                .fault_spaces
+                .get(k)
+                .ok_or_else(|| CampaignError::UnknownKernel(k.clone()))?;
+            (windows, *space)
+        }
+        None => {
+            let w = pick_weighted(&mut gen, &windows);
+            let space = golden
+                .fault_spaces
+                .get(&w.kernel)
+                .ok_or_else(|| CampaignError::UnknownKernel(w.kernel.clone()))?;
+            (vec![w.clone()], *space)
+        }
+    };
+
+    let plan = gen.draw(&cfg.spec, &space, &window)?;
+
+    let mut gpu = Gpu::new(card.clone());
+    gpu.arm_faults(plan);
+    gpu.set_watchdog(golden.total_cycles() * 2);
+    let result = workload.run(&mut gpu);
+    let cycles = gpu.stats().total_cycles().max(gpu.cycle());
+    let applied = gpu.injection_records().iter().any(|r| r.applied);
+    let effect = classify(&result, cycles, golden);
+    Ok(RunRecord { effect, cycles, applied })
+}
+
+/// Picks one window with probability proportional to its length.
+fn pick_weighted<'a>(gen: &mut MaskGenerator, windows: &'a [KernelWindow]) -> &'a KernelWindow {
+    // Reuse the generator's bit source through distinct_bits for a cheap
+    // uniform draw over the total span.
+    let total: u64 = windows.iter().map(|w| w.end - w.start).sum();
+    let mut r = gen.distinct_bits(1, total.max(1))[0];
+    for w in windows {
+        let len = w.end - w.start;
+        if r < len {
+            return w;
+        }
+        r -= len;
+    }
+    windows.last().expect("non-empty windows")
+}
+
+/// Runs a full campaign: `cfg.runs` independent injection runs of
+/// `workload` on `card`, classified against `golden`.
+///
+/// Runs execute on `cfg.threads` worker threads; the result is identical
+/// regardless of thread count because every run derives its own RNG from
+/// the campaign seed and the run index.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] when the fault space is empty for this
+/// kernel/chip (e.g. L1 data cache on GTX Titan) or the kernel is unknown.
+pub fn run_campaign(
+    workload: &dyn Workload,
+    card: &GpuConfig,
+    cfg: &CampaignConfig,
+    golden: &GoldenProfile,
+) -> Result<CampaignResult, CampaignError> {
+    let threads = cfg.effective_threads().clamp(1, cfg.runs.max(1));
+    let mut records: Vec<Option<RunRecord>> = vec![None; cfg.runs];
+
+    if threads <= 1 {
+        for (i, slot) in records.iter_mut().enumerate() {
+            *slot = Some(one_run(workload, card, cfg, golden, i as u64)?);
+        }
+    } else {
+        let chunk = cfg.runs.div_ceil(threads);
+        let results: Vec<Result<Vec<RunRecord>, CampaignError>> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(cfg.runs);
+                    if lo >= hi {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move |_| {
+                        (lo..hi)
+                            .map(|i| one_run(workload, card, cfg, golden, i as u64))
+                            .collect::<Result<Vec<_>, _>>()
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("campaign scope");
+        let mut idx = 0;
+        for r in results {
+            for rec in r? {
+                records[idx] = Some(rec);
+                idx += 1;
+            }
+        }
+    }
+
+    let records: Vec<RunRecord> = records.into_iter().map(|r| r.expect("all runs filled")).collect();
+    let tally: Tally = records.iter().map(|r| r.effect).collect();
+    Ok(CampaignResult {
+        spec: cfg.spec.clone(),
+        kernel: cfg.kernel.clone(),
+        tally,
+        records,
+    })
+}

@@ -1,0 +1,104 @@
+//! Fault-effect classification (§V.B).
+
+use crate::profile::GoldenProfile;
+use crate::workload::WorkloadError;
+use gpufi_metrics::FaultEffect;
+use gpufi_sim::Trap;
+
+/// Classifies one injection run against the golden profile:
+///
+/// * watchdog trap → **Timeout** (run exceeded 2× fault-free cycles);
+/// * any other trap or device error → **Crash**;
+/// * wrong output → **SDC**;
+/// * correct output, identical cycle count → **Masked**;
+/// * correct output, different cycle count → **Performance**.
+pub fn classify(
+    result: &Result<Vec<u8>, WorkloadError>,
+    cycles: u64,
+    golden: &GoldenProfile,
+) -> FaultEffect {
+    match result {
+        Err(WorkloadError::Trap(Trap::Watchdog)) => FaultEffect::Timeout,
+        Err(_) => FaultEffect::Crash,
+        Ok(out) if *out != golden.output => FaultEffect::Sdc,
+        Ok(_) if cycles == golden.total_cycles() => FaultEffect::Masked,
+        Ok(_) => FaultEffect::Performance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufi_sim::{AppStats, LaunchStats, Trap};
+    use std::collections::BTreeMap;
+
+    fn golden() -> GoldenProfile {
+        GoldenProfile {
+            output: vec![1, 2, 3],
+            app: AppStats {
+                launches: vec![LaunchStats {
+                    kernel: "k".into(),
+                    start_cycle: 0,
+                    end_cycle: 100,
+                    instructions: 10,
+                    occupancy: 0.5,
+                    mean_threads_per_sm: 32.0,
+                    mean_ctas_per_sm: 1.0,
+                    regs_per_thread: 8,
+                    smem_per_cta: 0,
+                    lmem_per_thread: 0,
+                    ace_reg_cycles: 0,
+                    thread_cycles: 0,
+                    l1d_stats: gpufi_sim::CacheStats::default(),
+                    l1t_stats: gpufi_sim::CacheStats::default(),
+                    l2_stats: gpufi_sim::CacheStats::default(),
+                }],
+            },
+            fault_spaces: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn masked_requires_same_output_and_cycles() {
+        let g = golden();
+        assert_eq!(classify(&Ok(vec![1, 2, 3]), 100, &g), FaultEffect::Masked);
+    }
+
+    #[test]
+    fn performance_is_masked_with_different_cycles() {
+        let g = golden();
+        assert_eq!(classify(&Ok(vec![1, 2, 3]), 120, &g), FaultEffect::Performance);
+        assert_eq!(classify(&Ok(vec![1, 2, 3]), 80, &g), FaultEffect::Performance);
+    }
+
+    #[test]
+    fn wrong_output_is_sdc_even_with_same_cycles() {
+        let g = golden();
+        assert_eq!(classify(&Ok(vec![9, 2, 3]), 100, &g), FaultEffect::Sdc);
+    }
+
+    #[test]
+    fn watchdog_is_timeout_other_traps_are_crashes() {
+        let g = golden();
+        assert_eq!(
+            classify(&Err(WorkloadError::Trap(Trap::Watchdog)), 200, &g),
+            FaultEffect::Timeout
+        );
+        assert_eq!(
+            classify(
+                &Err(WorkloadError::Trap(Trap::InvalidAddress { addr: 4 })),
+                50,
+                &g
+            ),
+            FaultEffect::Crash
+        );
+        assert_eq!(
+            classify(
+                &Err(WorkloadError::Device(gpufi_sim::LaunchError::BadDevicePointer)),
+                50,
+                &g
+            ),
+            FaultEffect::Crash
+        );
+    }
+}

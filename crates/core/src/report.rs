@@ -1,0 +1,153 @@
+//! Plain-text exporters for campaign and analysis results (the paper
+//! front-end's "collects the results" step, §III.A).
+//!
+//! CSV is written by hand — the schema is flat and stable, and it keeps
+//! the dependency set to the workspace's core crates.
+
+use crate::analysis::AppAnalysis;
+use crate::campaign::CampaignResult;
+use gpufi_metrics::FaultEffect;
+use std::fmt::Write as _;
+
+/// Escapes one CSV field (quotes fields containing separators).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders a campaign as CSV: one header, one row per run.
+///
+/// Columns: `run,effect,cycles,applied`.
+pub fn campaign_csv(result: &CampaignResult) -> String {
+    let mut out = String::from("run,effect,cycles,applied\n");
+    for (i, r) in result.records.iter().enumerate() {
+        let _ = writeln!(out, "{},{},{},{}", i, r.effect.name(), r.cycles, r.applied);
+    }
+    out
+}
+
+/// Renders a campaign summary as CSV: one row per fault-effect class.
+///
+/// Columns: `structure,kernel,effect,count,fraction`.
+pub fn campaign_summary_csv(result: &CampaignResult) -> String {
+    let mut out = String::from("structure,kernel,effect,count,fraction\n");
+    let kernel = result.kernel.as_deref().unwrap_or("*");
+    for e in FaultEffect::ALL {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6}",
+            field(result.spec.structure.name()),
+            field(kernel),
+            e.name(),
+            result.tally.count(e),
+            result.tally.fraction(e)
+        );
+    }
+    out
+}
+
+/// Renders a whole-application analysis as CSV: one row per structure,
+/// plus a `TOTAL` row carrying the wAVF / occupancy / FIT.
+///
+/// Columns:
+/// `benchmark,card,structure,size_bits,sdc,crash,timeout,performance,avf_weight`.
+pub fn analysis_csv(a: &AppAnalysis) -> String {
+    let mut out =
+        String::from("benchmark,card,structure,size_bits,sdc,crash,timeout,performance,avf_weight\n");
+    for s in &a.structures {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            field(&a.benchmark),
+            field(&a.card),
+            field(s.structure.name()),
+            s.size_bits,
+            s.rates.sdc,
+            s.rates.crash,
+            s.rates.timeout,
+            s.rates.performance,
+            s.rates.failure_rate()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{},{},TOTAL,,{:.6},,,{:.6},{:.6}",
+        field(&a.benchmark),
+        field(&a.card),
+        a.wavf,
+        a.occupancy,
+        a.fit
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{EffectRates, StructureOutcome};
+    use crate::campaign::RunRecord;
+    use gpufi_faults::{CampaignSpec, Structure};
+    use gpufi_metrics::Tally;
+
+    fn sample_campaign() -> CampaignResult {
+        let mut tally = Tally::default();
+        tally.record(FaultEffect::Masked);
+        tally.record(FaultEffect::Sdc);
+        CampaignResult {
+            spec: CampaignSpec::new(Structure::L2),
+            kernel: Some("vec_add".into()),
+            tally,
+            records: vec![
+                RunRecord { effect: FaultEffect::Masked, cycles: 100, applied: false },
+                RunRecord { effect: FaultEffect::Sdc, cycles: 100, applied: true },
+            ],
+        }
+    }
+
+    #[test]
+    fn per_run_csv_has_one_row_per_run() {
+        let csv = campaign_csv(&sample_campaign());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(2).unwrap().starts_with("1,SDC,100,true"));
+    }
+
+    #[test]
+    fn summary_csv_covers_all_classes() {
+        let csv = campaign_summary_csv(&sample_campaign());
+        assert_eq!(csv.lines().count(), 1 + FaultEffect::ALL.len());
+        assert!(csv.contains("L2 cache,vec_add,SDC,1,0.5"));
+    }
+
+    #[test]
+    fn analysis_csv_shapes() {
+        let a = AppAnalysis {
+            benchmark: "VA".into(),
+            card: "RTX 2060".into(),
+            runs_per_campaign: 10,
+            bits_per_fault: 1,
+            structures: vec![StructureOutcome {
+                structure: Structure::RegisterFile,
+                tally: Tally::default(),
+                rates: EffectRates { sdc: 0.1, crash: 0.0, timeout: 0.0, performance: 0.0 },
+                size_bits: 100,
+            }],
+            wavf: 0.05,
+            occupancy: 0.4,
+            fit: 1.5,
+            golden_cycles: 1234,
+        };
+        let csv = analysis_csv(&a);
+        assert!(csv.contains("VA,RTX 2060,register file,100,0.1"));
+        assert!(csv.lines().last().unwrap().contains("TOTAL"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,64 @@
+//! The workload abstraction: a CUDA application ported to SASS-lite.
+
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchError, Trap};
+use std::error::Error;
+use std::fmt;
+
+/// An error escaping a workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The simulated GPU trapped (crash or watchdog timeout).
+    Trap(Trap),
+    /// A host-side device-API error (allocation, bad pointer).
+    Device(LaunchError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Trap(t) => write!(f, "gpu trap: {t}"),
+            WorkloadError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+impl From<Trap> for WorkloadError {
+    fn from(t: Trap) -> Self {
+        WorkloadError::Trap(t)
+    }
+}
+
+impl From<LaunchError> for WorkloadError {
+    fn from(e: LaunchError) -> Self {
+        WorkloadError::Device(e)
+    }
+}
+
+/// A complete GPU application: host driver plus its SASS-lite kernels.
+///
+/// `run` must be **deterministic** — same inputs, same launches, same
+/// result bytes — because the classifier compares a faulty run bit-for-bit
+/// against the golden (fault-free) run, exactly like the paper's
+/// predefined-result-file check (§III.B).
+///
+/// Implementations must be stateless across runs (`run` takes `&self`) so
+/// the campaign controller can execute runs on multiple threads.
+pub trait Workload: Sync {
+    /// The benchmark's short name (e.g. `"VA"`, `"HS"`).
+    fn name(&self) -> &'static str;
+
+    /// The assembled kernel module (used to size the fault spaces).
+    fn module(&self) -> &Module;
+
+    /// Drives the full application on `gpu` — allocations, uploads, kernel
+    /// launches, host-side iteration logic — and returns the result buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] when the GPU traps or a device copy fails
+    /// (both classified as failures by the campaign).
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError>;
+}

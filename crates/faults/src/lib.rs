@@ -1,0 +1,541 @@
+//! # gpufi-faults — fault models and mask generation
+//!
+//! This crate is the reproduction of gpuFI-4's *fault masks generator*
+//! module: given the injectable fault space of a kernel on a chip
+//! ([`FaultSpace`]) and the cycle windows of the targeted kernel
+//! invocations, it draws statistically independent transient faults —
+//! single-bit or multi-bit, thread- or warp-scoped, optionally replicated
+//! over CTAs or SIMT cores — as [`InjectionPlan`]s the simulator can arm.
+//!
+//! Everything is driven by a seedable RNG so campaigns are reproducible:
+//! the same seed always produces the same sequence of plans.
+//!
+//! # Example
+//!
+//! ```
+//! use gpufi_faults::{CampaignSpec, MaskGenerator, MultiBitMode, Structure};
+//! use gpufi_sim::{FaultSpace, KernelWindow, Scope};
+//!
+//! let space = FaultSpace {
+//!     regs_per_thread: 16,
+//!     lmem_bits: 0,
+//!     smem_bits: 4096 * 8,
+//!     l1d_bits: Some(64 * 1024 * 8),
+//!     l1t_bits: 128 * 1024 * 8,
+//!     l1c_bits: 64 * 1024 * 8,
+//!     l2_bits: 3 * 1024 * 1024 * 8,
+//!     num_sms: 30,
+//! };
+//! let windows = [KernelWindow { kernel: "k".into(), start: 100, end: 1100 }];
+//! let spec = CampaignSpec::new(Structure::RegisterFile).bits(3);
+//! let mut gen = MaskGenerator::new(42);
+//! let plan = gen.draw(&spec, &space, &windows).expect("valid space");
+//! assert_eq!(plan.faults.len(), 1);
+//! assert!((100..1100).contains(&plan.faults[0].cycle));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gpufi_sim::{FaultSpace, FaultTarget, InjectionPlan, KernelWindow, PlannedFault, Scope};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The injectable hardware structures: the paper's six targets (Table IV)
+/// plus the L1 constant cache extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Structure {
+    /// Per-thread registers of the register file.
+    RegisterFile,
+    /// Per-thread local memory (off-chip).
+    LocalMemory,
+    /// Per-CTA shared memory.
+    SharedMemory,
+    /// Per-SM L1 data cache (tag + data).
+    L1Data,
+    /// Per-SM L1 texture cache (tag + data).
+    L1Tex,
+    /// Per-SM L1 constant cache (tag + data) — an extension implementing
+    /// the paper's future work (§IV.C.1).
+    L1Const,
+    /// Chip-wide L2 cache (tag + data).
+    L2,
+}
+
+impl Structure {
+    /// The six structures of the paper (Table IV), in the paper's order.
+    pub const PAPER: [Structure; 6] = [
+        Structure::RegisterFile,
+        Structure::LocalMemory,
+        Structure::SharedMemory,
+        Structure::L1Data,
+        Structure::L1Tex,
+        Structure::L2,
+    ];
+
+    /// Every injectable structure, including the constant-cache extension.
+    pub const ALL: [Structure; 7] = [
+        Structure::RegisterFile,
+        Structure::LocalMemory,
+        Structure::SharedMemory,
+        Structure::L1Data,
+        Structure::L1Tex,
+        Structure::L1Const,
+        Structure::L2,
+    ];
+
+    /// The five structures the paper folds into the chip AVF (local memory
+    /// resides in device DRAM and is excluded from the on-chip total).
+    pub const ON_CHIP: [Structure; 5] = [
+        Structure::RegisterFile,
+        Structure::SharedMemory,
+        Structure::L1Data,
+        Structure::L1Tex,
+        Structure::L2,
+    ];
+
+    /// Human-readable name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::RegisterFile => "register file",
+            Structure::LocalMemory => "local memory",
+            Structure::SharedMemory => "shared memory",
+            Structure::L1Data => "L1 data cache",
+            Structure::L1Tex => "L1 texture cache",
+            Structure::L1Const => "L1 constant cache",
+            Structure::L2 => "L2 cache",
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the bits of one multi-bit fault are placed (paper §III.A: "(i)
+/// different bits of the same entry … (ii) different entries").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MultiBitMode {
+    /// All flipped bits land in the same entry (register / cache line /
+    /// memory word neighbourhood) — the physically common multi-bit upset.
+    SameEntry,
+    /// Each flipped bit lands at an independent position of the structure.
+    Spread,
+}
+
+/// The shape of the faults a campaign draws.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Target structure.
+    pub structure: Structure,
+    /// Thread or warp scope (register file / local memory only).
+    pub scope: Scope,
+    /// Bits flipped per fault (1 = single-bit, 3 = the paper's triple-bit).
+    pub bits_per_fault: u32,
+    /// Placement of multi-bit flips.
+    pub multi_bit: MultiBitMode,
+    /// CTAs (shared memory) or SIMT cores (L1s) that receive the same
+    /// flips.
+    pub replicate: u32,
+}
+
+impl CampaignSpec {
+    /// A single-bit, thread-scope, unreplicated campaign on `structure`.
+    pub fn new(structure: Structure) -> Self {
+        CampaignSpec {
+            structure,
+            scope: Scope::Thread,
+            bits_per_fault: 1,
+            multi_bit: MultiBitMode::SameEntry,
+            replicate: 1,
+        }
+    }
+
+    /// Sets the number of bits flipped per fault.
+    pub fn bits(mut self, k: u32) -> Self {
+        self.bits_per_fault = k.max(1);
+        self
+    }
+
+    /// Sets warp scope (register file / local memory).
+    pub fn warp_scope(mut self) -> Self {
+        self.scope = Scope::Warp;
+        self
+    }
+
+    /// Sets the multi-bit placement mode.
+    pub fn mode(mut self, mode: MultiBitMode) -> Self {
+        self.multi_bit = mode;
+        self
+    }
+
+    /// Sets CTA / core replication.
+    pub fn replicated(mut self, n: u32) -> Self {
+        self.replicate = n.max(1);
+        self
+    }
+}
+
+/// Why a fault could not be drawn for a given kernel/chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrawError {
+    /// The kernel never executes (no cycle windows).
+    EmptyWindows,
+    /// The targeted structure has zero injectable bits here (e.g. L1D on
+    /// GTX Titan, or shared memory for a kernel that uses none).
+    EmptyStructure(Structure),
+}
+
+impl fmt::Display for DrawError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrawError::EmptyWindows => f.write_str("kernel has no execution windows"),
+            DrawError::EmptyStructure(s) => {
+                write!(f, "structure `{s}` has no injectable bits for this kernel/chip")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DrawError {}
+
+/// The seeded fault-mask generator.
+///
+/// One generator drives one campaign; drawing `runs` plans from a fresh
+/// generator with the same seed reproduces the campaign exactly.
+#[derive(Debug)]
+pub struct MaskGenerator {
+    rng: StdRng,
+}
+
+impl MaskGenerator {
+    /// Creates a generator from a campaign seed.
+    pub fn new(seed: u64) -> Self {
+        MaskGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws `k` distinct bit positions below `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0` or `k as u64 > space`.
+    pub fn distinct_bits(&mut self, k: u32, space: u64) -> Vec<u64> {
+        assert!(space > 0, "empty bit space");
+        assert!(u64::from(k) <= space, "cannot draw {k} distinct bits from {space}");
+        let mut out: Vec<u64> = Vec::with_capacity(k as usize);
+        while out.len() < k as usize {
+            let b = self.rng.gen_range(0..space);
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Picks a uniformly random cycle inside the union of `windows`.
+    fn draw_cycle(&mut self, windows: &[KernelWindow]) -> Option<u64> {
+        let total: u64 = windows.iter().map(|w| w.end.saturating_sub(w.start)).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut r = self.rng.gen_range(0..total);
+        for w in windows {
+            let len = w.end - w.start;
+            if r < len {
+                return Some(w.start + r);
+            }
+            r -= len;
+        }
+        None
+    }
+
+    /// Draws one fault plan per the campaign spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrawError`] when the windows are empty or the targeted
+    /// structure has no injectable bits for this kernel/chip.
+    pub fn draw(
+        &mut self,
+        spec: &CampaignSpec,
+        space: &FaultSpace,
+        windows: &[KernelWindow],
+    ) -> Result<InjectionPlan, DrawError> {
+        let cycle = self.draw_cycle(windows).ok_or(DrawError::EmptyWindows)?;
+        let k = spec.bits_per_fault;
+        let entry_lot = self.rng.gen::<u64>();
+        let target = match spec.structure {
+            Structure::RegisterFile => {
+                if space.regs_per_thread == 0 {
+                    return Err(DrawError::EmptyStructure(spec.structure));
+                }
+                let reg = self.rng.gen_range(0..space.regs_per_thread);
+                let bits = self
+                    .distinct_bits(k.min(32), 32)
+                    .into_iter()
+                    .map(|b| b as u8)
+                    .collect();
+                FaultTarget::RegisterFile {
+                    scope: spec.scope,
+                    entry_lot,
+                    reg,
+                    bits,
+                }
+            }
+            Structure::LocalMemory => {
+                if space.lmem_bits == 0 {
+                    return Err(DrawError::EmptyStructure(spec.structure));
+                }
+                let bits = self.structure_bits(k, space.lmem_bits, 32, spec.multi_bit);
+                FaultTarget::LocalMemory { entry_lot, bits }
+            }
+            Structure::SharedMemory => {
+                if space.smem_bits == 0 {
+                    return Err(DrawError::EmptyStructure(spec.structure));
+                }
+                let bits = self.structure_bits(k, space.smem_bits, 32, spec.multi_bit);
+                FaultTarget::SharedMemory {
+                    cta_lot: entry_lot,
+                    replicate: spec.replicate,
+                    bits,
+                }
+            }
+            Structure::L1Data => {
+                let Some(total) = space.l1d_bits.filter(|&b| b > 0) else {
+                    return Err(DrawError::EmptyStructure(spec.structure));
+                };
+                let bits = self.structure_bits(k, total, line_bits(), spec.multi_bit);
+                FaultTarget::L1Data {
+                    core_lot: entry_lot,
+                    replicate: spec.replicate,
+                    bits,
+                }
+            }
+            Structure::L1Tex => {
+                if space.l1t_bits == 0 {
+                    return Err(DrawError::EmptyStructure(spec.structure));
+                }
+                let bits = self.structure_bits(k, space.l1t_bits, line_bits(), spec.multi_bit);
+                FaultTarget::L1Tex {
+                    core_lot: entry_lot,
+                    replicate: spec.replicate,
+                    bits,
+                }
+            }
+            Structure::L1Const => {
+                if space.l1c_bits == 0 {
+                    return Err(DrawError::EmptyStructure(spec.structure));
+                }
+                let bits = self.structure_bits(k, space.l1c_bits, const_line_bits(), spec.multi_bit);
+                FaultTarget::L1Const {
+                    core_lot: entry_lot,
+                    replicate: spec.replicate,
+                    bits,
+                }
+            }
+            Structure::L2 => {
+                if space.l2_bits == 0 {
+                    return Err(DrawError::EmptyStructure(spec.structure));
+                }
+                let bits = self.structure_bits(k, space.l2_bits, line_bits(), spec.multi_bit);
+                FaultTarget::L2 { bits }
+            }
+        };
+        Ok(InjectionPlan {
+            faults: vec![PlannedFault { cycle, target }],
+        })
+    }
+
+    /// Draws a whole campaign: `runs` independent plans.
+    ///
+    /// # Errors
+    ///
+    /// See [`MaskGenerator::draw`].
+    pub fn campaign(
+        &mut self,
+        spec: &CampaignSpec,
+        space: &FaultSpace,
+        windows: &[KernelWindow],
+        runs: usize,
+    ) -> Result<Vec<InjectionPlan>, DrawError> {
+        (0..runs).map(|_| self.draw(spec, space, windows)).collect()
+    }
+
+    /// Draws `k` bit positions within a `total`-bit structure whose entries
+    /// are `entry_bits` wide, honouring the multi-bit placement mode.
+    fn structure_bits(
+        &mut self,
+        k: u32,
+        total: u64,
+        entry_bits: u64,
+        mode: MultiBitMode,
+    ) -> Vec<u64> {
+        match mode {
+            MultiBitMode::Spread => self.distinct_bits(k.min(total as u32), total),
+            MultiBitMode::SameEntry => {
+                let entry_bits = entry_bits.min(total);
+                let entries = total / entry_bits;
+                let entry = self.rng.gen_range(0..entries.max(1));
+                let base = entry * entry_bits;
+                let width = entry_bits.min(total - base);
+                self.distinct_bits(k.min(width as u32), width)
+                    .into_iter()
+                    .map(|b| base + b)
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Bits per cache line entry (128-byte line + the modelled tag).
+fn line_bits() -> u64 {
+    128 * 8 + u64::from(gpufi_sim::TAG_BITS)
+}
+
+/// Bits per constant-cache line entry (64-byte line + the modelled tag).
+fn const_line_bits() -> u64 {
+    64 * 8 + u64::from(gpufi_sim::TAG_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> FaultSpace {
+        FaultSpace {
+            regs_per_thread: 10,
+            lmem_bits: 256,
+            smem_bits: 1024,
+            l1d_bits: Some(1 << 19),
+            l1t_bits: 1 << 20,
+            l1c_bits: 1 << 19,
+            l2_bits: 1 << 24,
+            num_sms: 30,
+        }
+    }
+
+    fn windows() -> Vec<KernelWindow> {
+        vec![
+            KernelWindow { kernel: "k".into(), start: 10, end: 20 },
+            KernelWindow { kernel: "k".into(), start: 50, end: 100 },
+        ]
+    }
+
+    #[test]
+    fn distinct_bits_are_distinct_and_in_range() {
+        let mut g = MaskGenerator::new(1);
+        for _ in 0..100 {
+            let bits = g.distinct_bits(3, 32);
+            assert_eq!(bits.len(), 3);
+            let mut sorted = bits.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "bits must be distinct: {bits:?}");
+            assert!(bits.iter().all(|&b| b < 32));
+        }
+    }
+
+    #[test]
+    fn cycles_fall_in_windows() {
+        let mut g = MaskGenerator::new(2);
+        let spec = CampaignSpec::new(Structure::RegisterFile);
+        let mut seen_first = false;
+        let mut seen_second = false;
+        for _ in 0..200 {
+            let p = g.draw(&spec, &space(), &windows()).unwrap();
+            let c = p.faults[0].cycle;
+            assert!((10..20).contains(&c) || (50..100).contains(&c), "cycle {c}");
+            seen_first |= (10..20).contains(&c);
+            seen_second |= (50..100).contains(&c);
+        }
+        assert!(seen_first && seen_second, "both windows must be sampled");
+    }
+
+    #[test]
+    fn register_faults_respect_allocation() {
+        let mut g = MaskGenerator::new(3);
+        let spec = CampaignSpec::new(Structure::RegisterFile).bits(3).warp_scope();
+        for _ in 0..50 {
+            let p = g.draw(&spec, &space(), &windows()).unwrap();
+            match &p.faults[0].target {
+                FaultTarget::RegisterFile { scope, reg, bits, .. } => {
+                    assert_eq!(*scope, Scope::Warp);
+                    assert!(*reg < 10);
+                    assert_eq!(bits.len(), 3);
+                    assert!(bits.iter().all(|&b| b < 32));
+                }
+                other => panic!("wrong target {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn same_entry_mode_keeps_bits_in_one_line() {
+        let mut g = MaskGenerator::new(4);
+        let spec = CampaignSpec::new(Structure::L2).bits(3).mode(MultiBitMode::SameEntry);
+        for _ in 0..50 {
+            let p = g.draw(&spec, &space(), &windows()).unwrap();
+            let FaultTarget::L2 { bits } = &p.faults[0].target else {
+                panic!("wrong target");
+            };
+            let line = bits[0] / line_bits();
+            assert!(bits.iter().all(|&b| b / line_bits() == line), "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn empty_structures_are_rejected() {
+        let mut g = MaskGenerator::new(5);
+        let mut s = space();
+        s.smem_bits = 0;
+        let err = g
+            .draw(&CampaignSpec::new(Structure::SharedMemory), &s, &windows())
+            .unwrap_err();
+        assert_eq!(err, DrawError::EmptyStructure(Structure::SharedMemory));
+        s.l1d_bits = None;
+        let err = g
+            .draw(&CampaignSpec::new(Structure::L1Data), &s, &windows())
+            .unwrap_err();
+        assert_eq!(err, DrawError::EmptyStructure(Structure::L1Data));
+    }
+
+    #[test]
+    fn empty_windows_are_rejected() {
+        let mut g = MaskGenerator::new(6);
+        let err = g
+            .draw(&CampaignSpec::new(Structure::L2), &space(), &[])
+            .unwrap_err();
+        assert_eq!(err, DrawError::EmptyWindows);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let spec = CampaignSpec::new(Structure::L1Tex).bits(2);
+        let a = MaskGenerator::new(7)
+            .campaign(&spec, &space(), &windows(), 20)
+            .unwrap();
+        let b = MaskGenerator::new(7)
+            .campaign(&spec, &space(), &windows(), 20)
+            .unwrap();
+        assert_eq!(a, b);
+        let c = MaskGenerator::new(8)
+            .campaign(&spec, &space(), &windows(), 20)
+            .unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn structure_names() {
+        assert_eq!(Structure::RegisterFile.to_string(), "register file");
+        assert_eq!(Structure::ALL.len(), 7);
+        assert_eq!(Structure::PAPER.len(), 6);
+        assert_eq!(Structure::ON_CHIP.len(), 5);
+        assert!(!Structure::ON_CHIP.contains(&Structure::LocalMemory));
+    }
+}

@@ -1,0 +1,774 @@
+//! The SASS-lite text assembler.
+//!
+//! Source is line-oriented:
+//!
+//! ```text
+//! .kernel name          ; starts a kernel
+//! .params N             ; N u32 parameters preloaded into R0..R(N-1)
+//! .regs N               ; optional: force allocated register count
+//! .smem BYTES           ; static shared memory per CTA
+//! .lmem BYTES           ; local memory per thread
+//! label:  @!P0 IADD R1, R2, -4   ; label, guard, mnemonic, operands
+//! ```
+//!
+//! Comments start with `;`, `#` or `//`.  Immediates may be decimal
+//! (`-12`), hex (`0xdeadbeef`) or single-precision float (`1.5f`, `2e-3f`).
+
+use crate::error::AsmError;
+use crate::instr::{Guard, Instr, MemSpace, Op, Operand};
+use crate::kernel::{Kernel, Module};
+use crate::op::{BitOp, CmpOp, FloatOp, FloatUnOp, IntOp};
+use crate::reg::{Pred, Reg, SpecialReg, MAX_PRED, MAX_REG};
+use std::collections::HashMap;
+
+/// Assembles source text into a [`Module`]. See [`Module::assemble`].
+pub fn assemble(source: &str) -> Result<Module, AsmError> {
+    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut current: Option<PendingKernel> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix('.') {
+            handle_directive(rest, line_no, &mut kernels, &mut current)?;
+            continue;
+        }
+
+        let k = current
+            .as_mut()
+            .ok_or_else(|| AsmError::new(line_no, "instruction before any .kernel directive"))?;
+        parse_statement(line, line_no, k)?;
+    }
+
+    if let Some(k) = current.take() {
+        kernels.push(k.finish()?);
+    }
+    if kernels.is_empty() {
+        return Err(AsmError::new(0, "source contains no kernels"));
+    }
+    Ok(Module::from_kernels(kernels))
+}
+
+/// A kernel under construction, before label fixups are applied.
+struct PendingKernel {
+    name: String,
+    start_line: u32,
+    instrs: Vec<Instr>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<Fixup>,
+    num_params: u8,
+    regs_directive: Option<u8>,
+    smem_bytes: u32,
+    lmem_bytes: u32,
+}
+
+struct Fixup {
+    instr: usize,
+    label: String,
+    line: u32,
+}
+
+impl PendingKernel {
+    fn new(name: String, line: u32) -> Self {
+        PendingKernel {
+            name,
+            start_line: line,
+            instrs: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            num_params: 0,
+            regs_directive: None,
+            smem_bytes: 0,
+            lmem_bytes: 0,
+        }
+    }
+
+    fn finish(mut self) -> Result<Kernel, AsmError> {
+        if self.instrs.is_empty() {
+            return Err(AsmError::new(
+                self.start_line,
+                format!("kernel `{}` has no instructions", self.name),
+            ));
+        }
+        for fixup in &self.fixups {
+            let target = *self.labels.get(&fixup.label).ok_or_else(|| {
+                AsmError::new(fixup.line, format!("undefined label `{}`", fixup.label))
+            })?;
+            match &mut self.instrs[fixup.instr].op {
+                Op::Bra { target: t } | Op::Ssy { target: t } => *t = target,
+                _ => unreachable!("fixups only point at branch-like ops"),
+            }
+        }
+        let max_ref = self
+            .instrs
+            .iter()
+            .filter_map(|i| i.op.max_reg())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut num_regs = max_ref.max(self.num_params);
+        if let Some(forced) = self.regs_directive {
+            if forced < num_regs {
+                return Err(AsmError::new(
+                    self.start_line,
+                    format!(
+                        ".regs {forced} is below the {num_regs} registers kernel `{}` references",
+                        self.name
+                    ),
+                ));
+            }
+            num_regs = forced;
+        }
+        Ok(Kernel::new(
+            self.name,
+            self.instrs,
+            self.num_params,
+            num_regs,
+            self.smem_bytes,
+            self.lmem_bytes,
+        ))
+    }
+}
+
+fn handle_directive(
+    rest: &str,
+    line: u32,
+    kernels: &mut Vec<Kernel>,
+    current: &mut Option<PendingKernel>,
+) -> Result<(), AsmError> {
+    let mut parts = rest.split_whitespace();
+    let name = parts.next().unwrap_or("");
+    let arg = parts.next();
+    if parts.next().is_some() {
+        return Err(AsmError::new(line, format!("too many operands for .{name}")));
+    }
+    match name {
+        "kernel" => {
+            let kname = arg
+                .ok_or_else(|| AsmError::new(line, ".kernel requires a name"))?
+                .to_string();
+            if let Some(prev) = current.take() {
+                kernels.push(prev.finish()?);
+            }
+            if kernels.iter().any(|k| k.name() == kname) {
+                return Err(AsmError::new(line, format!("duplicate kernel name `{kname}`")));
+            }
+            *current = Some(PendingKernel::new(kname, line));
+            Ok(())
+        }
+        "params" | "regs" | "smem" | "lmem" => {
+            let k = current
+                .as_mut()
+                .ok_or_else(|| AsmError::new(line, format!(".{name} before .kernel")))?;
+            let value: u32 = arg
+                .and_then(|a| a.parse().ok())
+                .ok_or_else(|| AsmError::new(line, format!(".{name} requires an unsigned integer")))?;
+            match name {
+                "params" => {
+                    if value > MAX_REG as u32 + 1 {
+                        return Err(AsmError::new(line, "too many parameters"));
+                    }
+                    k.num_params = value as u8;
+                }
+                "regs" => {
+                    if value == 0 || value > MAX_REG as u32 + 1 {
+                        return Err(AsmError::new(line, ".regs out of range"));
+                    }
+                    k.regs_directive = Some(value as u8);
+                }
+                "smem" => k.smem_bytes = value,
+                "lmem" => k.lmem_bytes = value,
+                _ => unreachable!(),
+            }
+            Ok(())
+        }
+        other => Err(AsmError::new(line, format!("unknown directive .{other}"))),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for (i, c) in line.char_indices() {
+        if c == ';' || c == '#' {
+            end = i;
+            break;
+        }
+        if c == '/' && line[i..].starts_with("//") {
+            end = i;
+            break;
+        }
+    }
+    &line[..end]
+}
+
+fn parse_statement(line: &str, line_no: u32, k: &mut PendingKernel) -> Result<(), AsmError> {
+    let mut rest = line;
+
+    // Leading labels (there may be several on one line).
+    while let Some(colon) = find_label_colon(rest) {
+        let label = rest[..colon].trim();
+        if !is_ident(label) {
+            return Err(AsmError::new(line_no, format!("invalid label `{label}`")));
+        }
+        let pos = k.instrs.len() as u32;
+        if k.labels.insert(label.to_string(), pos).is_some() {
+            return Err(AsmError::new(line_no, format!("duplicate label `{label}`")));
+        }
+        rest = rest[colon + 1..].trim_start();
+    }
+    if rest.is_empty() {
+        return Ok(());
+    }
+
+    // Optional guard.
+    let mut guard = None;
+    if let Some(g) = rest.strip_prefix('@') {
+        let (gtok, after) = g.split_once(char::is_whitespace).ok_or_else(|| {
+            AsmError::new(line_no, "guard must be followed by an instruction")
+        })?;
+        let (negate, ptok) = match gtok.strip_prefix('!') {
+            Some(p) => (true, p),
+            None => (false, gtok),
+        };
+        let pred = parse_pred(ptok, line_no)?;
+        guard = Some(Guard { pred, negate });
+        rest = after.trim_start();
+    }
+
+    let (mnemonic, operand_str) = match rest.split_once(char::is_whitespace) {
+        Some((m, o)) => (m, o.trim()),
+        None => (rest, ""),
+    };
+    let operands = split_operands(operand_str);
+    let op = parse_op(mnemonic, &operands, line_no, k)?;
+    k.instrs.push(Instr { guard, op });
+    Ok(())
+}
+
+/// Finds the colon ending a leading label, if the line starts with one.
+fn find_label_colon(s: &str) -> Option<usize> {
+    let mut chars = s.char_indices();
+    let (_, first) = chars.next()?;
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return None;
+    }
+    for (i, c) in chars {
+        if c == ':' {
+            return Some(i);
+        }
+        if !(c.is_ascii_alphanumeric() || c == '_') {
+            return None;
+        }
+    }
+    None
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits an operand list on top-level commas (commas never appear inside
+/// `[...]` memory operands, but tolerate them for robustness).
+fn split_operands(s: &str) -> Vec<&str> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim());
+    out
+}
+
+fn parse_reg(tok: &str, line: u32) -> Result<Reg, AsmError> {
+    let idx = tok
+        .strip_prefix('R')
+        .and_then(|n| n.parse::<u16>().ok())
+        .ok_or_else(|| AsmError::new(line, format!("expected register, found `{tok}`")))?;
+    if idx > MAX_REG as u16 {
+        return Err(AsmError::new(line, format!("register R{idx} out of range (max R{MAX_REG})")));
+    }
+    Ok(Reg::new(idx as u8).expect("bounds checked"))
+}
+
+fn parse_pred(tok: &str, line: u32) -> Result<Pred, AsmError> {
+    let idx = tok
+        .strip_prefix('P')
+        .and_then(|n| n.parse::<u16>().ok())
+        .ok_or_else(|| AsmError::new(line, format!("expected predicate, found `{tok}`")))?;
+    if idx > MAX_PRED as u16 {
+        return Err(AsmError::new(line, format!("predicate P{idx} out of range (max P{MAX_PRED})")));
+    }
+    Ok(Pred::new(idx as u8).expect("bounds checked"))
+}
+
+fn parse_operand(tok: &str, line: u32) -> Result<Operand, AsmError> {
+    if tok.starts_with('R') && tok[1..].chars().all(|c| c.is_ascii_digit()) && tok.len() > 1 {
+        return Ok(Operand::Reg(parse_reg(tok, line)?));
+    }
+    parse_imm(tok, line).map(Operand::Imm)
+}
+
+fn parse_imm(tok: &str, line: u32) -> Result<u32, AsmError> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16)
+            .map_err(|_| AsmError::new(line, format!("bad hex immediate `{tok}`")));
+    }
+    let is_float = tok.ends_with('f') || tok.ends_with('F') || tok.contains('.')
+        || (tok.contains(['e', 'E']) && !tok.starts_with("0x"));
+    if is_float {
+        let t = tok.trim_end_matches(['f', 'F']);
+        return t
+            .parse::<f32>()
+            .map(f32::to_bits)
+            .map_err(|_| AsmError::new(line, format!("bad float immediate `{tok}`")));
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        if (i32::MIN as i64..=u32::MAX as i64).contains(&v) {
+            return Ok(v as u32);
+        }
+        return Err(AsmError::new(line, format!("immediate `{tok}` out of 32-bit range")));
+    }
+    Err(AsmError::new(line, format!("bad operand `{tok}`")))
+}
+
+/// Parses a `[Rn]`, `[Rn+off]` or `[Rn-off]` memory operand.
+fn parse_mem(tok: &str, line: u32) -> Result<(Reg, i32), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError::new(line, format!("expected [Rn+off], found `{tok}`")))?
+        .trim();
+    let (reg_tok, off) = match inner.find(['+', '-']) {
+        Some(pos) => {
+            let sign = if inner.as_bytes()[pos] == b'-' { -1i64 } else { 1 };
+            let off_tok = inner[pos + 1..].trim();
+            let magnitude: i64 = off_tok
+                .parse()
+                .map_err(|_| AsmError::new(line, format!("bad address offset `{off_tok}`")))?;
+            let off = sign * magnitude;
+            if off < i32::MIN as i64 || off > i32::MAX as i64 {
+                return Err(AsmError::new(line, "address offset out of range"));
+            }
+            (inner[..pos].trim(), off as i32)
+        }
+        None => (inner, 0),
+    };
+    Ok((parse_reg(reg_tok, line)?, off))
+}
+
+fn expect_n<'a>(ops: &'a [&'a str], n: usize, m: &str, line: u32) -> Result<&'a [&'a str], AsmError> {
+    if ops.len() != n {
+        return Err(AsmError::new(
+            line,
+            format!("{m} expects {n} operand(s), found {}", ops.len()),
+        ));
+    }
+    Ok(ops)
+}
+
+fn parse_op(
+    mnemonic: &str,
+    ops: &[&str],
+    line: u32,
+    k: &mut PendingKernel,
+) -> Result<Op, AsmError> {
+    // Split dotted suffix (ISETP.GE).
+    let (base, suffix) = match mnemonic.split_once('.') {
+        Some((b, s)) => (b, Some(s)),
+        None => (mnemonic, None),
+    };
+
+    let int_ops = [
+        ("IADD", IntOp::Add),
+        ("ISUB", IntOp::Sub),
+        ("IMUL", IntOp::Mul),
+        ("IMIN", IntOp::Min),
+        ("IMAX", IntOp::Max),
+    ];
+    let float_ops = [
+        ("FADD", FloatOp::Add),
+        ("FSUB", FloatOp::Sub),
+        ("FMUL", FloatOp::Mul),
+        ("FDIV", FloatOp::Div),
+        ("FMIN", FloatOp::Min),
+        ("FMAX", FloatOp::Max),
+    ];
+    let bit_ops = [
+        ("AND", BitOp::And),
+        ("OR", BitOp::Or),
+        ("XOR", BitOp::Xor),
+        ("SHL", BitOp::Shl),
+        ("SHR", BitOp::Shr),
+        ("SAR", BitOp::Sar),
+    ];
+    let fun_ops = [
+        ("FRCP", FloatUnOp::Rcp),
+        ("FSQRT", FloatUnOp::Sqrt),
+        ("FEX2", FloatUnOp::Ex2),
+        ("FLG2", FloatUnOp::Lg2),
+        ("FABS", FloatUnOp::Abs),
+        ("FNEG", FloatUnOp::Neg),
+        ("FFLOOR", FloatUnOp::Floor),
+    ];
+
+    if let Some((_, op)) = int_ops.iter().find(|(m, _)| *m == base) {
+        let o = expect_n(ops, 3, base, line)?;
+        return Ok(Op::IArith {
+            op: *op,
+            d: parse_reg(o[0], line)?,
+            a: parse_reg(o[1], line)?,
+            b: parse_operand(o[2], line)?,
+        });
+    }
+    if let Some((_, op)) = float_ops.iter().find(|(m, _)| *m == base) {
+        let o = expect_n(ops, 3, base, line)?;
+        return Ok(Op::FArith {
+            op: *op,
+            d: parse_reg(o[0], line)?,
+            a: parse_reg(o[1], line)?,
+            b: parse_operand(o[2], line)?,
+        });
+    }
+    if let Some((_, op)) = bit_ops.iter().find(|(m, _)| *m == base) {
+        let o = expect_n(ops, 3, base, line)?;
+        return Ok(Op::Bit {
+            op: *op,
+            d: parse_reg(o[0], line)?,
+            a: parse_reg(o[1], line)?,
+            b: parse_operand(o[2], line)?,
+        });
+    }
+    if let Some((_, op)) = fun_ops.iter().find(|(m, _)| *m == base) {
+        let o = expect_n(ops, 2, base, line)?;
+        return Ok(Op::FUnary {
+            op: *op,
+            d: parse_reg(o[0], line)?,
+            a: parse_reg(o[1], line)?,
+        });
+    }
+
+    match base {
+        "MOV" => {
+            let o = expect_n(ops, 2, base, line)?;
+            Ok(Op::Mov {
+                d: parse_reg(o[0], line)?,
+                src: parse_operand(o[1], line)?,
+            })
+        }
+        "S2R" => {
+            let o = expect_n(ops, 2, base, line)?;
+            let sr = SpecialReg::from_name(o[1])
+                .ok_or_else(|| AsmError::new(line, format!("unknown special register `{}`", o[1])))?;
+            Ok(Op::S2r {
+                d: parse_reg(o[0], line)?,
+                sr,
+            })
+        }
+        "IMAD" | "FFMA" => {
+            let o = expect_n(ops, 4, base, line)?;
+            let (d, a, b, c) = (
+                parse_reg(o[0], line)?,
+                parse_reg(o[1], line)?,
+                parse_operand(o[2], line)?,
+                parse_reg(o[3], line)?,
+            );
+            Ok(if base == "IMAD" {
+                Op::IMad { d, a, b, c }
+            } else {
+                Op::FFma { d, a, b, c }
+            })
+        }
+        "NOT" => {
+            let o = expect_n(ops, 2, base, line)?;
+            Ok(Op::Not {
+                d: parse_reg(o[0], line)?,
+                a: parse_reg(o[1], line)?,
+            })
+        }
+        "I2F" | "F2I" => {
+            let o = expect_n(ops, 2, base, line)?;
+            let (d, a) = (parse_reg(o[0], line)?, parse_reg(o[1], line)?);
+            Ok(if base == "I2F" { Op::I2f { d, a } } else { Op::F2i { d, a } })
+        }
+        "ISETP" | "FSETP" => {
+            let cmp = suffix
+                .and_then(CmpOp::from_suffix)
+                .ok_or_else(|| AsmError::new(line, format!("{base} requires a .EQ/.NE/.LT/.LE/.GT/.GE suffix")))?;
+            let o = expect_n(ops, 3, base, line)?;
+            let p = parse_pred(o[0], line)?;
+            let a = parse_reg(o[1], line)?;
+            let b = parse_operand(o[2], line)?;
+            Ok(if base == "ISETP" {
+                Op::ISetp { cmp, p, a, b }
+            } else {
+                Op::FSetp { cmp, p, a, b }
+            })
+        }
+        "SEL" => {
+            let o = expect_n(ops, 4, base, line)?;
+            Ok(Op::Sel {
+                d: parse_reg(o[0], line)?,
+                a: parse_reg(o[1], line)?,
+                b: parse_operand(o[2], line)?,
+                p: parse_pred(o[3], line)?,
+            })
+        }
+        "BRA" | "SSY" => {
+            let o = expect_n(ops, 1, base, line)?;
+            let target = if o[0].chars().all(|c| c.is_ascii_digit()) {
+                o[0].parse::<u32>()
+                    .map_err(|_| AsmError::new(line, "bad branch target"))?
+            } else {
+                if !is_ident(o[0]) {
+                    return Err(AsmError::new(line, format!("bad branch target `{}`", o[0])));
+                }
+                k.fixups.push(Fixup {
+                    instr: k.instrs.len(),
+                    label: o[0].to_string(),
+                    line,
+                });
+                u32::MAX // patched by the fixup pass
+            };
+            Ok(if base == "BRA" { Op::Bra { target } } else { Op::Ssy { target } })
+        }
+        "SYNC" => expect_n(ops, 0, base, line).map(|_| Op::Sync),
+        "BAR" => expect_n(ops, 0, base, line).map(|_| Op::Bar),
+        "EXIT" => expect_n(ops, 0, base, line).map(|_| Op::Exit),
+        "NOP" => expect_n(ops, 0, base, line).map(|_| Op::Nop),
+        "LDG" | "LDS" | "LDL" | "LDT" | "LDC" => {
+            let space = match base {
+                "LDG" => MemSpace::Global,
+                "LDS" => MemSpace::Shared,
+                "LDL" => MemSpace::Local,
+                "LDT" => MemSpace::Texture,
+                _ => MemSpace::Const,
+            };
+            let o = expect_n(ops, 2, base, line)?;
+            let d = parse_reg(o[0], line)?;
+            let (addr, offset) = parse_mem(o[1], line)?;
+            Ok(Op::Ld { space, d, addr, offset })
+        }
+        "STG" | "STS" | "STL" => {
+            let space = match base {
+                "STG" => MemSpace::Global,
+                "STS" => MemSpace::Shared,
+                _ => MemSpace::Local,
+            };
+            let o = expect_n(ops, 2, base, line)?;
+            let (addr, offset) = parse_mem(o[0], line)?;
+            let v = parse_reg(o[1], line)?;
+            Ok(Op::St { space, addr, offset, v })
+        }
+        other => Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{MemSpace, Op, Operand};
+    use crate::op::{CmpOp, IntOp};
+
+    #[test]
+    fn assembles_minimal_kernel() {
+        let m = Module::assemble(".kernel k\n EXIT\n").unwrap();
+        let k = m.kernel("k").unwrap();
+        assert_eq!(k.instrs().len(), 1);
+        assert_eq!(k.instrs()[0].op, Op::Exit);
+        assert_eq!(k.num_regs(), 0);
+    }
+
+    #[test]
+    fn resolves_forward_and_backward_labels() {
+        let m = Module::assemble(
+            ".kernel k\nstart: BRA done\n NOP\ndone: BRA start\n EXIT\n",
+        )
+        .unwrap();
+        let k = m.kernel("k").unwrap();
+        assert_eq!(k.instrs()[0].op, Op::Bra { target: 2 });
+        assert_eq!(k.instrs()[2].op, Op::Bra { target: 0 });
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let m = Module::assemble(".kernel k\nloop: IADD R1, R1, 1\n BRA loop\n").unwrap();
+        let k = m.kernel("k").unwrap();
+        assert_eq!(k.instrs()[1].op, Op::Bra { target: 0 });
+    }
+
+    #[test]
+    fn guards_parse() {
+        let m = Module::assemble(".kernel k\n@P0 EXIT\n@!P3 NOP\n EXIT\n").unwrap();
+        let k = m.kernel("k").unwrap();
+        let g0 = k.instrs()[0].guard.unwrap();
+        assert!(!g0.negate);
+        assert_eq!(g0.pred.index(), 0);
+        let g1 = k.instrs()[1].guard.unwrap();
+        assert!(g1.negate);
+        assert_eq!(g1.pred.index(), 3);
+    }
+
+    #[test]
+    fn immediates_decimal_hex_float() {
+        let m = Module::assemble(
+            ".kernel k\n MOV R0, -7\n MOV R1, 0xff00\n MOV R2, 1.5f\n MOV R3, 2e2f\n EXIT\n",
+        )
+        .unwrap();
+        let k = m.kernel("k").unwrap();
+        let imm = |i: usize| match k.instrs()[i].op {
+            Op::Mov { src: Operand::Imm(v), .. } => v,
+            ref o => panic!("not a mov-imm: {o:?}"),
+        };
+        assert_eq!(imm(0) as i32, -7);
+        assert_eq!(imm(1), 0xff00);
+        assert_eq!(f32::from_bits(imm(2)), 1.5);
+        assert_eq!(f32::from_bits(imm(3)), 200.0);
+    }
+
+    #[test]
+    fn memory_operands_with_offsets() {
+        let m = Module::assemble(
+            ".kernel k\n LDG R1, [R0]\n LDS R2, [R0+64]\n STL [R0-4], R1\n EXIT\n",
+        )
+        .unwrap();
+        let k = m.kernel("k").unwrap();
+        assert!(matches!(
+            k.instrs()[0].op,
+            Op::Ld { space: MemSpace::Global, offset: 0, .. }
+        ));
+        assert!(matches!(
+            k.instrs()[1].op,
+            Op::Ld { space: MemSpace::Shared, offset: 64, .. }
+        ));
+        assert!(matches!(
+            k.instrs()[2].op,
+            Op::St { space: MemSpace::Local, offset: -4, .. }
+        ));
+    }
+
+    #[test]
+    fn setp_suffixes() {
+        let m = Module::assemble(".kernel k\n ISETP.GE P0, R1, 10\n EXIT\n").unwrap();
+        assert!(matches!(
+            m.kernel("k").unwrap().instrs()[0].op,
+            Op::ISetp { cmp: CmpOp::Ge, .. }
+        ));
+        let err = Module::assemble(".kernel k\n ISETP P0, R1, 10\n EXIT\n").unwrap_err();
+        assert!(err.message().contains("suffix"));
+    }
+
+    #[test]
+    fn register_count_inference_and_directive() {
+        let m = Module::assemble(".kernel k\n.params 2\n IADD R5, R0, R1\n EXIT\n").unwrap();
+        assert_eq!(m.kernel("k").unwrap().num_regs(), 6);
+        let m = Module::assemble(".kernel k\n.regs 12\n MOV R0, 1\n EXIT\n").unwrap();
+        assert_eq!(m.kernel("k").unwrap().num_regs(), 12);
+        let err = Module::assemble(".kernel k\n.regs 2\n MOV R5, 1\n EXIT\n").unwrap_err();
+        assert!(err.message().contains(".regs"));
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let err = Module::assemble(".kernel k\n NOP\n FROB R1\n").unwrap_err();
+        assert_eq!(err.line(), 3);
+        let err = Module::assemble(".kernel k\n BRA nowhere\n EXIT\n").unwrap_err();
+        assert!(err.message().contains("undefined label"));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Module::assemble(".kernel k\n EXIT\n.kernel k\n EXIT\n").unwrap_err();
+        assert!(err.message().contains("duplicate kernel"));
+        let err = Module::assemble(".kernel k\na: NOP\na: EXIT\n").unwrap_err();
+        assert!(err.message().contains("duplicate label"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_registers() {
+        let err = Module::assemble(".kernel k\n MOV R255, 0\n EXIT\n").unwrap_err();
+        assert!(err.message().contains("out of range"));
+        let err = Module::assemble(".kernel k\n@P7 NOP\n EXIT\n").unwrap_err();
+        assert!(err.message().contains("out of range"));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let m = Module::assemble(
+            ".kernel k ; trailing\n NOP # hash comment\n EXIT // slashes\n",
+        )
+        .unwrap();
+        assert_eq!(m.kernel("k").unwrap().instrs().len(), 2);
+    }
+
+    #[test]
+    fn iarith_with_imm_operand() {
+        let m = Module::assemble(".kernel k\n ISUB R1, R2, 42\n EXIT\n").unwrap();
+        assert!(matches!(
+            m.kernel("k").unwrap().instrs()[0].op,
+            Op::IArith { op: IntOp::Sub, b: Operand::Imm(42), .. }
+        ));
+    }
+
+    #[test]
+    fn instruction_before_kernel_is_an_error() {
+        let err = Module::assemble(" NOP\n").unwrap_err();
+        assert!(err.message().contains("before any .kernel"));
+    }
+
+    #[test]
+    fn empty_kernel_is_an_error() {
+        let err = Module::assemble(".kernel k\n").unwrap_err();
+        assert!(err.message().contains("no instructions"));
+    }
+
+    #[test]
+    fn disassembly_reassembles_identically() {
+        let src = r#"
+.kernel roundtrip
+.params 3
+.smem 128
+.lmem 16
+    S2R   R3, SR_TID.X
+    ISETP.GE P0, R3, R2
+@P0 EXIT
+    SSY join
+    ISETP.LT P1, R3, 16
+@!P1 BRA other
+    FADD  R4, R4, 1.25f
+    BRA join
+other:
+    FMUL  R4, R4, -2.0f
+join:
+    SYNC
+    BAR
+    SHL   R5, R3, 2
+    IADD  R6, R0, R5
+    LDG   R7, [R6+4]
+    FFMA  R7, R7, R4, R7
+    IADD  R6, R1, R5
+    STG   [R6], R7
+    EXIT
+"#;
+        let m1 = Module::assemble(src).unwrap();
+        let text = m1.to_string();
+        let m2 = Module::assemble(&text).unwrap();
+        assert_eq!(m1, m2);
+    }
+}

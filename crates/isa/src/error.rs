@@ -1,0 +1,47 @@
+//! Assembler error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while assembling SASS-lite source text.
+///
+/// Carries the 1-based source line and a human-readable message.
+///
+/// ```
+/// use gpufi_isa::Module;
+/// let err = Module::assemble(".kernel k\n BOGUS R0, R1\n").unwrap_err();
+/// assert_eq!(err.line(), 2);
+/// assert!(err.to_string().contains("unknown mnemonic"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: u32,
+    message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line on which the error occurred.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The error message without position information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}

@@ -1,0 +1,67 @@
+//! # gpufi-isa — the SASS-lite instruction set
+//!
+//! The gpuFI-4 paper injects faults while benchmarks execute on the *actual
+//! physical instruction set* (SASS) inside GPGPU-Sim 4.0.  Real SASS is
+//! undocumented, and GPGPU-Sim itself executes PTXPlus — a PTX dialect with a
+//! one-to-one mapping to SASS.  This crate plays the same role for our
+//! from-scratch simulator: it defines **SASS-lite**, a register-based,
+//! predicated, SIMT instruction set that is close in spirit to Kepler-era
+//! SASS (explicit `SSY`/`SYNC` reconvergence, `@P` guards, special-register
+//! reads via `S2R`, typed memory spaces `LDG/LDS/LDL/LDT`).
+//!
+//! The crate provides:
+//!
+//! * the decoded instruction representation ([`Instr`], [`Op`], [`Operand`]),
+//! * registers and predicates ([`Reg`], [`Pred`], [`SpecialReg`]),
+//! * kernel and module containers ([`Kernel`], [`Module`]),
+//! * a text assembler ([`Module::assemble`]) and disassembler
+//!   (`Display` impls on every instruction type).
+//!
+//! # Example
+//!
+//! ```
+//! use gpufi_isa::Module;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = Module::assemble(
+//!     r#"
+//! .kernel scale       ; y[i] = 2 * x[i]; params: R0=x, R1=y, R2=n
+//! .params 3
+//!     S2R   R3, SR_TID.X
+//!     S2R   R4, SR_CTAID.X
+//!     S2R   R5, SR_NTID.X
+//!     IMAD  R3, R4, R5, R3
+//!     ISETP.GE P0, R3, R2
+//! @P0 EXIT
+//!     SHL   R4, R3, 2
+//!     IADD  R5, R0, R4
+//!     LDG   R6, [R5]
+//!     IADD  R6, R6, R6
+//!     IADD  R5, R1, R4
+//!     STG   [R5], R6
+//!     EXIT
+//! "#,
+//! )?;
+//! let kernel = module.kernel("scale").expect("kernel exists");
+//! assert_eq!(kernel.num_params(), 3);
+//! assert!(kernel.num_regs() >= 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod error;
+mod instr;
+mod kernel;
+mod op;
+mod reg;
+
+pub use asm::assemble;
+pub use error::AsmError;
+pub use instr::{Guard, Instr, MemSpace, Op, Operand};
+pub use kernel::{Kernel, Module};
+pub use op::{BitOp, CmpOp, FloatOp, FloatUnOp, IntOp, OpClass};
+pub use reg::{Pred, Reg, SpecialReg, MAX_PRED, MAX_REG};

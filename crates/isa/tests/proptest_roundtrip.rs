@@ -1,0 +1,187 @@
+//! Property tests: any well-formed instruction stream survives a
+//! disassemble → reassemble round trip, and the assembler never panics on
+//! arbitrary input.
+
+use gpufi_isa::{
+    BitOp, CmpOp, FloatOp, FloatUnOp, Instr, IntOp, MemSpace, Module, Op, Operand, Pred, Reg,
+    SpecialReg,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..=254).prop_map(|i| Reg::new(i).expect("in range"))
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    (0u8..=6).prop_map(|i| Pred::new(i).expect("in range"))
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        any::<u32>().prop_map(Operand::Imm),
+    ]
+}
+
+fn int_op() -> impl Strategy<Value = IntOp> {
+    prop_oneof![
+        Just(IntOp::Add),
+        Just(IntOp::Sub),
+        Just(IntOp::Mul),
+        Just(IntOp::Min),
+        Just(IntOp::Max),
+    ]
+}
+
+fn float_op() -> impl Strategy<Value = FloatOp> {
+    prop_oneof![
+        Just(FloatOp::Add),
+        Just(FloatOp::Sub),
+        Just(FloatOp::Mul),
+        Just(FloatOp::Div),
+        Just(FloatOp::Min),
+        Just(FloatOp::Max),
+    ]
+}
+
+fn bit_op() -> impl Strategy<Value = BitOp> {
+    prop_oneof![
+        Just(BitOp::And),
+        Just(BitOp::Or),
+        Just(BitOp::Xor),
+        Just(BitOp::Shl),
+        Just(BitOp::Shr),
+        Just(BitOp::Sar),
+    ]
+}
+
+fn fun_op() -> impl Strategy<Value = FloatUnOp> {
+    prop_oneof![
+        Just(FloatUnOp::Rcp),
+        Just(FloatUnOp::Sqrt),
+        Just(FloatUnOp::Ex2),
+        Just(FloatUnOp::Lg2),
+        Just(FloatUnOp::Abs),
+        Just(FloatUnOp::Neg),
+        Just(FloatUnOp::Floor),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn special_reg() -> impl Strategy<Value = SpecialReg> {
+    prop::sample::select(SpecialReg::ALL.to_vec())
+}
+
+fn loadable_space() -> impl Strategy<Value = MemSpace> {
+    prop_oneof![
+        Just(MemSpace::Global),
+        Just(MemSpace::Shared),
+        Just(MemSpace::Local),
+        Just(MemSpace::Texture),
+    ]
+}
+
+fn storable_space() -> impl Strategy<Value = MemSpace> {
+    prop_oneof![
+        Just(MemSpace::Global),
+        Just(MemSpace::Shared),
+        Just(MemSpace::Local),
+    ]
+}
+
+/// Non-control ops (branch targets need to stay in range, handled below).
+fn straightline_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (reg(), operand()).prop_map(|(d, src)| Op::Mov { d, src }),
+        (reg(), special_reg()).prop_map(|(d, sr)| Op::S2r { d, sr }),
+        (int_op(), reg(), reg(), operand()).prop_map(|(op, d, a, b)| Op::IArith { op, d, a, b }),
+        (reg(), reg(), operand(), reg()).prop_map(|(d, a, b, c)| Op::IMad { d, a, b, c }),
+        (bit_op(), reg(), reg(), operand()).prop_map(|(op, d, a, b)| Op::Bit { op, d, a, b }),
+        (reg(), reg()).prop_map(|(d, a)| Op::Not { d, a }),
+        (float_op(), reg(), reg(), operand()).prop_map(|(op, d, a, b)| Op::FArith { op, d, a, b }),
+        (reg(), reg(), operand(), reg()).prop_map(|(d, a, b, c)| Op::FFma { d, a, b, c }),
+        (fun_op(), reg(), reg()).prop_map(|(op, d, a)| Op::FUnary { op, d, a }),
+        (reg(), reg()).prop_map(|(d, a)| Op::I2f { d, a }),
+        (reg(), reg()).prop_map(|(d, a)| Op::F2i { d, a }),
+        (cmp_op(), pred(), reg(), operand()).prop_map(|(cmp, p, a, b)| Op::ISetp { cmp, p, a, b }),
+        (cmp_op(), pred(), reg(), operand()).prop_map(|(cmp, p, a, b)| Op::FSetp { cmp, p, a, b }),
+        (reg(), reg(), operand(), pred()).prop_map(|(d, a, b, p)| Op::Sel { d, a, b, p }),
+        Just(Op::Sync),
+        Just(Op::Bar),
+        Just(Op::Exit),
+        Just(Op::Nop),
+        (loadable_space(), reg(), reg(), -4096i32..4096)
+            .prop_map(|(space, d, addr, offset)| Op::Ld { space, d, addr, offset }),
+        (storable_space(), reg(), -4096i32..4096, reg())
+            .prop_map(|(space, addr, offset, v)| Op::St { space, addr, offset, v }),
+    ]
+}
+
+fn instr(op: Op, guard: Option<(bool, u8)>) -> Instr {
+    match guard {
+        None => Instr::new(op),
+        Some((negate, p)) => Instr::guarded(Pred::new(p % 7).expect("in range"), negate, op),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print(asm) parsed back yields the identical module.
+    #[test]
+    fn disassembly_reassembles(
+        ops in prop::collection::vec((straightline_op(), prop::option::of((any::<bool>(), 0u8..7))), 1..40),
+        branches in prop::collection::vec((any::<bool>(), 0usize..40), 0..6),
+    ) {
+        let mut instrs: Vec<Instr> = ops.into_iter().map(|(op, g)| instr(op, g)).collect();
+        // Insert branch-like ops with in-range targets.
+        let len = instrs.len() as u32;
+        for (is_ssy, pos) in branches {
+            let target = (pos as u32) % len;
+            let op = if is_ssy { Op::Ssy { target } } else { Op::Bra { target } };
+            instrs.insert(pos % instrs.len(), Instr::new(op));
+        }
+        // Build a module by assembling a hand-printed form.
+        let mut text = String::from(".kernel prop\n.params 0\n");
+        for i in &instrs {
+            text.push_str(&format!("{i}\n"));
+        }
+        let m1 = Module::assemble(&text).expect("printed form assembles");
+        let m2 = Module::assemble(&m1.to_string()).expect("roundtrip assembles");
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// The assembler returns errors, never panics, on arbitrary text.
+    #[test]
+    fn assembler_never_panics(text in "\\PC{0,200}") {
+        let _ = Module::assemble(&text);
+    }
+
+    /// Register-count inference covers every register referenced.
+    #[test]
+    fn num_regs_covers_references(
+        ops in prop::collection::vec(straightline_op(), 1..30),
+    ) {
+        let instrs: Vec<Instr> = ops.into_iter().map(Instr::new).collect();
+        let max_ref = instrs.iter().filter_map(|i| i.op.max_reg()).max();
+        let mut text = String::from(".kernel k\n");
+        for i in &instrs {
+            text.push_str(&format!("{i}\n"));
+        }
+        let m = Module::assemble(&text).expect("assembles");
+        let k = m.kernel("k").expect("kernel exists");
+        if let Some(max_ref) = max_ref {
+            prop_assert!(u16::from(k.num_regs()) > u16::from(max_ref));
+        }
+    }
+}

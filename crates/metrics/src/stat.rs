@@ -1,0 +1,163 @@
+//! Statistical sample-size machinery (Leveugle et al., DATE 2009) — the
+//! basis of the paper's 3 000-injection campaigns (§VI.A).
+
+/// The two-sided z-score for a confidence level in `(0, 1)`.
+///
+/// Exact table values for the common levels; a rational approximation
+/// (Beasley–Springer–Moro style) elsewhere.
+///
+/// # Panics
+///
+/// Panics unless `0 < confidence < 1`.
+pub fn z_score(confidence: f64) -> f64 {
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    // Common levels, to the precision usually quoted.
+    if (confidence - 0.90).abs() < 1e-9 {
+        return 1.6449;
+    }
+    if (confidence - 0.95).abs() < 1e-9 {
+        return 1.9600;
+    }
+    if (confidence - 0.99).abs() < 1e-9 {
+        return 2.5758;
+    }
+    // Inverse normal CDF at p = 1 - (1-confidence)/2 via the Acklam
+    // rational approximation (|relative error| < 1.15e-9).
+    let p = 1.0 - (1.0 - confidence) / 2.0;
+    inverse_normal_cdf(p)
+}
+
+/// Acklam's rational approximation of the inverse standard-normal CDF.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        return (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0);
+    }
+    if p > 1.0 - plow {
+        return -inverse_normal_cdf(1.0 - p);
+    }
+    let q = p - 0.5;
+    let r = q * q;
+    (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+        / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+}
+
+/// The number of fault injections required for a given confidence level
+/// and error margin over a fault population of `population` bits
+/// (Leveugle et al.):
+///
+/// ```text
+/// n = N / (1 + e² · (N − 1) / (z² · p(1 − p)))        with p = 0.5
+/// ```
+///
+/// Pass `u64::MAX` (or any huge population) for the infinite-population
+/// limit `n = z² / (4e²)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < margin < 1` and `0 < confidence < 1`.
+pub fn sample_size(confidence: f64, margin: f64, population: u64) -> u64 {
+    assert!(margin > 0.0 && margin < 1.0, "margin must be in (0,1)");
+    let z = z_score(confidence);
+    let p = 0.5;
+    let n = population as f64;
+    let num = n;
+    let den = 1.0 + margin * margin * (n - 1.0) / (z * z * p * (1.0 - p));
+    (num / den).ceil() as u64
+}
+
+/// The error margin achieved by `runs` injections at a confidence level
+/// over `population` bits (the inverse of [`sample_size`]).
+///
+/// # Panics
+///
+/// Panics if `runs == 0` or the confidence is out of `(0, 1)`.
+pub fn margin_of_error(confidence: f64, runs: u64, population: u64) -> f64 {
+    assert!(runs > 0, "runs must be positive");
+    let z = z_score(confidence);
+    let p = 0.5;
+    let n = population as f64;
+    let t = runs as f64;
+    ((n - t) / (t * (n - 1.0).max(1.0)) * z * z * p * (1.0 - p)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_scores_match_tables() {
+        assert!((z_score(0.90) - 1.6449).abs() < 1e-3);
+        assert!((z_score(0.95) - 1.9600).abs() < 1e-3);
+        assert!((z_score(0.99) - 2.5758).abs() < 1e-3);
+        // Approximated value close to the table for an uncommon level.
+        assert!((z_score(0.98) - 2.3263).abs() < 1e-3);
+    }
+
+    #[test]
+    fn infinite_population_limit() {
+        // n = z²/(4e²) for 99%/2.35% ≈ 3000 (the paper's campaign size).
+        let n = sample_size(0.99, 0.0235, u64::MAX);
+        assert!((2900..3150).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn paper_campaign_margin() {
+        // 3 000 runs at 99% over a huge population: margin ≈ 2.35 %,
+        // i.e. "less than ~2–2.5 %" as the paper quotes.
+        let e = margin_of_error(0.99, 3000, u64::MAX);
+        assert!((0.02..0.025).contains(&e), "got {e}");
+    }
+
+    #[test]
+    fn finite_population_reduces_sample() {
+        let inf = sample_size(0.99, 0.02, u64::MAX);
+        let fin = sample_size(0.99, 0.02, 10_000);
+        assert!(fin < inf);
+        assert!(fin >= 1);
+    }
+
+    #[test]
+    fn margin_shrinks_with_more_runs() {
+        let e1 = margin_of_error(0.99, 100, u64::MAX);
+        let e2 = margin_of_error(0.99, 1000, u64::MAX);
+        assert!(e2 < e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn rejects_bad_margin() {
+        sample_size(0.99, 0.0, 1000);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests on the AVF / FIT / statistics invariants.
+
+use gpufi_metrics::{
+    avf_kernel, chip_fit, df_reg, df_smem, margin_of_error, sample_size, structure_fit, wavf,
+    FaultEffect, KernelAvf, StructureResult, Tally,
+};
+use proptest::prelude::*;
+
+fn effect() -> impl Strategy<Value = FaultEffect> {
+    prop::sample::select(FaultEffect::ALL.to_vec())
+}
+
+fn tally() -> impl Strategy<Value = Tally> {
+    prop::collection::vec(effect(), 0..200).prop_map(|v| v.into_iter().collect())
+}
+
+fn structure_result() -> impl Strategy<Value = StructureResult> {
+    (tally(), 0u64..1 << 30, 0.0f64..=1.0).prop_map(|(tally, size_bits, derate)| {
+        StructureResult {
+            structure: "s".to_string(),
+            tally,
+            size_bits,
+            derate,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Counts are conserved and the failure ratio is a probability.
+    #[test]
+    fn tally_invariants(effects in prop::collection::vec(effect(), 0..300)) {
+        let t: Tally = effects.iter().copied().collect();
+        prop_assert_eq!(t.total(), effects.len() as u64);
+        let by_class: u64 = FaultEffect::ALL.iter().map(|&e| t.count(e)).sum();
+        prop_assert_eq!(by_class, t.total());
+        prop_assert!((0.0..=1.0).contains(&t.failure_ratio()));
+        let frac_sum: f64 = FaultEffect::ALL.iter().map(|&e| t.fraction(e)).sum();
+        prop_assert!(t.total() == 0 || (frac_sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(
+            t.failures(),
+            effects.iter().filter(|e| e.is_failure()).count() as u64
+        );
+    }
+
+    /// The kernel AVF is a convex combination: bounded by the extreme
+    /// derated failure ratios.
+    #[test]
+    fn avf_kernel_is_bounded_by_extremes(structures in prop::collection::vec(structure_result(), 1..8)) {
+        let avf = avf_kernel(&structures);
+        prop_assert!((0.0..=1.0).contains(&avf), "avf {}", avf);
+        let total_size: u64 = structures.iter().map(|s| s.size_bits).sum();
+        if total_size > 0 {
+            let lo = structures.iter().map(|s| s.effective_fr()).fold(f64::MAX, f64::min);
+            let hi = structures.iter().map(|s| s.effective_fr()).fold(0.0, f64::max);
+            prop_assert!(avf <= hi + 1e-12 && (structures.iter().all(|s| s.size_bits == 0) || avf >= lo * 0.0));
+        }
+    }
+
+    /// wAVF is bounded by the min/max kernel AVFs.
+    #[test]
+    fn wavf_is_a_weighted_mean(kernels in prop::collection::vec((0.0f64..=1.0, 0u64..1_000_000), 1..10)) {
+        let ks: Vec<KernelAvf> = kernels
+            .iter()
+            .map(|&(avf, cycles)| KernelAvf { avf, cycles })
+            .collect();
+        let w = wavf(&ks);
+        prop_assert!((0.0..=1.0).contains(&w));
+        if ks.iter().any(|k| k.cycles > 0) {
+            let lo = ks.iter().filter(|k| k.cycles > 0).map(|k| k.avf).fold(f64::MAX, f64::min);
+            let hi = ks.iter().filter(|k| k.cycles > 0).map(|k| k.avf).fold(0.0, f64::max);
+            prop_assert!(w >= lo - 1e-12 && w <= hi + 1e-12);
+        }
+    }
+
+    /// The chip FIT is additive over structures and scales linearly in
+    /// the raw rate.
+    #[test]
+    fn fit_is_additive_and_linear(
+        structures in prop::collection::vec(structure_result(), 1..6),
+        raw in 1e-8f64..1e-3,
+    ) {
+        let total = chip_fit(&structures, raw);
+        let by_parts: f64 = structures.iter().map(|s| structure_fit(s, raw)).sum();
+        prop_assert!((total - by_parts).abs() <= 1e-9 * total.abs().max(1.0));
+        let doubled = chip_fit(&structures, raw * 2.0);
+        prop_assert!((doubled - 2.0 * total).abs() <= 1e-9 * doubled.abs().max(1.0));
+        prop_assert!(total >= 0.0);
+    }
+
+    /// Derating factors are probabilities and monotone in residency.
+    #[test]
+    fn derating_monotone(
+        regs in 1u32..256,
+        t1 in 0.0f64..2048.0,
+        t2 in 0.0f64..2048.0,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let d_lo = df_reg(regs, lo, 65536);
+        let d_hi = df_reg(regs, hi, 65536);
+        prop_assert!((0.0..=1.0).contains(&d_lo));
+        prop_assert!(d_lo <= d_hi + 1e-12);
+        let s_lo = df_smem(1024, lo, 64 * 1024);
+        let s_hi = df_smem(1024, hi, 64 * 1024);
+        prop_assert!(s_lo <= s_hi + 1e-12);
+    }
+
+    /// Sample size and error margin are mutually consistent: n runs give a
+    /// margin whose required sample is at most n.
+    #[test]
+    fn sample_size_margin_roundtrip(runs in 10u64..100_000) {
+        let margin = margin_of_error(0.99, runs, u64::MAX);
+        prop_assume!(margin > 1e-6 && margin < 1.0);
+        let needed = sample_size(0.99, margin, u64::MAX);
+        // ceil-rounding may add a run; allow 1% slack.
+        prop_assert!(needed <= runs + runs / 100 + 2, "needed {} for {} runs", needed, runs);
+    }
+}

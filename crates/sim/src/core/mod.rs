@@ -1,0 +1,974 @@
+//! The SIMT core (streaming multiprocessor) model.
+//!
+//! Each core holds a set of resident CTAs; each CTA owns its shared-memory
+//! instance and its warps; each warp owns a program counter, an active
+//! mask, a SIMT reconvergence stack, and the registers of its 32 threads.
+//!
+//! Scheduling is greedy-then-oldest (GTO): the core keeps issuing from the
+//! last warp until it stalls, then falls back to the oldest ready warp.
+//! One instruction issues per core per cycle; warps stall until their
+//! instruction's latency (ALU class or computed memory completion time)
+//! elapses — the standard stall-warp timing model.
+
+mod exec;
+
+use crate::config::{GpuConfig, SchedulerPolicy};
+use crate::error::Trap;
+use crate::grid::LaunchDims;
+use crate::mem::{AccessKind, MemSystem, LOCAL_BASE};
+use gpufi_isa::{Instr, Kernel, MemSpace, Op, OpClass, Operand, Pred, Reg, SpecialReg};
+
+/// Warp width; SASS-lite fixes this at 32 like every modelled generation.
+const LANES: usize = 32;
+
+/// Per-launch immutable context shared by all cores.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCtx<'a> {
+    /// The kernel being executed.
+    pub kernel: &'a Kernel,
+    /// Launch geometry.
+    pub dims: LaunchDims,
+    /// Launch parameters (preloaded into `R0..`).
+    pub args: &'a [u32],
+}
+
+impl KernelCtx<'_> {
+    /// Threads per CTA.
+    pub fn threads_per_cta(&self) -> u32 {
+        self.dims.threads_per_cta()
+    }
+
+    /// Warps per CTA (rounded up).
+    pub fn warps_per_cta(&self) -> u32 {
+        self.threads_per_cta().div_ceil(LANES as u32)
+    }
+}
+
+/// A frame of the per-warp SIMT reconvergence stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Frame {
+    /// A not-yet-executed divergent path.
+    Pending { pc: u32, mask: u32 },
+    /// A reconvergence point pushed by `SSY`; `pc` is the `SYNC` location.
+    Reconv { pc: u32, mask: u32 },
+}
+
+impl Frame {
+    fn mask_mut(&mut self) -> &mut u32 {
+        match self {
+            Frame::Pending { mask, .. } | Frame::Reconv { mask, .. } => mask,
+        }
+    }
+}
+
+/// One warp's architectural and microarchitectural state.
+#[derive(Debug, Clone)]
+struct Warp {
+    /// Warp index within its CTA.
+    widx: u32,
+    pc: u32,
+    /// Lanes executing the current path.
+    active: u32,
+    /// Lanes that have not exited.
+    live: u32,
+    stack: Vec<Frame>,
+    ready_at: u64,
+    at_barrier: bool,
+    finished: bool,
+    /// Lane-major register file slice: `regs[reg * 32 + lane]`.
+    regs: Vec<u32>,
+    /// Per-lane predicate bits (bit `p` of `preds[lane]`).
+    preds: [u8; LANES],
+    /// ACE liveness: cycle of the last definition or use per register
+    /// slot (same layout as `regs`).
+    touch: Vec<u64>,
+}
+
+impl Warp {
+    fn reg(&self, lane: usize, r: Reg) -> u32 {
+        self.regs[r.index() as usize * LANES + lane]
+    }
+
+    fn set_reg(&mut self, lane: usize, r: Reg, v: u32) {
+        self.regs[r.index() as usize * LANES + lane] = v;
+    }
+
+    fn operand(&self, lane: usize, op: Operand) -> u32 {
+        match op {
+            Operand::Reg(r) => self.reg(lane, r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn pred(&self, lane: usize, p: Pred) -> bool {
+        self.preds[lane] & (1 << p.index()) != 0
+    }
+
+    fn set_pred(&mut self, lane: usize, p: Pred, v: bool) {
+        if v {
+            self.preds[lane] |= 1 << p.index();
+        } else {
+            self.preds[lane] &= !(1 << p.index());
+        }
+    }
+
+    fn issuable(&self, now: u64) -> bool {
+        !self.finished && !self.at_barrier && self.ready_at <= now
+    }
+}
+
+/// One resident CTA: its shared memory, warps and barrier state.
+#[derive(Debug, Clone)]
+struct Cta {
+    /// Linear CTA index within the grid.
+    linear: u64,
+    /// Launch sequence number (for GTO age ordering).
+    seq: u64,
+    smem: Vec<u8>,
+    warps: Vec<Warp>,
+    barrier_arrived: u32,
+    live_warps: u32,
+}
+
+/// Identifies a warp for fault-injection bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpHandle {
+    /// SM index.
+    pub sm: usize,
+    /// Resident-CTA slot within the SM.
+    pub cta_slot: usize,
+    /// Warp index within the CTA.
+    pub warp: usize,
+}
+
+/// A streaming multiprocessor.
+#[derive(Debug)]
+pub struct SimtCore {
+    id: usize,
+    max_threads: u32,
+    ctas: Vec<Cta>,
+    cta_limit: u32,
+    launch_seq: u64,
+    last: Option<(usize, usize)>,
+    policy: SchedulerPolicy,
+    rr_cursor: usize,
+    lat_alu: u32,
+    lat_mul: u32,
+    lat_sfu: u32,
+    lat_smem: u32,
+    /// Dynamic instructions issued (all lanes of a warp count as one).
+    pub instructions: u64,
+    /// ACE liveness: accumulated register def-to-last-use span cycles
+    /// (one 32-bit register of one thread for one cycle = one unit).
+    pub ace_reg_cycles: u64,
+}
+
+impl SimtCore {
+    /// Creates an idle core for the given chip configuration.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        SimtCore {
+            id,
+            max_threads: cfg.max_threads_per_sm,
+            ctas: Vec::new(),
+            cta_limit: 0,
+            launch_seq: 0,
+            last: None,
+            policy: cfg.scheduler,
+            rr_cursor: 0,
+            lat_alu: cfg.lat.alu,
+            lat_mul: cfg.lat.mul,
+            lat_sfu: cfg.lat.sfu,
+            lat_smem: cfg.lat.smem,
+            instructions: 0,
+            ace_reg_cycles: 0,
+        }
+    }
+
+    /// Prepares the core for a kernel whose per-SM CTA residency limit has
+    /// been computed by the dispatcher.
+    pub fn configure_kernel(&mut self, cta_limit: u32) {
+        assert!(self.ctas.is_empty(), "core busy at kernel start");
+        self.cta_limit = cta_limit;
+        self.last = None;
+    }
+
+    /// Whether another CTA of the current kernel fits right now.
+    pub fn can_accept_cta(&self, ctx: &KernelCtx<'_>) -> bool {
+        (self.ctas.len() as u32) < self.cta_limit
+            && self.resident_threads() + ctx.threads_per_cta() <= self.max_threads
+    }
+
+    /// Installs CTA `cta_linear` at cycle `now`, initialising shared
+    /// memory, warps and registers (parameters preloaded into `R0..`).
+    pub fn launch_cta(&mut self, ctx: &KernelCtx<'_>, cta_linear: u64, now: u64) {
+        debug_assert!(self.can_accept_cta(ctx));
+        let tpc = ctx.threads_per_cta();
+        let num_regs = ctx.kernel.num_regs().max(ctx.kernel.num_params()) as usize;
+        let warps = (0..ctx.warps_per_cta())
+            .map(|w| {
+                let mut live = 0u32;
+                for lane in 0..LANES as u32 {
+                    if w * LANES as u32 + lane < tpc {
+                        live |= 1 << lane;
+                    }
+                }
+                let mut regs = vec![0u32; num_regs.max(1) * LANES];
+                for (p, &arg) in ctx.args.iter().enumerate() {
+                    for lane in 0..LANES {
+                        regs[p * LANES + lane] = arg;
+                    }
+                }
+                let touch = vec![now; regs.len()];
+                Warp {
+                    widx: w,
+                    pc: 0,
+                    active: live,
+                    live,
+                    stack: Vec::new(),
+                    ready_at: now,
+                    at_barrier: false,
+                    finished: live == 0,
+                    regs,
+                    preds: [0; LANES],
+                    touch,
+                }
+            })
+            .collect::<Vec<_>>();
+        let live_warps = warps.iter().filter(|w| !w.finished).count() as u32;
+        self.ctas.push(Cta {
+            linear: cta_linear,
+            seq: self.launch_seq,
+            smem: vec![0; ctx.kernel.smem_bytes() as usize],
+            warps,
+            barrier_arrived: 0,
+            live_warps,
+        });
+        self.launch_seq += 1;
+    }
+
+    /// Removes completed CTAs and returns how many finished.
+    pub fn harvest_finished(&mut self) -> u32 {
+        let before = self.ctas.len();
+        self.ctas.retain(|c| c.live_warps > 0);
+        self.last = None; // slots moved; drop the greedy pointer
+        (before - self.ctas.len()) as u32
+    }
+
+    /// Whether the core holds no CTAs.
+    pub fn is_idle(&self) -> bool {
+        self.ctas.is_empty()
+    }
+
+    /// Resident (not-yet-completed) CTA count.
+    pub fn resident_ctas(&self) -> u32 {
+        self.ctas.len() as u32
+    }
+
+    /// Resident live threads.
+    pub fn resident_threads(&self) -> u32 {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.warps)
+            .map(|w| w.live.count_ones())
+            .sum()
+    }
+
+    /// Resident live warps (for occupancy).
+    pub fn resident_live_warps(&self) -> u32 {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.warps)
+            .filter(|w| !w.finished)
+            .count() as u32
+    }
+
+    /// The earliest cycle at which some warp can issue, or `None` when all
+    /// warps are blocked on barriers or finished.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.warps)
+            .filter(|w| !w.finished && !w.at_barrier)
+            .map(|w| w.ready_at)
+            .min()
+    }
+
+    /// Runs one scheduler cycle: issues at most one instruction.
+    ///
+    /// Returns `true` if an instruction issued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`Trap`] raised by the issued instruction.
+    pub fn cycle(
+        &mut self,
+        now: u64,
+        ctx: &KernelCtx<'_>,
+        mem: &mut MemSystem,
+    ) -> Result<bool, Trap> {
+        let Some((slot, widx)) = self.pick_warp(now) else {
+            return Ok(false);
+        };
+        self.last = Some((slot, widx));
+        self.exec(slot, widx, now, ctx, mem)?;
+        self.instructions += 1;
+        Ok(true)
+    }
+
+    /// Warp selection per the configured policy.
+    fn pick_warp(&mut self, now: u64) -> Option<(usize, usize)> {
+        match self.policy {
+            SchedulerPolicy::Gto => self.pick_gto(now),
+            SchedulerPolicy::RoundRobin => self.pick_rr(now),
+        }
+    }
+
+    /// Greedy-then-oldest: keep issuing the last warp, else the oldest.
+    fn pick_gto(&self, now: u64) -> Option<(usize, usize)> {
+        if let Some((s, w)) = self.last {
+            if let Some(cta) = self.ctas.get(s) {
+                if cta.warps.get(w).is_some_and(|warp| warp.issuable(now)) {
+                    return Some((s, w));
+                }
+            }
+        }
+        let mut best: Option<(u64, u32, usize, usize)> = None;
+        for (s, cta) in self.ctas.iter().enumerate() {
+            for (w, warp) in cta.warps.iter().enumerate() {
+                if warp.issuable(now) {
+                    let key = (cta.seq, warp.widx);
+                    if best.is_none_or(|(bs, bw, _, _)| key < (bs, bw)) {
+                        best = Some((cta.seq, warp.widx, s, w));
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, s, w)| (s, w))
+    }
+
+    /// Loose round-robin: the first issuable warp at or after the rotating
+    /// cursor over the flattened (CTA slot, warp) order.
+    fn pick_rr(&mut self, now: u64) -> Option<(usize, usize)> {
+        let total: usize = self.ctas.iter().map(|c| c.warps.len()).sum();
+        if total == 0 {
+            return None;
+        }
+        let cursor = self.rr_cursor % total;
+        let mut best: Option<(usize, usize, usize)> = None; // (distance, slot, warp)
+        let mut g = 0usize;
+        for (s, cta) in self.ctas.iter().enumerate() {
+            for (w, warp) in cta.warps.iter().enumerate() {
+                if warp.issuable(now) {
+                    let dist = (g + total - cursor) % total;
+                    if best.is_none_or(|(bd, _, _)| dist < bd) {
+                        best = Some((dist, s, w));
+                    }
+                }
+                g += 1;
+            }
+        }
+        best.map(|(dist, s, w)| {
+            self.rr_cursor = (cursor + dist + 1) % total;
+            (s, w)
+        })
+    }
+
+    /// Executes one instruction of warp (`slot`, `widx`).
+    fn exec(
+        &mut self,
+        slot: usize,
+        widx: usize,
+        now: u64,
+        ctx: &KernelCtx<'_>,
+        mem: &mut MemSystem,
+    ) -> Result<(), Trap> {
+        let instrs = ctx.kernel.instrs();
+        let pc = self.ctas[slot].warps[widx].pc;
+        let instr: Instr = *instrs
+            .get(pc as usize)
+            .ok_or(Trap::InvalidPc { pc })?;
+
+        // Guard evaluation.
+        let warp = &self.ctas[slot].warps[widx];
+        let active = warp.active;
+        let mut exec_mask = active;
+        if let Some(g) = instr.guard {
+            let mut gm = 0u32;
+            for lane in 0..LANES {
+                if active & (1 << lane) != 0 && warp.pred(lane, g.pred) != g.negate {
+                    gm |= 1 << lane;
+                }
+            }
+            exec_mask = gm;
+        }
+
+        // ACE liveness (register file): a read extends the enclosing
+        // def-to-last-use span; a write starts a new one.
+        {
+            let srcs = instr.op.src_regs();
+            let dst = instr.op.dest_reg();
+            let warp = &mut self.ctas[slot].warps[widx];
+            let mut ace = 0u64;
+            for lane in 0..LANES {
+                if exec_mask & (1 << lane) == 0 {
+                    continue;
+                }
+                for s in srcs.into_iter().flatten() {
+                    let idx = s.index() as usize * LANES + lane;
+                    if idx < warp.touch.len() {
+                        ace += now - warp.touch[idx];
+                        warp.touch[idx] = now;
+                    }
+                }
+                if let Some(d) = dst {
+                    let idx = d.index() as usize * LANES + lane;
+                    if idx < warp.touch.len() {
+                        warp.touch[idx] = now;
+                    }
+                }
+            }
+            self.ace_reg_cycles += ace;
+        }
+
+        let class = instr.op.class();
+        let mut next_pc = pc + 1;
+        let mut ready_at = now
+            + u64::from(match class {
+                OpClass::Alu | OpClass::Ctrl => self.lat_alu,
+                OpClass::Mul => self.lat_mul,
+                OpClass::Sfu => self.lat_sfu,
+                OpClass::Barrier => self.lat_alu,
+                OpClass::Mem => self.lat_alu, // overwritten below
+            });
+
+        match instr.op {
+            // ---------------- ALU ----------------
+            Op::Mov { d, src } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = w.operand(l, src);
+                w.set_reg(l, d, v);
+            }),
+            Op::S2r { d, sr } => {
+                let cta_linear = self.ctas[slot].linear;
+                let w32 = self.ctas[slot].warps[widx].widx;
+                let dims = ctx.dims;
+                self.lanewise(slot, widx, exec_mask, |w, l| {
+                    let tid_linear = u64::from(w32) * LANES as u64 + l as u64;
+                    let tid = dims.block.index_at(tid_linear);
+                    let cta = dims.grid.index_at(cta_linear);
+                    let v = match sr {
+                        SpecialReg::TidX => tid.x,
+                        SpecialReg::TidY => tid.y,
+                        SpecialReg::TidZ => tid.z,
+                        SpecialReg::CtaIdX => cta.x,
+                        SpecialReg::CtaIdY => cta.y,
+                        SpecialReg::CtaIdZ => cta.z,
+                        SpecialReg::NTidX => dims.block.x,
+                        SpecialReg::NTidY => dims.block.y,
+                        SpecialReg::NTidZ => dims.block.z,
+                        SpecialReg::NCtaIdX => dims.grid.x,
+                        SpecialReg::NCtaIdY => dims.grid.y,
+                        SpecialReg::NCtaIdZ => dims.grid.z,
+                        SpecialReg::LaneId => l as u32,
+                        SpecialReg::WarpId => w32,
+                    };
+                    w.set_reg(l, d, v);
+                });
+            }
+            Op::IArith { op, d, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = exec::int_op(op, w.reg(l, a), w.operand(l, b));
+                w.set_reg(l, d, v);
+            }),
+            Op::IMad { d, a, b, c } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = exec::imad(w.reg(l, a), w.operand(l, b), w.reg(l, c));
+                w.set_reg(l, d, v);
+            }),
+            Op::Bit { op, d, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = exec::bit_op(op, w.reg(l, a), w.operand(l, b));
+                w.set_reg(l, d, v);
+            }),
+            Op::Not { d, a } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = !w.reg(l, a);
+                w.set_reg(l, d, v);
+            }),
+            Op::FArith { op, d, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = exec::float_op(op, w.reg(l, a), w.operand(l, b));
+                w.set_reg(l, d, v);
+            }),
+            Op::FFma { d, a, b, c } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = exec::ffma(w.reg(l, a), w.operand(l, b), w.reg(l, c));
+                w.set_reg(l, d, v);
+            }),
+            Op::FUnary { op, d, a } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = exec::float_un(op, w.reg(l, a));
+                w.set_reg(l, d, v);
+            }),
+            Op::I2f { d, a } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = exec::i2f(w.reg(l, a));
+                w.set_reg(l, d, v);
+            }),
+            Op::F2i { d, a } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = exec::f2i(w.reg(l, a));
+                w.set_reg(l, d, v);
+            }),
+            Op::ISetp { cmp, p, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = cmp.eval_i32(w.reg(l, a) as i32, w.operand(l, b) as i32);
+                w.set_pred(l, p, v);
+            }),
+            Op::FSetp { cmp, p, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = cmp.eval_f32(f32::from_bits(w.reg(l, a)), f32::from_bits(w.operand(l, b)));
+                w.set_pred(l, p, v);
+            }),
+            Op::Sel { d, a, b, p } => self.lanewise(slot, widx, exec_mask, |w, l| {
+                let v = if w.pred(l, p) { w.reg(l, a) } else { w.operand(l, b) };
+                w.set_reg(l, d, v);
+            }),
+            Op::Nop => {}
+
+            // ---------------- Control ----------------
+            Op::Ssy { target } => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let mask = warp.active;
+                warp.stack.push(Frame::Reconv { pc: target, mask });
+            }
+            Op::Bra { target } => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let taken = exec_mask;
+                let not_taken = active & !exec_mask;
+                if taken == 0 {
+                    // fall through
+                } else if not_taken == 0 {
+                    next_pc = target;
+                } else {
+                    warp.stack.push(Frame::Pending {
+                        pc: pc + 1,
+                        mask: not_taken,
+                    });
+                    warp.active = taken;
+                    next_pc = target;
+                }
+            }
+            Op::Sync => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                match warp.stack.pop() {
+                    Some(Frame::Pending { pc: p, mask }) => {
+                        warp.active = mask;
+                        next_pc = p;
+                    }
+                    Some(Frame::Reconv { pc: p, mask }) => {
+                        warp.active = mask;
+                        next_pc = p + 1;
+                    }
+                    // SYNC with an empty stack (possible under corrupted
+                    // control flow): treated as a no-op.
+                    None => {}
+                }
+            }
+            Op::Exit => {
+                self.exit_lanes(slot, widx, exec_mask, &mut next_pc, now);
+            }
+            Op::Bar => {
+                let cta = &mut self.ctas[slot];
+                cta.warps[widx].at_barrier = true;
+                cta.warps[widx].pc = next_pc;
+                cta.barrier_arrived += 1;
+                if cta.barrier_arrived >= cta.live_warps {
+                    Self::release_barrier(cta, now + 1);
+                }
+                // pc already stored; skip the common tail.
+                return Ok(());
+            }
+
+            // ---------------- Memory ----------------
+            Op::Ld { space, d, addr, offset } | Op::St { space, addr, offset, v: d } => {
+                let is_store = matches!(instr.op, Op::St { .. });
+                match space {
+                    MemSpace::Shared => {
+                        for lane in 0..LANES {
+                            if exec_mask & (1 << lane) == 0 {
+                                continue;
+                            }
+                            let warp = &self.ctas[slot].warps[widx];
+                            let a = warp.reg(lane, addr).wrapping_add(offset as u32);
+                            let smem_len = self.ctas[slot].smem.len() as u32;
+                            if !a.is_multiple_of(4) {
+                                return Err(Trap::Misaligned { addr: a });
+                            }
+                            if a + 4 > smem_len {
+                                return Err(Trap::SmemOutOfBounds { offset: a });
+                            }
+                            if is_store {
+                                let val = self.ctas[slot].warps[widx].reg(lane, d);
+                                self.ctas[slot].smem[a as usize..a as usize + 4]
+                                    .copy_from_slice(&val.to_le_bytes());
+                            } else {
+                                let b: [u8; 4] = self.ctas[slot].smem
+                                    [a as usize..a as usize + 4]
+                                    .try_into()
+                                    .expect("4-byte slice");
+                                self.ctas[slot].warps[widx].set_reg(
+                                    lane,
+                                    d,
+                                    u32::from_le_bytes(b),
+                                );
+                            }
+                        }
+                        ready_at = now + u64::from(self.lat_smem);
+                    }
+                    MemSpace::Const => {
+                        ready_at =
+                            self.const_access(slot, widx, exec_mask, d, addr, offset, is_store, now, mem)?;
+                    }
+                    MemSpace::Global | MemSpace::Local | MemSpace::Texture => {
+                        ready_at = self.device_mem_access(
+                            slot, widx, exec_mask, space, d, addr, offset, is_store, now, ctx,
+                            mem,
+                        )?;
+                    }
+                }
+            }
+        }
+
+        {
+            let warp = &mut self.ctas[slot].warps[widx];
+            if !warp.finished && !warp.at_barrier {
+                warp.pc = next_pc;
+                warp.ready_at = ready_at;
+            }
+        }
+        // A warp that finished via EXIT may unblock a pending barrier.
+        let cta = &mut self.ctas[slot];
+        if cta.warps[widx].finished
+            && cta.live_warps > 0
+            && cta.barrier_arrived >= cta.live_warps
+        {
+            Self::release_barrier(cta, now + 1);
+        }
+        Ok(())
+    }
+
+    /// Applies `f` to each lane set in `mask`.
+    fn lanewise(&mut self, slot: usize, widx: usize, mask: u32, mut f: impl FnMut(&mut Warp, usize)) {
+        let warp = &mut self.ctas[slot].warps[widx];
+        for lane in 0..LANES {
+            if mask & (1 << lane) != 0 {
+                f(warp, lane);
+            }
+        }
+    }
+
+    /// Terminates `mask` lanes of a warp, unwinding the SIMT stack when the
+    /// current path empties.
+    fn exit_lanes(&mut self, slot: usize, widx: usize, mask: u32, next_pc: &mut u32, now: u64) {
+        let cta = &mut self.ctas[slot];
+        let warp = &mut cta.warps[widx];
+        warp.live &= !mask;
+        warp.active &= !mask;
+        for f in &mut warp.stack {
+            *f.mask_mut() &= !mask;
+        }
+        if warp.active != 0 {
+            return; // remaining lanes continue at pc+1
+        }
+        // Unwind: resume the nearest path with surviving lanes.
+        while let Some(frame) = warp.stack.pop() {
+            match frame {
+                Frame::Pending { pc, mask } if mask != 0 => {
+                    warp.active = mask;
+                    *next_pc = pc;
+                    return;
+                }
+                Frame::Reconv { pc, mask } if mask != 0 => {
+                    warp.active = mask;
+                    *next_pc = pc + 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // No lanes anywhere: the warp is done.
+        warp.finished = true;
+        cta.live_warps -= 1;
+        let _ = now;
+    }
+
+    fn release_barrier(cta: &mut Cta, at: u64) {
+        cta.barrier_arrived = 0;
+        for w in &mut cta.warps {
+            if w.at_barrier {
+                w.at_barrier = false;
+                w.ready_at = at;
+            }
+        }
+    }
+
+    /// Executes a global / local / texture access: computes per-lane
+    /// effective addresses, coalesces them into line transactions for the
+    /// timing model, then performs the functional 4-byte operations.
+    #[allow(clippy::too_many_arguments)]
+    fn device_mem_access(
+        &mut self,
+        slot: usize,
+        widx: usize,
+        exec_mask: u32,
+        space: MemSpace,
+        data_reg: Reg,
+        addr_reg: Reg,
+        offset: i32,
+        is_store: bool,
+        now: u64,
+        ctx: &KernelCtx<'_>,
+        mem: &mut MemSystem,
+    ) -> Result<u64, Trap> {
+        let kind = match space {
+            MemSpace::Global => AccessKind::Global,
+            MemSpace::Local => AccessKind::Local,
+            MemSpace::Texture => AccessKind::Texture,
+            MemSpace::Shared | MemSpace::Const => {
+                unreachable!("shared/const handled by caller")
+            }
+        };
+        let lmem = ctx.kernel.lmem_bytes();
+        let tpc = u64::from(ctx.threads_per_cta());
+        let cta_linear = self.ctas[slot].linear;
+        let w32 = u64::from(self.ctas[slot].warps[widx].widx);
+
+        // Effective addresses.
+        let mut lanes: Vec<(usize, u32)> = Vec::with_capacity(LANES);
+        for lane in 0..LANES {
+            if exec_mask & (1 << lane) == 0 {
+                continue;
+            }
+            let base = self.ctas[slot].warps[widx]
+                .reg(lane, addr_reg)
+                .wrapping_add(offset as u32);
+            let eff = if space == MemSpace::Local {
+                if !base.is_multiple_of(4) {
+                    return Err(Trap::Misaligned { addr: base });
+                }
+                if base + 4 > lmem {
+                    return Err(Trap::LmemOutOfBounds { offset: base });
+                }
+                let tid_global = cta_linear * tpc + w32 * LANES as u64 + lane as u64;
+                LOCAL_BASE.wrapping_add((tid_global * u64::from(lmem)) as u32 + base)
+            } else {
+                base
+            };
+            lanes.push((lane, eff));
+        }
+
+        // Timing: one transaction per unique line, issued back to back.
+        let line = u64::from(mem.line_bytes());
+        let mut lines: Vec<u64> = lanes.iter().map(|&(_, a)| u64::from(a) / line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut done = now + u64::from(self.lat_alu);
+        for (i, &la) in lines.iter().enumerate() {
+            let t = mem.line_latency(self.id, kind, la, is_store, now + i as u64);
+            done = done.max(t);
+        }
+
+        // Function: per-lane 4-byte operations.
+        for &(lane, eff) in &lanes {
+            if is_store {
+                let v = self.ctas[slot].warps[widx].reg(lane, data_reg);
+                mem.store4(self.id, kind, eff, v)?;
+            } else {
+                let v = mem.load4(self.id, kind, eff)?;
+                self.ctas[slot].warps[widx].set_reg(lane, data_reg, v);
+            }
+        }
+        Ok(done)
+    }
+
+    /// Executes a constant-space load through the L1 constant cache
+    /// (0-based bank addresses; the constant path is read-only).
+    #[allow(clippy::too_many_arguments)]
+    fn const_access(
+        &mut self,
+        slot: usize,
+        widx: usize,
+        exec_mask: u32,
+        data_reg: Reg,
+        addr_reg: Reg,
+        offset: i32,
+        is_store: bool,
+        now: u64,
+        mem: &mut MemSystem,
+    ) -> Result<u64, Trap> {
+        if is_store {
+            // The constant space is read-only; a (programmatically built)
+            // store to it faults like a write to a read-only page.
+            return Err(Trap::InvalidAddress { addr: 0 });
+        }
+        let mut lanes: Vec<(usize, u32)> = Vec::with_capacity(LANES);
+        for lane in 0..LANES {
+            if exec_mask & (1 << lane) != 0 {
+                let a = self.ctas[slot].warps[widx]
+                    .reg(lane, addr_reg)
+                    .wrapping_add(offset as u32);
+                lanes.push((lane, a));
+            }
+        }
+        let line = u64::from(mem.const_line_bytes());
+        let mut line_addrs: Vec<u64> = lanes.iter().map(|&(_, a)| u64::from(a) / line).collect();
+        line_addrs.sort_unstable();
+        line_addrs.dedup();
+        let mut done = now + u64::from(self.lat_alu);
+        for (i, &la) in line_addrs.iter().enumerate() {
+            done = done.max(mem.const_line_latency(self.id, la, now + i as u64));
+        }
+        for &(lane, a) in &lanes {
+            let v = mem.load4_const(self.id, a)?;
+            self.ctas[slot].warps[widx].set_reg(lane, data_reg, v);
+        }
+        Ok(done)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection surface
+    // ------------------------------------------------------------------
+
+    /// Number of live (created, not yet exited) threads on this core.
+    pub fn live_thread_count(&self) -> u64 {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.warps)
+            .map(|w| u64::from(w.live.count_ones()))
+            .sum()
+    }
+
+    /// Number of live warps on this core.
+    pub fn live_warp_count(&self) -> u64 {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.warps)
+            .filter(|w| !w.finished)
+            .count() as u64
+    }
+
+    /// Number of resident CTAs (for shared-memory targeting).
+    pub fn cta_count(&self) -> u64 {
+        self.ctas.len() as u64
+    }
+
+    /// Flips `bits` of register `reg` in the `n`-th live thread.
+    ///
+    /// Returns the handle of the affected warp, or `None` when `n` exceeds
+    /// the live-thread count or the register is out of the kernel's
+    /// allocation.
+    pub fn flip_thread_reg(&mut self, n: u64, reg: u32, bits: &[u8]) -> Option<WarpHandle> {
+        let mut remaining = n;
+        let id = self.id;
+        for (s, cta) in self.ctas.iter_mut().enumerate() {
+            for (wi, warp) in cta.warps.iter_mut().enumerate() {
+                let cnt = u64::from(warp.live.count_ones());
+                if remaining < cnt {
+                    let lane = set_bit_at(warp.live, remaining as u32)?;
+                    let idx = reg as usize * LANES + lane;
+                    if idx >= warp.regs.len() {
+                        return None;
+                    }
+                    for &b in bits {
+                        warp.regs[idx] ^= 1 << (b % 32);
+                    }
+                    return Some(WarpHandle { sm: id, cta_slot: s, warp: wi });
+                }
+                remaining -= cnt;
+            }
+        }
+        None
+    }
+
+    /// Flips `bits` of register `reg` in every live lane of the `n`-th live
+    /// warp (the paper's warp-scope register injection).
+    pub fn flip_warp_reg(&mut self, n: u64, reg: u32, bits: &[u8]) -> Option<WarpHandle> {
+        let mut remaining = n;
+        let id = self.id;
+        for (s, cta) in self.ctas.iter_mut().enumerate() {
+            for (wi, warp) in cta.warps.iter_mut().enumerate() {
+                if warp.finished {
+                    continue;
+                }
+                if remaining == 0 {
+                    for lane in 0..LANES {
+                        if warp.live & (1 << lane) == 0 {
+                            continue;
+                        }
+                        let idx = reg as usize * LANES + lane;
+                        if idx >= warp.regs.len() {
+                            return None;
+                        }
+                        for &b in bits {
+                            warp.regs[idx] ^= 1 << (b % 32);
+                        }
+                    }
+                    return Some(WarpHandle { sm: id, cta_slot: s, warp: wi });
+                }
+                remaining -= 1;
+            }
+        }
+        None
+    }
+
+    /// Flips bit `bit` of the `n`-th resident CTA's shared-memory instance.
+    ///
+    /// Returns `false` when the CTA or bit is out of range.
+    pub fn flip_cta_smem(&mut self, n: u64, bit: u64) -> bool {
+        let Some(cta) = self.ctas.get_mut(n as usize) else {
+            return false;
+        };
+        let byte = (bit / 8) as usize;
+        if byte >= cta.smem.len() {
+            return false;
+        }
+        cta.smem[byte] ^= 1 << (bit % 8);
+        true
+    }
+
+    /// The global linear thread id of the `n`-th live thread (for local
+    /// memory targeting), if it exists.
+    pub fn nth_live_thread_global_id(&self, n: u64, ctx: &KernelCtx<'_>) -> Option<u64> {
+        let mut remaining = n;
+        let tpc = u64::from(ctx.threads_per_cta());
+        for cta in &self.ctas {
+            for warp in &cta.warps {
+                let cnt = u64::from(warp.live.count_ones());
+                if remaining < cnt {
+                    let lane = set_bit_at(warp.live, remaining as u32)?;
+                    return Some(
+                        cta.linear * tpc + u64::from(warp.widx) * LANES as u64 + lane as u64,
+                    );
+                }
+                remaining -= cnt;
+            }
+        }
+        None
+    }
+}
+
+/// Index of the `n`-th set bit of `mask` (0-based), if present.
+fn set_bit_at(mask: u32, n: u32) -> Option<usize> {
+    let mut seen = 0;
+    for lane in 0..32 {
+        if mask & (1 << lane) != 0 {
+            if seen == n {
+                return Some(lane);
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_bit_at_finds_nth() {
+        assert_eq!(set_bit_at(0b1010, 0), Some(1));
+        assert_eq!(set_bit_at(0b1010, 1), Some(3));
+        assert_eq!(set_bit_at(0b1010, 2), None);
+        assert_eq!(set_bit_at(u32::MAX, 31), Some(31));
+    }
+}

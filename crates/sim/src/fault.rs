@@ -1,0 +1,201 @@
+//! The fault-injection plan: what to flip, where, and when.
+//!
+//! A campaign arms the GPU with [`PlannedFault`]s before running the
+//! application.  Every *dynamic* choice the paper's injector makes at the
+//! injection cycle — which active thread, which active warp, which resident
+//! CTA, which SIMT core — is expressed as a pre-drawn random **lot**
+//! (a uniform `u64`) that the simulator reduces modulo the size of the
+//! live population at that cycle.  This keeps runs bit-for-bit
+//! reproducible from a campaign seed while still targeting only *active*
+//! state, exactly like gpuFI-4 (§IV.B.1: "chooses a random active thread
+//! and injects the transient fault at a random register of that thread").
+//!
+//! Static choices (which register, which bit offsets) are concrete values,
+//! drawn by the mask generator in `gpufi-faults` from the profiled fault
+//! space.
+
+use crate::mem::FlipOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Whether a register-file or local-memory fault targets one thread or a
+/// whole warp (every lane receives the same flips — Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// A single active thread.
+    Thread,
+    /// Every live thread of one active warp.
+    Warp,
+}
+
+/// Where a planned fault lands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// Register-file bit flips in one thread or one warp.
+    RegisterFile {
+        /// Thread- or warp-level injection.
+        scope: Scope,
+        /// Lot selecting the active thread/warp (reduced modulo the live
+        /// population at the injection cycle).
+        entry_lot: u64,
+        /// Register index within the kernel's allocated registers.
+        reg: u32,
+        /// Bit positions within the 32-bit register (distinct).
+        bits: Vec<u8>,
+    },
+    /// Local-memory bit flips in one thread's local segment.
+    LocalMemory {
+        /// Lot selecting the active thread.
+        entry_lot: u64,
+        /// Bit offsets within the thread's local memory.
+        bits: Vec<u64>,
+    },
+    /// Shared-memory bit flips, replicated over one or more active CTAs
+    /// (shared memory is private per CTA — Table IV).
+    SharedMemory {
+        /// Lot selecting the first active CTA.
+        cta_lot: u64,
+        /// How many consecutive active CTAs receive the same flips.
+        replicate: u32,
+        /// Bit offsets within the CTA's shared-memory instance.
+        bits: Vec<u64>,
+    },
+    /// L1 data-cache bit flips on one or more SIMT cores.
+    L1Data {
+        /// Lot selecting the first core.
+        core_lot: u64,
+        /// How many consecutive cores receive the same flips.
+        replicate: u32,
+        /// Bit offsets within the cache's tag+data space.
+        bits: Vec<u64>,
+    },
+    /// L1 texture-cache bit flips on one or more SIMT cores.
+    L1Tex {
+        /// Lot selecting the first core.
+        core_lot: u64,
+        /// How many consecutive cores receive the same flips.
+        replicate: u32,
+        /// Bit offsets within the cache's tag+data space.
+        bits: Vec<u64>,
+    },
+    /// L1 constant-cache bit flips on one or more SIMT cores — an
+    /// extension implementing the paper's future work (§IV.C.1).
+    L1Const {
+        /// Lot selecting the first core.
+        core_lot: u64,
+        /// How many consecutive cores receive the same flips.
+        replicate: u32,
+        /// Bit offsets within the cache's tag+data space.
+        bits: Vec<u64>,
+    },
+    /// L2 bit flips in the flat line space across banks (§IV.B.5).
+    L2 {
+        /// Bit offsets within the L2's tag+data space.
+        bits: Vec<u64>,
+    },
+}
+
+impl FaultTarget {
+    /// The paper's name for the targeted hardware structure.
+    pub fn structure_name(&self) -> &'static str {
+        match self {
+            FaultTarget::RegisterFile { .. } => "register file",
+            FaultTarget::LocalMemory { .. } => "local memory",
+            FaultTarget::SharedMemory { .. } => "shared memory",
+            FaultTarget::L1Data { .. } => "L1 data cache",
+            FaultTarget::L1Tex { .. } => "L1 texture cache",
+            FaultTarget::L1Const { .. } => "L1 constant cache",
+            FaultTarget::L2 { .. } => "L2 cache",
+        }
+    }
+}
+
+/// One fault scheduled at an absolute application cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedFault {
+    /// Application cycle at which to inject.
+    pub cycle: u64,
+    /// What to flip.
+    pub target: FaultTarget,
+}
+
+/// A set of planned faults — single-bit, multi-bit, multi-entry and
+/// multi-structure campaigns are all expressed as lists of
+/// [`PlannedFault`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionPlan {
+    /// The faults, in any order (the GPU sorts by cycle when armed).
+    pub faults: Vec<PlannedFault>,
+}
+
+impl InjectionPlan {
+    /// A plan with a single fault.
+    pub fn single(cycle: u64, target: FaultTarget) -> Self {
+        InjectionPlan {
+            faults: vec![PlannedFault { cycle, target }],
+        }
+    }
+}
+
+/// What actually happened when a planned fault was applied.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// The cycle the fault was applied at (may exceed the planned cycle if
+    /// the planned cycle fell between launches).
+    pub cycle: u64,
+    /// The targeted structure (paper terminology).
+    pub structure: &'static str,
+    /// Whether any bit actually changed (e.g. a cache flip on an invalid
+    /// line changes nothing — §IV.B.4).
+    pub applied: bool,
+    /// For cache targets: whether the flips landed in tag or data bits.
+    pub outcomes: Vec<FlipOutcome>,
+}
+
+/// Sizes of the injectable fault spaces for one kernel on one chip — what
+/// the mask generator needs to draw concrete bit positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpace {
+    /// Registers allocated per thread (entries of the register-file space).
+    pub regs_per_thread: u32,
+    /// Bits of one thread's local memory (0 when the kernel uses none).
+    pub lmem_bits: u64,
+    /// Bits of one CTA's shared-memory instance (0 when the kernel uses
+    /// none).
+    pub smem_bits: u64,
+    /// Injectable bits of one SM's L1 data cache (tag + data), or `None`
+    /// when the chip has no L1D.
+    pub l1d_bits: Option<u64>,
+    /// Injectable bits of one SM's L1 texture cache (tag + data).
+    pub l1t_bits: u64,
+    /// Injectable bits of one SM's L1 constant cache (tag + data) — an
+    /// extension; the paper lists the constant cache as future work.
+    pub l1c_bits: u64,
+    /// Injectable bits of the whole L2 (tag + data).
+    pub l2_bits: u64,
+    /// SIMT cores on the chip.
+    pub num_sms: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_names_match_paper() {
+        let t = FaultTarget::RegisterFile {
+            scope: Scope::Thread,
+            entry_lot: 0,
+            reg: 0,
+            bits: vec![0],
+        };
+        assert_eq!(t.structure_name(), "register file");
+        assert_eq!(FaultTarget::L2 { bits: vec![] }.structure_name(), "L2 cache");
+    }
+
+    #[test]
+    fn single_plan() {
+        let p = InjectionPlan::single(5, FaultTarget::L2 { bits: vec![1, 2] });
+        assert_eq!(p.faults.len(), 1);
+        assert_eq!(p.faults[0].cycle, 5);
+    }
+}

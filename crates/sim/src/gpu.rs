@@ -1,0 +1,586 @@
+//! The whole-chip GPU device: memory management, kernel launch, the cycle
+//! loop, and the fault-injection port.
+
+use crate::config::GpuConfig;
+use crate::core::{KernelCtx, SimtCore};
+use crate::error::{LaunchError, Trap};
+use crate::fault::{FaultSpace, FaultTarget, InjectionPlan, InjectionRecord, PlannedFault, Scope};
+use crate::grid::LaunchDims;
+use crate::mem::{FlipOutcome, MemSystem};
+use crate::stats::{AppStats, LaunchStats};
+use gpufi_isa::Kernel;
+
+/// A simulated CUDA-capable GPU.
+///
+/// The host-side API mirrors the CUDA driver model: allocate device memory
+/// ([`Gpu::malloc`]), copy data in ([`Gpu::memcpy_h2d`]), launch kernels
+/// synchronously ([`Gpu::launch`]), copy results out
+/// ([`Gpu::memcpy_d2h`]).  Cycles accumulate across launches so a
+/// multi-kernel application has one global cycle axis, which is what the
+/// injection campaign samples (§VI.A).
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: MemSystem,
+    cores: Vec<SimtCore>,
+    cycle: u64,
+    watchdog: Option<u64>,
+    faults: Vec<PlannedFault>,
+    next_fault: usize,
+    records: Vec<InjectionRecord>,
+    stats: AppStats,
+}
+
+impl Gpu {
+    /// Creates an idle GPU with the given chip configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        let mem = MemSystem::new(&cfg);
+        let cores = (0..cfg.num_sms as usize)
+            .map(|i| SimtCore::new(i, &cfg))
+            .collect();
+        Gpu {
+            cfg,
+            mem,
+            cores,
+            cycle: 0,
+            watchdog: None,
+            faults: Vec::new(),
+            next_fault: 0,
+            records: Vec::new(),
+            stats: AppStats::default(),
+        }
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The current application cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Per-launch statistics accumulated so far.
+    pub fn stats(&self) -> &AppStats {
+        &self.stats
+    }
+
+    /// Direct access to the memory system (cache statistics etc.).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    // ------------------------------------------------------------------
+    // Host API
+    // ------------------------------------------------------------------
+
+    /// Allocates zeroed device memory and returns its device address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::OutOfMemory`] past the simulated capacity.
+    pub fn malloc(&mut self, bytes: u32) -> Result<u32, LaunchError> {
+        self.mem.alloc(bytes)
+    }
+
+    /// Copies bytes host → device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::BadDevicePointer`] for unmapped ranges.
+    pub fn memcpy_h2d(&mut self, ptr: u32, data: &[u8]) -> Result<(), LaunchError> {
+        self.mem.host_write(ptr, data)
+    }
+
+    /// Copies bytes device → host (coherently through the L2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::BadDevicePointer`] for unmapped ranges.
+    pub fn memcpy_d2h(&self, ptr: u32, out: &mut [u8]) -> Result<(), LaunchError> {
+        self.mem.host_read(ptr, out)
+    }
+
+    /// Convenience: uploads a `u32` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::memcpy_h2d`].
+    pub fn write_u32s(&mut self, ptr: u32, data: &[u32]) -> Result<(), LaunchError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.memcpy_h2d(ptr, &bytes)
+    }
+
+    /// Convenience: downloads a `u32` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::memcpy_d2h`].
+    pub fn read_u32s(&self, ptr: u32, count: usize) -> Result<Vec<u32>, LaunchError> {
+        let mut bytes = vec![0u8; count * 4];
+        self.memcpy_d2h(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+
+    /// Convenience: uploads an `f32` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::memcpy_h2d`].
+    pub fn write_f32s(&mut self, ptr: u32, data: &[f32]) -> Result<(), LaunchError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.memcpy_h2d(ptr, &bytes)
+    }
+
+    /// Convenience: downloads an `f32` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::memcpy_d2h`].
+    pub fn read_f32s(&self, ptr: u32, count: usize) -> Result<Vec<f32>, LaunchError> {
+        Ok(self
+            .read_u32s(ptr, count)?
+            .into_iter()
+            .map(f32::from_bits)
+            .collect())
+    }
+
+    /// Writes into the 64 KB constant bank (CUDA `cudaMemcpyToSymbol`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::OutOfMemory`] past the constant capacity.
+    pub fn write_const(&mut self, offset: u32, data: &[u8]) -> Result<(), LaunchError> {
+        self.mem.const_write(offset, data)
+    }
+
+    /// Convenience: uploads an `f32` slice into the constant bank.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::write_const`].
+    pub fn write_const_f32s(&mut self, offset: u32, data: &[f32]) -> Result<(), LaunchError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write_const(offset, &bytes)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection port
+    // ------------------------------------------------------------------
+
+    /// Arms the GPU with an injection plan; faults fire when the
+    /// application cycle reaches each fault's cycle.
+    pub fn arm_faults(&mut self, plan: InjectionPlan) {
+        let mut faults = plan.faults;
+        faults.sort_by_key(|f| f.cycle);
+        self.faults = faults;
+        self.next_fault = 0;
+        self.records.clear();
+    }
+
+    /// What happened to each armed fault so far.
+    pub fn injection_records(&self) -> &[InjectionRecord] {
+        &self.records
+    }
+
+    /// Aborts the run once the application cycle exceeds `limit`
+    /// (the campaign sets this to 2× the fault-free cycles — §V.B).
+    pub fn set_watchdog(&mut self, limit: u64) {
+        self.watchdog = Some(limit);
+    }
+
+    /// The injectable fault-space sizes for `kernel` on this chip.
+    pub fn fault_space(&self, kernel: &Kernel) -> FaultSpace {
+        FaultSpace {
+            regs_per_thread: u32::from(kernel.num_regs()),
+            lmem_bits: u64::from(kernel.lmem_bytes()) * 8,
+            smem_bits: u64::from(kernel.smem_bytes()) * 8,
+            l1d_bits: self.mem.l1d_bits(),
+            l1t_bits: self.mem.l1t_bits(),
+            l1c_bits: self.mem.l1c_bits(),
+            l2_bits: self.mem.l2_bits(),
+            num_sms: self.cfg.num_sms,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel launch
+    // ------------------------------------------------------------------
+
+    /// Launches `kernel` synchronously and runs it to completion,
+    /// advancing the application cycle counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] when execution faults (invalid address,
+    /// watchdog, deadlock, …).  Traps map to the **Crash** / **Timeout**
+    /// fault-effect classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on launch-configuration errors — block larger than the
+    /// hardware limit, wrong parameter count, or a CTA that cannot fit on
+    /// an SM.  These indicate workload bugs, not injected faults.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        dims: LaunchDims,
+        args: &[u32],
+    ) -> Result<LaunchStats, Trap> {
+        let tpc = dims.threads_per_cta();
+        assert!(
+            (1..=1024).contains(&tpc) && tpc <= self.cfg.max_threads_per_sm,
+            "block of {tpc} threads exceeds hardware limits"
+        );
+        assert!(dims.grid.count() >= 1, "empty grid");
+        assert_eq!(
+            args.len(),
+            kernel.num_params() as usize,
+            "kernel `{}` expects {} parameters",
+            kernel.name(),
+            kernel.num_params()
+        );
+
+        // CTA residency limit (occupancy): threads, CTA slots, shared
+        // memory and register file.
+        let mut limit = self
+            .cfg
+            .max_ctas_per_sm
+            .min(self.cfg.max_threads_per_sm / tpc);
+        if kernel.smem_bytes() > 0 {
+            limit = limit.min(self.cfg.smem_per_sm / kernel.smem_bytes());
+        }
+        let regs_per_cta = u32::from(kernel.num_regs()) * tpc;
+        if let Some(reg_limit) = self.cfg.registers_per_sm.checked_div(regs_per_cta) {
+            limit = limit.min(reg_limit);
+        }
+        assert!(
+            limit >= 1,
+            "kernel `{}` CTA does not fit on an SM",
+            kernel.name()
+        );
+
+        self.mem
+            .reset_local(dims.total_threads(), kernel.lmem_bytes())
+            .expect("local-memory segment exceeds the simulated capacity");
+        for c in &mut self.cores {
+            c.configure_kernel(limit);
+        }
+
+        let ctx = KernelCtx { kernel, dims, args };
+        let total_ctas = dims.grid.count();
+        let mut next_cta = 0u64;
+        'fill: loop {
+            let mut placed = false;
+            for c in &mut self.cores {
+                if next_cta >= total_ctas {
+                    break 'fill;
+                }
+                if c.can_accept_cta(&ctx) {
+                    c.launch_cta(&ctx, next_cta, self.cycle);
+                    next_cta += 1;
+                    placed = true;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+
+        let start_cycle = self.cycle;
+        let instr0: u64 = self.cores.iter().map(|c| c.instructions).sum();
+        let ace0: u64 = self.cores.iter().map(|c| c.ace_reg_cycles).sum();
+        let mut thread_cycles = 0u64;
+        let l1d0 = self.mem.l1d_stats();
+        let l1t0 = self.mem.l1t_stats();
+        let l20 = self.mem.l2_stats();
+        let max_warps = f64::from(self.cfg.max_warps_per_sm());
+        let (mut occ_int, mut thr_int, mut cta_int, mut t_int) = (0.0f64, 0.0f64, 0.0f64, 0u64);
+
+        let outcome: Result<(), Trap> = 'run: loop {
+            // Fire due faults.
+            while self.next_fault < self.faults.len()
+                && self.faults[self.next_fault].cycle <= self.cycle
+            {
+                let fault = self.faults[self.next_fault].clone();
+                self.next_fault += 1;
+                let record = self.apply_fault(&fault, &ctx);
+                self.records.push(record);
+            }
+
+            // Issue one instruction per core.
+            let mut any = false;
+            for i in 0..self.cores.len() {
+                match self.cores[i].cycle(self.cycle, &ctx, &mut self.mem) {
+                    Ok(true) => any = true,
+                    Ok(false) => {}
+                    Err(t) => break 'run Err(t),
+                }
+            }
+
+            // Retire finished CTAs and dispatch pending ones.
+            let now = self.cycle;
+            for c in &mut self.cores {
+                if c.harvest_finished() > 0 || !c.is_idle() {
+                    while next_cta < total_ctas && c.can_accept_cta(&ctx) {
+                        c.launch_cta(&ctx, next_cta, now);
+                        next_cta += 1;
+                    }
+                }
+            }
+            // Idle cores can also accept (covers the first dispatch of a
+            // core that was skipped above).
+            if next_cta < total_ctas {
+                for c in &mut self.cores {
+                    while next_cta < total_ctas && c.can_accept_cta(&ctx) {
+                        c.launch_cta(&ctx, next_cta, now);
+                        next_cta += 1;
+                    }
+                }
+            }
+
+            let done = next_cta >= total_ctas && self.cores.iter().all(SimtCore::is_idle);
+            if done {
+                break Ok(());
+            }
+
+            // Time advance: 1 cycle while issuing, else fast-forward to the
+            // next event (capped at the next armed fault).
+            let mut dt = if any {
+                1
+            } else {
+                let next = self
+                    .cores
+                    .iter()
+                    .filter_map(SimtCore::next_ready)
+                    .min();
+                match next {
+                    Some(t) if t > self.cycle => t - self.cycle,
+                    Some(_) => 1,
+                    None => break Err(Trap::Deadlock),
+                }
+            };
+            if self.next_fault < self.faults.len() {
+                let fc = self.faults[self.next_fault].cycle;
+                if fc > self.cycle && fc < self.cycle + dt {
+                    dt = fc - self.cycle;
+                }
+            }
+
+            // Integrate occupancy / residency over [cycle, cycle + dt).
+            let mut live_warps = 0u64;
+            let mut live_threads = 0u64;
+            let mut live_ctas = 0u64;
+            let mut active_sms = 0u64;
+            for c in &self.cores {
+                if !c.is_idle() {
+                    active_sms += 1;
+                    live_warps += u64::from(c.resident_live_warps());
+                    live_threads += u64::from(c.resident_threads());
+                    live_ctas += u64::from(c.resident_ctas());
+                }
+            }
+            if active_sms > 0 {
+                let dtf = dt as f64;
+                occ_int += live_warps as f64 / (active_sms as f64 * max_warps) * dtf;
+                thr_int += live_threads as f64 / active_sms as f64 * dtf;
+                cta_int += live_ctas as f64 / active_sms as f64 * dtf;
+                t_int += dt;
+                thread_cycles += live_threads * dt;
+            }
+
+            self.cycle += dt;
+            if let Some(limit) = self.watchdog {
+                if self.cycle > limit {
+                    break Err(Trap::Watchdog);
+                }
+            }
+        };
+
+        // L1s are invalidated between launches on real GPUs.
+        self.mem.flush_l1s();
+
+        outcome?;
+        let t = t_int.max(1) as f64;
+        let stats = LaunchStats {
+            kernel: kernel.name().to_string(),
+            start_cycle,
+            end_cycle: self.cycle,
+            instructions: self.cores.iter().map(|c| c.instructions).sum::<u64>() - instr0,
+            occupancy: occ_int / t,
+            mean_threads_per_sm: thr_int / t,
+            mean_ctas_per_sm: cta_int / t,
+            regs_per_thread: u32::from(kernel.num_regs()),
+            smem_per_cta: kernel.smem_bytes(),
+            lmem_per_thread: kernel.lmem_bytes(),
+            ace_reg_cycles: self.cores.iter().map(|c| c.ace_reg_cycles).sum::<u64>() - ace0,
+            thread_cycles,
+            l1d_stats: self.mem.l1d_stats().since(&l1d0),
+            l1t_stats: self.mem.l1t_stats().since(&l1t0),
+            l2_stats: self.mem.l2_stats().since(&l20),
+        };
+        self.stats.launches.push(stats.clone());
+        Ok(stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault application
+    // ------------------------------------------------------------------
+
+    /// Resolves and applies one planned fault against the current dynamic
+    /// state (the paper's back-end, §IV.B).
+    fn apply_fault(&mut self, fault: &PlannedFault, ctx: &KernelCtx<'_>) -> InjectionRecord {
+        let structure = fault.target.structure_name();
+        let mut outcomes = Vec::new();
+        let applied = match &fault.target {
+            FaultTarget::RegisterFile { scope, entry_lot, reg, bits } => match scope {
+                Scope::Thread => {
+                    let total: u64 = self.cores.iter().map(SimtCore::live_thread_count).sum();
+                    if total == 0 {
+                        false
+                    } else {
+                        let mut n = entry_lot % total;
+                        let mut hit = false;
+                        for c in &mut self.cores {
+                            let cnt = c.live_thread_count();
+                            if n < cnt {
+                                hit = c.flip_thread_reg(n, *reg, bits).is_some();
+                                break;
+                            }
+                            n -= cnt;
+                        }
+                        hit
+                    }
+                }
+                Scope::Warp => {
+                    let total: u64 = self.cores.iter().map(SimtCore::live_warp_count).sum();
+                    if total == 0 {
+                        false
+                    } else {
+                        let mut n = entry_lot % total;
+                        let mut hit = false;
+                        for c in &mut self.cores {
+                            let cnt = c.live_warp_count();
+                            if n < cnt {
+                                hit = c.flip_warp_reg(n, *reg, bits).is_some();
+                                break;
+                            }
+                            n -= cnt;
+                        }
+                        hit
+                    }
+                }
+            },
+            FaultTarget::LocalMemory { entry_lot, bits } => {
+                let lmem_bits = u64::from(ctx.kernel.lmem_bytes()) * 8;
+                let total: u64 = self.cores.iter().map(SimtCore::live_thread_count).sum();
+                if total == 0 || lmem_bits == 0 {
+                    false
+                } else {
+                    let mut n = entry_lot % total;
+                    let mut tid = None;
+                    for c in &self.cores {
+                        let cnt = c.live_thread_count();
+                        if n < cnt {
+                            tid = c.nth_live_thread_global_id(n, ctx);
+                            break;
+                        }
+                        n -= cnt;
+                    }
+                    match tid {
+                        Some(t) => {
+                            let base = t * u64::from(ctx.kernel.lmem_bytes()) * 8;
+                            let mut any = false;
+                            for &b in bits {
+                                any |= self.mem.flip_local_bit(base + (b % lmem_bits));
+                            }
+                            any
+                        }
+                        None => false,
+                    }
+                }
+            }
+            FaultTarget::SharedMemory { cta_lot, replicate, bits } => {
+                let total: u64 = self.cores.iter().map(SimtCore::cta_count).sum();
+                if total == 0 {
+                    false
+                } else {
+                    let mut any = false;
+                    for r in 0..u64::from((*replicate).max(1)) {
+                        let mut n = (cta_lot + r) % total;
+                        for c in &mut self.cores {
+                            let cnt = c.cta_count();
+                            if n < cnt {
+                                for &b in bits {
+                                    any |= c.flip_cta_smem(n, b);
+                                }
+                                break;
+                            }
+                            n -= cnt;
+                        }
+                    }
+                    any
+                }
+            }
+            FaultTarget::L1Data { core_lot, replicate, bits } => {
+                let Some(space) = self.mem.l1d_bits() else {
+                    return InjectionRecord {
+                        cycle: self.cycle,
+                        structure,
+                        applied: false,
+                        outcomes,
+                    };
+                };
+                let n = u64::from(self.cfg.num_sms);
+                for r in 0..u64::from((*replicate).max(1)) {
+                    let sm = ((core_lot + r) % n) as usize;
+                    for &b in bits {
+                        if let Some(o) = self.mem.flip_l1d_bit(sm, b % space) {
+                            outcomes.push(o);
+                        }
+                    }
+                }
+                outcomes.iter().any(|o| *o != FlipOutcome::InvalidLine)
+            }
+            FaultTarget::L1Tex { core_lot, replicate, bits } => {
+                let space = self.mem.l1t_bits();
+                let n = u64::from(self.cfg.num_sms);
+                for r in 0..u64::from((*replicate).max(1)) {
+                    let sm = ((core_lot + r) % n) as usize;
+                    for &b in bits {
+                        outcomes.push(self.mem.flip_l1t_bit(sm, b % space));
+                    }
+                }
+                outcomes.iter().any(|o| *o != FlipOutcome::InvalidLine)
+            }
+            FaultTarget::L1Const { core_lot, replicate, bits } => {
+                let space = self.mem.l1c_bits();
+                let n = u64::from(self.cfg.num_sms);
+                for r in 0..u64::from((*replicate).max(1)) {
+                    let sm = ((core_lot + r) % n) as usize;
+                    for &b in bits {
+                        outcomes.push(self.mem.flip_l1c_bit(sm, b % space));
+                    }
+                }
+                outcomes.iter().any(|o| *o != FlipOutcome::InvalidLine)
+            }
+            FaultTarget::L2 { bits } => {
+                let space = self.mem.l2_bits();
+                for &b in bits {
+                    outcomes.push(self.mem.flip_l2_bit(b % space));
+                }
+                outcomes.iter().any(|o| *o != FlipOutcome::InvalidLine)
+            }
+        };
+        InjectionRecord {
+            cycle: self.cycle,
+            structure,
+            applied,
+            outcomes,
+        }
+    }
+}

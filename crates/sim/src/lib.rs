@@ -1,0 +1,70 @@
+//! # gpufi-sim — a cycle-level SIMT GPU simulator
+//!
+//! This crate is the reproduction's stand-in for GPGPU-Sim 4.0: a
+//! from-scratch, cycle-level simulator of CUDA-style GPUs executing the
+//! SASS-lite ISA defined in [`gpufi_isa`].  It models:
+//!
+//! * SIMT cores (SMs) with greedy-then-oldest warp scheduling, SIMT
+//!   reconvergence stacks, CTA barriers and per-thread register files;
+//! * per-CTA shared memory and per-thread local memory;
+//! * private per-SM L1 data and texture caches, a banked write-back L2,
+//!   an interconnect and a DRAM latency model — with **real tag and data
+//!   arrays**, so transient faults can be injected by flipping stored bits;
+//! * a GigaThread-style CTA dispatcher with occupancy limits (threads,
+//!   CTAs, shared memory, registers);
+//! * chip configurations reproducing the paper's RTX 2060, Quadro GV100
+//!   and GTX Titan (Table V).
+//!
+//! The fault-injection surface ([`InjectionPlan`], [`Gpu::arm_faults`])
+//! lets a campaign flip bits in any of the six structures the paper
+//! targets, at an exact cycle, with deterministic pre-drawn random "lots"
+//! resolving the dynamic choices (which active thread, which warp, which
+//! CTA).
+//!
+//! # Example
+//!
+//! ```
+//! use gpufi_isa::Module;
+//! use gpufi_sim::{Gpu, GpuConfig, LaunchDims};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = Module::assemble(
+//!     ".kernel set42\n.params 1\n S2R R1, SR_TID.X\n SHL R1, R1, 2\n \
+//!      IADD R1, R0, R1\n MOV R2, 42\n STG [R1], R2\n EXIT\n",
+//! )?;
+//! let mut gpu = Gpu::new(GpuConfig::rtx2060());
+//! let buf = gpu.malloc(32 * 4)?;
+//! gpu.launch(
+//!     module.kernel("set42").unwrap(),
+//!     LaunchDims::new(1, 32),
+//!     &[buf],
+//! )?;
+//! let mut out = vec![0u8; 4];
+//! gpu.memcpy_d2h(buf, &mut out)?;
+//! assert_eq!(u32::from_le_bytes(out.try_into().unwrap()), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+mod config_file;
+mod core;
+mod error;
+mod fault;
+mod gpu;
+mod grid;
+pub mod mem;
+mod stats;
+
+pub use crate::core::{KernelCtx, SimtCore, WarpHandle};
+pub use config::{CacheConfig, GpuConfig, LatencyConfig, SchedulerPolicy, TAG_BITS, WARP_SIZE};
+pub use config_file::ConfigError;
+pub use error::{LaunchError, Trap};
+pub use fault::{FaultSpace, FaultTarget, InjectionPlan, InjectionRecord, PlannedFault, Scope};
+pub use gpu::Gpu;
+pub use grid::{Dim3, LaunchDims};
+pub use mem::{AccessKind, CacheStats, FlipOutcome, MemSystem, GLOBAL_BASE, LOCAL_BASE};
+pub use stats::{AppStats, KernelWindow, LaunchStats};

@@ -1,0 +1,475 @@
+//! Set-associative cache with real tag and data arrays.
+//!
+//! Unlike GPGPU-Sim — whose caches hold only tags, forcing gpuFI-4 to attach
+//! deferred injection "hooks" resolved at access time — this cache stores its
+//! data array directly.  A flipped data bit is therefore immediately visible
+//! to the next read hit, vanishes when the line is replaced, and propagates
+//! to the next level when a dirty victim is written back: exactly the
+//! observable semantics the paper's hooks implement (§IV.B.4).
+//!
+//! Each line additionally models [`TAG_BITS`] of tag storage (§IV.C.2); tag
+//! bits are part of the injectable bit space and a flipped tag makes the
+//! line unreachable under its old address and aliased under a new one.
+
+use crate::config::{CacheConfig, TAG_BITS};
+use serde::{Deserialize, Serialize};
+
+/// One cache line: valid/dirty state, tag, LRU stamp, and the data bytes.
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u64,
+    data: Vec<u8>,
+}
+
+/// Hit/miss counters, per cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookup operations that hit.
+    pub hits: u64,
+    /// Lookup operations that missed.
+    pub misses: u64,
+    /// Dirty lines evicted (written back).
+    pub writebacks: u64,
+    /// Lines filled.
+    pub fills: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (for per-launch deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has larger counters (not a prior snapshot).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            writebacks: self.writebacks - earlier.writebacks,
+            fills: self.fills - earlier.fills,
+        }
+    }
+}
+
+/// A dirty victim produced by a fill or invalidation; the caller must write
+/// it to the next memory level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Writeback {
+    /// The line address (byte address / line size) the victim maps to
+    /// according to its — possibly fault-corrupted — tag.
+    pub line_addr: u64,
+    /// The line's data bytes.
+    pub data: Vec<u8>,
+}
+
+/// Where an injected bit flip landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlipOutcome {
+    /// The targeted line was invalid; the flip has no architectural effect.
+    InvalidLine,
+    /// A tag bit was flipped on a valid line.
+    Tag,
+    /// A data bit was flipped on a valid line.
+    Data,
+}
+
+/// A set-associative, write-back-capable cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let lines = (0..cfg.num_lines())
+            .map(|_| Line {
+                valid: false,
+                dirty: false,
+                tag: 0,
+                lru: 0,
+                data: vec![0; cfg.line_bytes as usize],
+            })
+            .collect();
+        Cache {
+            cfg,
+            lines,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_of(&self, line_addr: u64) -> u32 {
+        (line_addr % u64::from(self.cfg.sets)) as u32
+    }
+
+    fn tag_of(&self, line_addr: u64) -> u64 {
+        line_addr / u64::from(self.cfg.sets)
+    }
+
+    fn line_addr_of(&self, set: u32, tag: u64) -> u64 {
+        tag * u64::from(self.cfg.sets) + u64::from(set)
+    }
+
+    fn set_range(&self, set: u32) -> std::ops::Range<usize> {
+        let base = (set * self.cfg.ways) as usize;
+        base..base + self.cfg.ways as usize
+    }
+
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        self.set_range(set)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    /// Whether `line_addr` is currently resident, without touching LRU or
+    /// statistics.  Used by the timing model to price an access before the
+    /// functional operations run.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        self.find(line_addr).is_some()
+    }
+
+    /// Reads `out.len()` bytes at `offset` within the line, if resident.
+    ///
+    /// Returns `true` on a hit (LRU and statistics updated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + out.len()` exceeds the line size.
+    pub fn read(&mut self, line_addr: u64, offset: u32, out: &mut [u8]) -> bool {
+        match self.find(line_addr) {
+            Some(i) => {
+                self.tick += 1;
+                self.lines[i].lru = self.tick;
+                let o = offset as usize;
+                out.copy_from_slice(&self.lines[i].data[o..o + out.len()]);
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Writes `bytes` at `offset` within the line, if resident, marking the
+    /// line dirty when `dirty` is requested.
+    ///
+    /// Returns `true` on a hit.
+    pub fn write(&mut self, line_addr: u64, offset: u32, bytes: &[u8], dirty: bool) -> bool {
+        match self.find(line_addr) {
+            Some(i) => {
+                self.tick += 1;
+                self.lines[i].lru = self.tick;
+                let o = offset as usize;
+                self.lines[i].data[o..o + bytes.len()].copy_from_slice(bytes);
+                self.lines[i].dirty |= dirty;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Reads one byte at `offset` within a resident line without touching
+    /// LRU state or statistics (host-coherence path).
+    pub fn peek(&self, line_addr: u64, offset: u32) -> Option<u8> {
+        self.find(line_addr).map(|i| self.lines[i].data[offset as usize])
+    }
+
+    /// Overwrites one byte of a resident line without touching LRU state,
+    /// statistics or the dirty flag (host-coherence path).
+    ///
+    /// Returns `true` when the line was resident.
+    pub fn poke(&mut self, line_addr: u64, offset: u32, byte: u8) -> bool {
+        match self.find(line_addr) {
+            Some(i) => {
+                self.lines[i].data[offset as usize] = byte;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs `data` as the line for `line_addr`, evicting the set's LRU
+    /// victim if necessary.
+    ///
+    /// Returns the dirty victim (to be written back by the caller), if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one line long.
+    pub fn fill(&mut self, line_addr: u64, data: &[u8], dirty: bool) -> Option<Writeback> {
+        assert_eq!(data.len(), self.cfg.line_bytes as usize, "fill size mismatch");
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        // Refill of a resident line overwrites it in place (never create a
+        // duplicate way for the same address, and never write the stale
+        // copy back).  Otherwise prefer an invalid way, then evict LRU.
+        let resident = self.find(line_addr);
+        let victim = resident.unwrap_or_else(|| {
+            self.set_range(set)
+                .min_by_key(|&i| (self.lines[i].valid, self.lines[i].lru))
+                .expect("sets are non-empty")
+        });
+        let evicted = if resident.is_some() {
+            None
+        } else {
+            let line = &self.lines[victim];
+            if line.valid && line.dirty {
+                self.stats.writebacks += 1;
+                Some(Writeback {
+                    line_addr: self.line_addr_of(set, line.tag),
+                    data: line.data.clone(),
+                })
+            } else {
+                None
+            }
+        };
+        self.tick += 1;
+        let line = &mut self.lines[victim];
+        line.valid = true;
+        line.dirty = dirty;
+        line.tag = tag;
+        line.lru = self.tick;
+        line.data.copy_from_slice(data);
+        self.stats.fills += 1;
+        evicted
+    }
+
+    /// Drops the line for `line_addr` if resident (no writeback — used for
+    /// the L1 evict-on-write policy on global stores, where the line is
+    /// never dirty).
+    pub fn invalidate(&mut self, line_addr: u64) {
+        if let Some(i) = self.find(line_addr) {
+            self.lines[i].valid = false;
+            self.lines[i].dirty = false;
+        }
+    }
+
+    /// Invalidates every line, returning dirty victims for writeback.
+    /// Models the L1 flush at kernel boundaries.
+    pub fn flush(&mut self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        let (sets, ways) = (u64::from(self.cfg.sets), self.cfg.ways as usize);
+        for i in 0..self.lines.len() {
+            let set = (i / ways) as u64;
+            let line = &mut self.lines[i];
+            if line.valid && line.dirty {
+                out.push(Writeback {
+                    line_addr: line.tag * sets + set,
+                    data: line.data.clone(),
+                });
+                self.stats.writebacks += 1;
+            }
+            line.valid = false;
+            line.dirty = false;
+        }
+        out
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> u32 {
+        self.lines.iter().filter(|l| l.valid).count() as u32
+    }
+
+    /// Total injectable bits: every line contributes its data bits plus
+    /// [`TAG_BITS`] modelled tag bits.
+    pub fn total_bits(&self) -> u64 {
+        self.cfg.total_bits()
+    }
+
+    /// Flips one bit of the injectable bit space.
+    ///
+    /// The space is laid out line-major: bit `b` belongs to line
+    /// `b / bits_per_line`; within a line the first [`TAG_BITS`] bits are
+    /// the tag and the rest the data bytes (LSB-first within each byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the injectable space.
+    pub fn flip_bit(&mut self, bit: u64) -> FlipOutcome {
+        let bpl = self.cfg.bits_per_line();
+        assert!(bit < self.total_bits(), "bit {bit} out of cache space");
+        let line_idx = (bit / bpl) as usize;
+        let within = bit % bpl;
+        let line = &mut self.lines[line_idx];
+        if !line.valid {
+            return FlipOutcome::InvalidLine;
+        }
+        if within < u64::from(TAG_BITS) {
+            line.tag ^= 1 << within;
+            FlipOutcome::Tag
+        } else {
+            let data_bit = within - u64::from(TAG_BITS);
+            let byte = (data_bit / 8) as usize;
+            line.data[byte] ^= 1 << (data_bit % 8);
+            FlipOutcome::Data
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets × 2 ways × 8-byte lines.
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 8,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        let mut buf = [0u8; 4];
+        assert!(!c.read(5, 0, &mut buf));
+        assert!(c.fill(5, &[1, 2, 3, 4, 5, 6, 7, 8], false).is_none());
+        assert!(c.read(5, 2, &mut buf));
+        assert_eq!(buf, [3, 4, 5, 6]);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_invalid_then_oldest() {
+        let mut c = small();
+        // Line addresses 0, 2, 4 all map to set 0 (even line addrs).
+        c.fill(0, &[0; 8], false);
+        c.fill(2, &[0; 8], false);
+        let mut buf = [0u8; 1];
+        c.read(0, 0, &mut buf); // touch 0 so 2 is LRU
+        c.fill(4, &[0; 8], false); // evicts 2
+        assert!(c.probe(0));
+        assert!(!c.probe(2));
+        assert!(c.probe(4));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = small();
+        c.fill(0, &[9; 8], true);
+        c.fill(2, &[0; 8], false);
+        let wb = c.fill(4, &[0; 8], false).expect("dirty victim");
+        assert_eq!(wb.line_addr, 0);
+        assert_eq!(wb.data, vec![9; 8]);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.fill(1, &[0; 8], false);
+        assert!(c.write(1, 4, &[7, 7], true));
+        let mut buf = [0u8; 2];
+        c.read(1, 4, &mut buf);
+        assert_eq!(buf, [7, 7]);
+        // Evict it: set 1 holds odd line addrs 1, 3, 5.
+        c.fill(3, &[0; 8], false);
+        let wb = c.fill(5, &[0; 8], false).expect("dirty after write");
+        assert_eq!(wb.line_addr, 1);
+    }
+
+    #[test]
+    fn invalidate_drops_without_writeback() {
+        let mut c = small();
+        c.fill(0, &[1; 8], true);
+        c.invalidate(0);
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn flip_data_bit_corrupts_read() {
+        let mut c = small();
+        c.fill(0, &[0; 8], false);
+        // Line 0 occupies ways 0..2 of set 0; the fill above used way 0 =
+        // flat line index 0.  Flip the first data bit (after the tag).
+        let out = c.flip_bit(u64::from(TAG_BITS));
+        assert_eq!(out, FlipOutcome::Data);
+        let mut buf = [0u8; 1];
+        assert!(c.read(0, 0, &mut buf));
+        assert_eq!(buf[0], 1);
+    }
+
+    #[test]
+    fn flip_tag_bit_aliases_line() {
+        let mut c = small();
+        c.fill(0, &[3; 8], false);
+        assert_eq!(c.flip_bit(0), FlipOutcome::Tag); // tag 0 -> 1
+        assert!(!c.probe(0), "old address must miss after tag flip");
+        // tag 1, set 0 => line_addr = 1 * sets + 0 = 2
+        assert!(c.probe(2), "line must alias the new address");
+    }
+
+    #[test]
+    fn flip_invalid_line_is_inert() {
+        let mut c = small();
+        assert_eq!(c.flip_bit(0), FlipOutcome::InvalidLine);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of cache space")]
+    fn flip_out_of_space_panics() {
+        let mut c = small();
+        let total = c.total_bits();
+        c.flip_bit(total);
+    }
+
+    #[test]
+    fn total_bits_accounts_for_tags() {
+        let c = small();
+        assert_eq!(c.total_bits(), 4 * (64 + u64::from(TAG_BITS)));
+    }
+
+    #[test]
+    fn valid_line_count() {
+        let mut c = small();
+        assert_eq!(c.valid_lines(), 0);
+        c.fill(0, &[0; 8], false);
+        c.fill(1, &[0; 8], false);
+        assert_eq!(c.valid_lines(), 2);
+    }
+}

@@ -1,0 +1,8 @@
+//! The GPU memory system: DRAM backing store, banked L2, and per-SM L1
+//! data / texture caches.
+
+mod cache;
+mod system;
+
+pub use cache::{Cache, CacheStats, FlipOutcome, Writeback};
+pub use system::{AccessKind, MemSystem, GLOBAL_BASE, LOCAL_BASE};

@@ -1,0 +1,224 @@
+//! **BFS — Breadth-First Search** (Rodinia `bfs`).
+//!
+//! Rodinia's two-kernel frontier expansion: kernel 1 visits the neighbours
+//! of every frontier node (divergent, data-dependent edge loops), kernel 2
+//! commits the next frontier and raises the host-visible stop flag.  The
+//! host loops until the frontier drains.
+
+use crate::input::{u32s_to_bytes, InputRng};
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel bfs_kernel1
+.params 7            ; R0=offsets R1=edges R2=frontier R3=visited R4=cost R5=next R6=n
+    S2R  R7, SR_TID.X
+    S2R  R8, SR_CTAID.X
+    S2R  R9, SR_NTID.X
+    IMAD R7, R8, R9, R7
+    ISETP.GE P0, R7, R6
+@P0 EXIT
+    SHL  R10, R7, 2
+    IADD R11, R2, R10
+    LDG  R12, [R11]        ; frontier[tid]
+    SSY  fend
+    ISETP.EQ P1, R12, 0
+@P1 BRA fend
+    MOV  R13, 0
+    STG  [R11], R13        ; leave the frontier
+    IADD R14, R4, R10
+    LDG  R15, [R14]
+    IADD R15, R15, 1       ; neighbour cost
+    IADD R16, R0, R10
+    LDG  R17, [R16]        ; edge start
+    LDG  R18, [R16+4]      ; edge end
+    SSY  eend
+eloop:
+    ISETP.GE P2, R17, R18
+@P2 BRA eend
+    SHL  R19, R17, 2
+    IADD R19, R1, R19
+    LDG  R20, [R19]        ; neighbour id
+    SHL  R21, R20, 2
+    IADD R22, R3, R21
+    LDG  R23, [R22]        ; visited[nb]
+    ISETP.EQ P3, R23, 0
+@P3 IADD R24, R4, R21
+@P3 STG  [R24], R15
+@P3 IADD R25, R5, R21
+@P3 MOV  R26, 1
+@P3 STG  [R25], R26
+    IADD R17, R17, 1
+    BRA  eloop
+eend:
+    SYNC
+fend:
+    SYNC
+    EXIT
+
+.kernel bfs_kernel2
+.params 5            ; R0=frontier R1=visited R2=next R3=stop R4=n
+    S2R  R5, SR_TID.X
+    S2R  R6, SR_CTAID.X
+    S2R  R7, SR_NTID.X
+    IMAD R5, R6, R7, R5
+    ISETP.GE P0, R5, R4
+@P0 EXIT
+    SHL  R8, R5, 2
+    IADD R9, R2, R8
+    LDG  R10, [R9]         ; next[tid]
+    ISETP.NE P1, R10, 0
+@P1 MOV  R11, 1
+@P1 IADD R12, R1, R8
+@P1 STG  [R12], R11       ; visited
+@P1 IADD R13, R0, R8
+@P1 STG  [R13], R11       ; new frontier
+@P1 MOV  R14, 0
+@P1 STG  [R9], R14        ; clear next
+@P1 STG  [R3], R11        ; stop flag (benign same-value race)
+    EXIT
+"#;
+
+const N: u32 = 256;
+const BLOCK: u32 = 64;
+const UNREACHED: u32 = 0x3fff_ffff;
+
+/// The BFS benchmark: a 256-node random graph in CSR form.
+#[derive(Debug)]
+pub struct Bfs {
+    module: Module,
+}
+
+impl Bfs {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Bfs {
+            module: Module::assemble(SRC).expect("BFS kernels assemble"),
+        }
+    }
+
+    /// The deterministic CSR graph: (offsets, edges).
+    fn graph(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut rng = InputRng::new(0xbf09);
+        let mut offsets = Vec::with_capacity(N as usize + 1);
+        let mut edges = Vec::new();
+        offsets.push(0);
+        for _ in 0..N {
+            let degree = 2 + rng.below(4);
+            for _ in 0..degree {
+                edges.push(rng.below(N));
+            }
+            offsets.push(edges.len() as u32);
+        }
+        (offsets, edges)
+    }
+
+    /// CPU reference: level-synchronous BFS costs from node 0.
+    pub fn cpu_reference(&self) -> Vec<u32> {
+        let (offsets, edges) = self.graph();
+        let mut cost = vec![UNREACHED; N as usize];
+        let mut visited = vec![false; N as usize];
+        cost[0] = 0;
+        visited[0] = true;
+        let mut frontier = vec![0usize];
+        while !frontier.is_empty() {
+            let mut nextf = Vec::new();
+            for &node in &frontier {
+                let level = cost[node];
+                for &edge in &edges[offsets[node] as usize..offsets[node + 1] as usize] {
+                    let nb = edge as usize;
+                    if !visited[nb] {
+                        cost[nb] = level + 1;
+                        if !nextf.contains(&nb) {
+                            nextf.push(nb);
+                        }
+                    }
+                }
+            }
+            for &nb in &nextf {
+                visited[nb] = true;
+            }
+            frontier = nextf;
+        }
+        cost
+    }
+}
+
+impl Default for Bfs {
+    fn default() -> Self {
+        Bfs::new()
+    }
+}
+
+impl Workload for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let (offsets, edges) = self.graph();
+        let d_off = gpu.malloc((offsets.len() * 4) as u32)?;
+        let d_edges = gpu.malloc((edges.len() * 4) as u32)?;
+        let d_frontier = gpu.malloc(N * 4)?;
+        let d_visited = gpu.malloc(N * 4)?;
+        let d_cost = gpu.malloc(N * 4)?;
+        let d_next = gpu.malloc(N * 4)?;
+        let d_stop = gpu.malloc(4)?;
+        gpu.write_u32s(d_off, &offsets)?;
+        gpu.write_u32s(d_edges, &edges)?;
+        let mut frontier = vec![0u32; N as usize];
+        frontier[0] = 1;
+        gpu.write_u32s(d_frontier, &frontier)?;
+        let mut visited = vec![0u32; N as usize];
+        visited[0] = 1;
+        gpu.write_u32s(d_visited, &visited)?;
+        let mut cost = vec![UNREACHED; N as usize];
+        cost[0] = 0;
+        gpu.write_u32s(d_cost, &cost)?;
+
+        let k1 = self.module.kernel("bfs_kernel1").expect("kernel exists");
+        let k2 = self.module.kernel("bfs_kernel2").expect("kernel exists");
+        let dims = LaunchDims::new(N / BLOCK, BLOCK);
+        // Iteration cap: a fault-corrupted stop flag must not hang the host
+        // (the watchdog still bounds total cycles, but the cap keeps
+        // iteration counts sane).
+        for _ in 0..N {
+            gpu.write_u32s(d_stop, &[0])?;
+            gpu.launch(k1, dims, &[d_off, d_edges, d_frontier, d_visited, d_cost, d_next, N])?;
+            gpu.launch(k2, dims, &[d_frontier, d_visited, d_next, d_stop, N])?;
+            if gpu.read_u32s(d_stop, 1)?[0] == 0 {
+                break;
+            }
+        }
+        Ok(u32s_to_bytes(&gpu.read_u32s(d_cost, N as usize)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::bytes_to_u32s;
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = Bfs::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_u32s(&w.run(&mut gpu).unwrap());
+        assert_eq!(out, w.cpu_reference());
+    }
+
+    #[test]
+    fn source_has_cost_zero_and_most_nodes_reached() {
+        let w = Bfs::new();
+        let costs = w.cpu_reference();
+        assert_eq!(costs[0], 0);
+        let reached = costs.iter().filter(|&&c| c != UNREACHED).count();
+        assert!(reached > N as usize / 2, "only {reached} reached");
+    }
+}

@@ -1,0 +1,234 @@
+//! **BP — Backpropagation** (Rodinia `backprop`).
+//!
+//! Two kernels, matching Rodinia's structure: `layerforward` computes each
+//! hidden unit's activation with a shared-memory reduction and a sigmoid
+//! (special-function units), and `adjust_weights` applies the gradient
+//! update to the input→hidden weight matrix.
+
+use crate::input::{f32s_to_bytes, InputRng};
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+/// log2(e), used to build `exp(-x)` from the `FEX2` SFU op.
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+
+const SRC: &str = r#"
+.kernel layerforward
+.params 4            ; R0=input R1=weights R2=hidden R3=IN  (CTA j = hidden unit)
+.smem 256
+    S2R  R4, SR_TID.X       ; t
+    S2R  R5, SR_CTAID.X     ; hidden unit j
+    ; partial = sum over i = t, t+64, ... of input[i] * w[j*IN + i]
+    MOV  R6, 0              ; partial (f32 0.0)
+    MOV  R7, R4             ; i = t
+floop:
+    ISETP.GE P0, R7, R3
+@P0 BRA fdone
+    SHL  R8, R7, 2
+    IADD R9, R0, R8
+    LDG  R10, [R9]          ; input[i]
+    IMAD R11, R5, R3, R7    ; j*IN + i
+    SHL  R11, R11, 2
+    IADD R11, R1, R11
+    LDG  R12, [R11]         ; w[j*IN+i]
+    FFMA R6, R10, R12, R6
+    IADD R7, R7, 64
+    BRA  floop
+fdone:
+    SHL  R13, R4, 2
+    STS  [R13], R6
+    BAR
+    MOV  R14, 32
+red:
+    ISETP.LT P1, R4, R14
+@P1 IADD R15, R4, R14
+@P1 SHL  R15, R15, 2
+@P1 LDS  R16, [R15]
+@P1 LDS  R17, [R13]
+@P1 FADD R17, R17, R16
+@P1 STS  [R13], R17
+    BAR
+    SHR  R14, R14, 1
+    ISETP.GT P2, R14, 0
+@P2 BRA red
+    ISETP.NE P3, R4, 0
+@P3 EXIT
+    LDS  R18, [R13]         ; net input
+    FMUL R19, R18, 1.4426950408889634f
+    FNEG R19, R19
+    FEX2 R19, R19           ; exp(-net)
+    FADD R19, R19, 1.0f
+    FRCP R19, R19           ; sigmoid
+    SHL  R20, R5, 2
+    IADD R20, R2, R20
+    STG  [R20], R19
+    EXIT
+
+.kernel adjust_weights
+.params 5            ; R0=input R1=weights R2=delta R3=IN R4=HID (CTA j, 64 threads)
+    S2R  R5, SR_TID.X
+    S2R  R6, SR_CTAID.X     ; hidden unit j
+    SHL  R7, R6, 2
+    IADD R7, R2, R7
+    LDG  R8, [R7]           ; delta[j]
+    FMUL R8, R8, 0.3f       ; eta * delta[j]
+    MOV  R9, R5             ; i = t
+aloop:
+    ISETP.GE P0, R9, R3
+@P0 BRA adone
+    SHL  R10, R9, 2
+    IADD R11, R0, R10
+    LDG  R12, [R11]         ; input[i]
+    IMAD R13, R6, R3, R9
+    SHL  R13, R13, 2
+    IADD R13, R1, R13
+    LDG  R14, [R13]         ; w
+    FFMA R14, R8, R12, R14  ; w += eta*delta[j]*input[i]
+    STG  [R13], R14
+    IADD R9, R9, 64
+    BRA  aloop
+adone:
+    EXIT
+"#;
+
+const IN: u32 = 256;
+const HID: u32 = 16;
+const BLOCK: u32 = 64;
+
+/// The BP benchmark: a 256→16 layer forward pass plus one weight update.
+#[derive(Debug)]
+pub struct Backprop {
+    module: Module,
+}
+
+impl Backprop {
+    /// Creates the benchmark (fixed 256-input, 16-hidden layer, matching
+    /// Rodinia's default layer shape scaled for campaign throughput).
+    pub fn new() -> Self {
+        Backprop {
+            module: Module::assemble(SRC).expect("BP kernels assemble"),
+        }
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut rng = InputRng::new(0xb003);
+        let input = rng.f32_vec(IN as usize, 0.0, 1.0);
+        let weights = rng.f32_vec((IN * HID) as usize, -0.5, 0.5);
+        let target = rng.f32_vec(HID as usize, 0.0, 1.0);
+        (input, weights, target)
+    }
+
+    fn hidden_reference(&self, input: &[f32], weights: &[f32]) -> Vec<f32> {
+        (0..HID as usize)
+            .map(|j| {
+                // Mirror the GPU's per-thread strided accumulation and tree
+                // reduction exactly.
+                let mut partial = [0f32; BLOCK as usize];
+                for (t, p) in partial.iter_mut().enumerate() {
+                    let mut i = t;
+                    while i < IN as usize {
+                        *p = input[i].mul_add(weights[j * IN as usize + i], *p);
+                        i += BLOCK as usize;
+                    }
+                }
+                let mut stride = (BLOCK / 2) as usize;
+                while stride > 0 {
+                    for t in 0..stride {
+                        partial[t] += partial[t + stride];
+                    }
+                    stride /= 2;
+                }
+                let net = partial[0];
+                1.0 / ((-net * LOG2E).exp2() + 1.0)
+            })
+            .collect()
+    }
+
+    /// CPU reference: hidden activations followed by the updated weights.
+    pub fn cpu_reference(&self) -> Vec<f32> {
+        let (input, mut weights, target) = self.inputs();
+        let hidden = self.hidden_reference(&input, &weights);
+        let delta: Vec<f32> = hidden
+            .iter()
+            .zip(&target)
+            .map(|(h, t)| (t - h) * h * (1.0 - h))
+            .collect();
+        for j in 0..HID as usize {
+            let eta_delta = delta[j] * 0.3;
+            for i in 0..IN as usize {
+                let w = &mut weights[j * IN as usize + i];
+                *w = eta_delta.mul_add(input[i], *w);
+            }
+        }
+        let mut out = hidden;
+        out.extend_from_slice(&weights);
+        out
+    }
+}
+
+impl Default for Backprop {
+    fn default() -> Self {
+        Backprop::new()
+    }
+}
+
+impl Workload for Backprop {
+    fn name(&self) -> &'static str {
+        "BP"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let (input, weights, target) = self.inputs();
+        let d_in = gpu.malloc(IN * 4)?;
+        let d_w = gpu.malloc(IN * HID * 4)?;
+        let d_h = gpu.malloc(HID * 4)?;
+        let d_delta = gpu.malloc(HID * 4)?;
+        gpu.write_f32s(d_in, &input)?;
+        gpu.write_f32s(d_w, &weights)?;
+
+        let fwd = self.module.kernel("layerforward").expect("kernel exists");
+        gpu.launch(fwd, LaunchDims::new(HID, BLOCK), &[d_in, d_w, d_h, IN])?;
+
+        // Host: output error deltas (Rodinia computes these on the CPU).
+        let hidden = gpu.read_f32s(d_h, HID as usize)?;
+        let delta: Vec<f32> = hidden
+            .iter()
+            .zip(&target)
+            .map(|(h, t)| (t - h) * h * (1.0 - h))
+            .collect();
+        gpu.write_f32s(d_delta, &delta)?;
+
+        let adj = self.module.kernel("adjust_weights").expect("kernel exists");
+        gpu.launch(adj, LaunchDims::new(HID, BLOCK), &[d_in, d_w, d_delta, IN, HID])?;
+
+        let mut out = f32s_to_bytes(&gpu.read_f32s(d_h, HID as usize)?);
+        out.extend(f32s_to_bytes(&gpu.read_f32s(d_w, (IN * HID) as usize)?));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{assert_f32_slices_close, bytes_to_f32s};
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = Backprop::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-3);
+    }
+
+    #[test]
+    fn two_kernels() {
+        let w = Backprop::new();
+        assert_eq!(w.module().kernels().len(), 2);
+    }
+}

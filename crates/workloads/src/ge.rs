@@ -1,0 +1,220 @@
+//! **GE — Gaussian Elimination** (Rodinia `gaussian`).
+//!
+//! Rodinia's per-column kernel pair: `fan1` computes the column of
+//! multipliers for pivot `t`, `fan2` applies them to the trailing
+//! submatrix and the right-hand side.  The host launches the pair `n`
+//! times and back-substitutes on the CPU, as the original does.
+
+use crate::input::{f32s_to_bytes, InputRng};
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel fan1
+.params 4            ; R0=A R1=M R2=n R3=t
+    S2R  R4, SR_TID.X
+    S2R  R5, SR_CTAID.X
+    S2R  R6, SR_NTID.X
+    IMAD R4, R5, R6, R4    ; r
+    ISETP.GE P0, R4, R2
+@P0 EXIT
+    ISETP.LE P1, R4, R3
+@P1 EXIT
+    IMAD R7, R4, R2, R3    ; r*n + t
+    SHL  R7, R7, 2
+    IADD R7, R0, R7
+    LDG  R8, [R7]          ; A[r][t]
+    IMAD R9, R3, R2, R3    ; t*n + t
+    SHL  R9, R9, 2
+    IADD R9, R0, R9
+    LDG  R10, [R9]         ; A[t][t]
+    FDIV R8, R8, R10
+    SHL  R11, R4, 2
+    IADD R11, R1, R11
+    STG  [R11], R8         ; M[r]
+    EXIT
+
+.kernel fan2
+.params 5            ; R0=A R1=b R2=M R3=n R4=t  (2-D CTAs of 8x8)
+    S2R  R5, SR_TID.X
+    S2R  R6, SR_TID.Y
+    S2R  R7, SR_CTAID.X
+    S2R  R8, SR_CTAID.Y
+    S2R  R9, SR_NTID.X
+    IMAD R10, R7, R9, R5   ; column candidate offset
+    S2R  R11, SR_NTID.Y
+    IMAD R12, R8, R11, R6  ; row candidate offset
+    IADD R13, R4, R10      ; c = t + x
+    IADD R14, R4, 1
+    IADD R14, R14, R12     ; r = t + 1 + y
+    ISETP.GE P0, R13, R3
+@P0 EXIT
+    ISETP.GE P1, R14, R3
+@P1 EXIT
+    SHL  R15, R14, 2
+    IADD R15, R2, R15
+    LDG  R16, [R15]        ; M[r]
+    IMAD R17, R14, R3, R13
+    SHL  R17, R17, 2
+    IADD R17, R0, R17      ; &A[r][c]
+    IMAD R18, R4, R3, R13
+    SHL  R18, R18, 2
+    IADD R18, R0, R18      ; &A[t][c]
+    LDG  R19, [R17]
+    LDG  R20, [R18]
+    FNEG R21, R16
+    FFMA R19, R21, R20, R19
+    STG  [R17], R19
+    ; lanes on the pivot column also update the right-hand side
+    ISETP.NE P2, R13, R4
+@P2 EXIT
+    SHL  R22, R14, 2
+    IADD R22, R1, R22      ; &b[r]
+    SHL  R23, R4, 2
+    IADD R23, R1, R23      ; &b[t]
+    LDG  R24, [R22]
+    LDG  R25, [R23]
+    FFMA R24, R21, R25, R24
+    STG  [R22], R24
+    EXIT
+"#;
+
+const N: usize = 32;
+const TILE: u32 = 8;
+
+/// The GE benchmark: a 32×32 dense system `Ax = b`.
+#[derive(Debug)]
+pub struct Gaussian {
+    module: Module,
+}
+
+impl Gaussian {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Gaussian {
+            module: Module::assemble(SRC).expect("GE kernels assemble"),
+        }
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = InputRng::new(0x6e0c);
+        let mut a = rng.f32_vec(N * N, 0.0, 1.0);
+        for i in 0..N {
+            a[i * N + i] += N as f32;
+        }
+        let b = rng.f32_vec(N, -1.0, 1.0);
+        (a, b)
+    }
+
+    fn back_substitute(a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut x = vec![0f32; N];
+        for i in (0..N).rev() {
+            let mut acc = b[i];
+            for j in i + 1..N {
+                acc = (-a[i * N + j]).mul_add(x[j], acc);
+            }
+            x[i] = acc / a[i * N + i];
+        }
+        x
+    }
+
+    /// CPU reference: the eliminated matrix, updated RHS and solution.
+    pub fn cpu_reference(&self) -> Vec<f32> {
+        let (mut a, mut b) = self.inputs();
+        let mut m = [0f32; N];
+        for t in 0..N {
+            for (r, mr) in m.iter_mut().enumerate().take(N).skip(t + 1) {
+                *mr = a[r * N + t] / a[t * N + t];
+            }
+            for r in t + 1..N {
+                for c in t..N {
+                    a[r * N + c] = (-m[r]).mul_add(a[t * N + c], a[r * N + c]);
+                }
+                b[r] = (-m[r]).mul_add(b[t], b[r]);
+            }
+        }
+        let x = Self::back_substitute(&a, &b);
+        let mut out = a;
+        out.extend_from_slice(&b);
+        out.extend_from_slice(&x);
+        out
+    }
+}
+
+impl Default for Gaussian {
+    fn default() -> Self {
+        Gaussian::new()
+    }
+}
+
+impl Workload for Gaussian {
+    fn name(&self) -> &'static str {
+        "GE"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let (a, b) = self.inputs();
+        let d_a = gpu.malloc((N * N * 4) as u32)?;
+        let d_b = gpu.malloc((N * 4) as u32)?;
+        let d_m = gpu.malloc((N * 4) as u32)?;
+        gpu.write_f32s(d_a, &a)?;
+        gpu.write_f32s(d_b, &b)?;
+        let fan1 = self.module.kernel("fan1").expect("kernel exists");
+        let fan2 = self.module.kernel("fan2").expect("kernel exists");
+        let n = N as u32;
+        for t in 0..n {
+            gpu.launch(fan1, LaunchDims::new(1, n), &[d_a, d_m, n, t])?;
+            gpu.launch(
+                fan2,
+                LaunchDims::new((n / TILE, n / TILE), (TILE, TILE)),
+                &[d_a, d_b, d_m, n, t],
+            )?;
+        }
+        let a_out = gpu.read_f32s(d_a, N * N)?;
+        let b_out = gpu.read_f32s(d_b, N)?;
+        let x = Self::back_substitute(&a_out, &b_out);
+        let mut out = f32s_to_bytes(&a_out);
+        out.extend(f32s_to_bytes(&b_out));
+        out.extend(f32s_to_bytes(&x));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{assert_f32_slices_close, bytes_to_f32s};
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = Gaussian::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-3);
+    }
+
+    #[test]
+    fn solution_satisfies_system() {
+        let w = Gaussian::new();
+        let (a, b) = w.inputs();
+        let full = w.cpu_reference();
+        let x = &full[N * N + N..];
+        for i in 0..N {
+            let mut acc = 0f64;
+            for j in 0..N {
+                acc += f64::from(a[i * N + j]) * f64::from(x[j]);
+            }
+            assert!(
+                (acc - f64::from(b[i])).abs() < 1e-3,
+                "row {i}: Ax={acc} b={}",
+                b[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! **HS — HotSpot** (Rodinia `hotspot`).
+//!
+//! Iterative 2-D thermal stencil: each cell relaxes toward its four
+//! neighbours plus the local power dissipation.  The port keeps Rodinia's
+//! structure: 2-D CTAs staging the tile in shared memory behind a barrier,
+//! the read-only power grid on the texture path, and host-driven
+//! iterations with buffer swapping.
+
+use crate::input::InputRng;
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel hotspot
+.params 5            ; R0=temp_in R1=power R2=temp_out R3=W R4=H
+.smem 256
+    S2R  R5, SR_TID.X
+    S2R  R6, SR_TID.Y
+    S2R  R7, SR_CTAID.X
+    S2R  R8, SR_CTAID.Y
+    S2R  R9, SR_NTID.X
+    IMAD R10, R7, R9, R5    ; x
+    S2R  R11, SR_NTID.Y
+    IMAD R12, R8, R11, R6   ; y
+    IMAD R13, R12, R3, R10  ; idx = y*W + x
+    SHL  R14, R13, 2
+    IADD R15, R0, R14
+    LDG  R16, [R15]         ; own temperature
+    IMAD R17, R6, R9, R5    ; shared slot = ty*8 + tx
+    SHL  R17, R17, 2
+    STS  [R17], R16
+    BAR
+    ; clamped neighbour coordinates
+    ISUB R18, R10, 1
+    IMAX R18, R18, 0        ; x-1
+    IADD R19, R10, 1
+    ISUB R20, R3, 1
+    IMIN R19, R19, R20      ; x+1
+    ISUB R21, R12, 1
+    IMAX R21, R21, 0        ; y-1
+    IADD R22, R12, 1
+    ISUB R23, R4, 1
+    IMIN R22, R22, R23      ; y+1
+    IMAD R24, R12, R3, R18
+    SHL  R24, R24, 2
+    IADD R24, R0, R24
+    LDG  R25, [R24]         ; west
+    IMAD R24, R12, R3, R19
+    SHL  R24, R24, 2
+    IADD R24, R0, R24
+    LDG  R26, [R24]         ; east
+    IMAD R24, R21, R3, R10
+    SHL  R24, R24, 2
+    IADD R24, R0, R24
+    LDG  R27, [R24]         ; north
+    IMAD R24, R22, R3, R10
+    SHL  R24, R24, 2
+    IADD R24, R0, R24
+    LDG  R28, [R24]         ; south
+    IADD R24, R1, R14
+    LDT  R29, [R24]         ; power (texture path)
+    LDS  R30, [R17]         ; own value from the shared tile
+    FADD R31, R25, R26
+    FADD R31, R31, R27
+    FADD R31, R31, R28
+    FFMA R31, R30, -4.0f, R31
+    FADD R31, R31, R29
+    FFMA R31, R31, 0.1f, R30
+    IADD R24, R2, R14
+    STG  [R24], R31
+    EXIT
+"#;
+
+const W: u32 = 32;
+const H: u32 = 32;
+const TILE: u32 = 8;
+const ITERS: usize = 4;
+
+/// The HS benchmark: a 32×32 grid relaxed for four iterations.
+#[derive(Debug)]
+pub struct HotSpot {
+    module: Module,
+}
+
+impl HotSpot {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        HotSpot {
+            module: Module::assemble(SRC).expect("HS kernel assembles"),
+        }
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = InputRng::new(0x4504);
+        let temp = rng.f32_vec((W * H) as usize, 20.0, 80.0);
+        let power = rng.f32_vec((W * H) as usize, 0.0, 2.0);
+        (temp, power)
+    }
+
+    /// CPU reference: the final temperature grid.
+    pub fn cpu_reference(&self) -> Vec<f32> {
+        let (mut temp, power) = self.inputs();
+        let mut next = temp.clone();
+        let (w, h) = (W as usize, H as usize);
+        for _ in 0..ITERS {
+            for y in 0..h {
+                for x in 0..w {
+                    let idx = y * w + x;
+                    let own = temp[idx];
+                    let west = temp[y * w + x.saturating_sub(1)];
+                    let east = temp[y * w + (x + 1).min(w - 1)];
+                    let north = temp[y.saturating_sub(1) * w + x];
+                    let south = temp[(y + 1).min(h - 1) * w + x];
+                    let mut sum = west + east;
+                    sum += north;
+                    sum += south;
+                    sum = own.mul_add(-4.0, sum);
+                    sum += power[idx];
+                    next[idx] = sum.mul_add(0.1, own);
+                }
+            }
+            std::mem::swap(&mut temp, &mut next);
+        }
+        temp
+    }
+}
+
+impl Default for HotSpot {
+    fn default() -> Self {
+        HotSpot::new()
+    }
+}
+
+impl Workload for HotSpot {
+    fn name(&self) -> &'static str {
+        "HS"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let (temp, power) = self.inputs();
+        let bytes = W * H * 4;
+        let mut d_a = gpu.malloc(bytes)?;
+        let mut d_b = gpu.malloc(bytes)?;
+        let d_p = gpu.malloc(bytes)?;
+        gpu.write_f32s(d_a, &temp)?;
+        gpu.write_f32s(d_p, &power)?;
+        let kernel = self.module.kernel("hotspot").expect("kernel exists");
+        for _ in 0..ITERS {
+            gpu.launch(
+                kernel,
+                LaunchDims::new((W / TILE, H / TILE), (TILE, TILE)),
+                &[d_a, d_p, d_b, W, H],
+            )?;
+            std::mem::swap(&mut d_a, &mut d_b);
+        }
+        let mut out = vec![0u8; bytes as usize];
+        gpu.memcpy_d2h(d_a, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{assert_f32_slices_close, bytes_to_f32s};
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = HotSpot::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-4);
+    }
+
+    #[test]
+    fn runs_on_titan_without_l1d() {
+        let w = HotSpot::new();
+        let mut gpu = Gpu::new(GpuConfig::gtx_titan());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-4);
+    }
+}

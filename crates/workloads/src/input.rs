@@ -1,0 +1,171 @@
+//! Deterministic input generation shared by all benchmarks.
+//!
+//! Inputs must be identical across runs (golden vs. faulty) and across
+//! platforms, so everything derives from a seeded xorshift generator —
+//! no external data files, matching the paper's fixed benchmark inputs.
+
+/// A small, fast, deterministic PRNG (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct InputRng {
+    state: u64,
+}
+
+impl InputRng {
+    /// Creates a generator; `seed` 0 is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        InputRng {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Next `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`; `bound` 0 yields 0.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % u64::from(bound)) as u32
+        }
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.unit_f32() * (hi - lo)
+    }
+
+    /// A vector of uniform floats in `[lo, hi)`.
+    pub fn f32_vec(&mut self, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n).map(|_| self.f32_in(lo, hi)).collect()
+    }
+}
+
+/// Relative-tolerance float comparison used by the CPU-reference tests.
+pub fn approx_eq(a: f32, b: f32, rel: f32) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let scale = a.abs().max(b.abs()).max(1e-6);
+    (a - b).abs() <= rel * scale
+}
+
+/// Asserts element-wise approximate equality of two float slices.
+///
+/// # Panics
+///
+/// Panics with the first mismatching index when the slices differ in
+/// length or any element exceeds the relative tolerance.
+pub fn assert_f32_slices_close(actual: &[f32], expect: &[f32], rel: f32) {
+    assert_eq!(actual.len(), expect.len(), "length mismatch");
+    for (i, (a, e)) in actual.iter().zip(expect).enumerate() {
+        assert!(
+            approx_eq(*a, *e, rel),
+            "element {i}: got {a}, expected {e} (rel {rel})"
+        );
+    }
+}
+
+/// Reinterprets a float slice as its little-endian byte image (the result
+/// format every workload returns).
+pub fn f32s_to_bytes(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|f| f.to_le_bytes()).collect()
+}
+
+/// Reinterprets a `u32` slice as its little-endian byte image.
+pub fn u32s_to_bytes(v: &[u32]) -> Vec<u8> {
+    v.iter().flat_map(|f| f.to_le_bytes()).collect()
+}
+
+/// Parses the byte image back into floats (test helper).
+pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+/// Parses the byte image back into `u32`s (test helper).
+pub fn bytes_to_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut r = InputRng::new(7);
+            (0..10).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = InputRng::new(7);
+            (0..10).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u32> = {
+            let mut r = InputRng::new(8);
+            (0..10).map(|_| r.next_u32()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_f32_in_range() {
+        let mut r = InputRng::new(3);
+        for _ in 0..1000 {
+            let v = r.unit_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = InputRng::new(5);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn byte_roundtrips() {
+        let v = vec![1.5f32, -2.25, 0.0];
+        assert_eq!(bytes_to_f32s(&f32s_to_bytes(&v)), v);
+        let u = vec![1u32, 0xdeadbeef];
+        assert_eq!(bytes_to_u32s(&u32s_to_bytes(&u)), u);
+    }
+
+    #[test]
+    fn approx_eq_semantics() {
+        assert!(approx_eq(1.0, 1.0005, 1e-3));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(!approx_eq(f32::NAN, 1.0, 1.0));
+        assert!(approx_eq(0.0, 0.0, 0.0));
+    }
+}

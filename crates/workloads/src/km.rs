@@ -1,0 +1,209 @@
+//! **KM — K-Means** (Rodinia `kmeans`).
+//!
+//! The GPU computes the assignment step — nearest centroid per point, with
+//! centroids read through the texture path — while the host recomputes the
+//! centroids between iterations, matching Rodinia's split.
+
+use crate::input::{f32s_to_bytes, u32s_to_bytes, InputRng};
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel kmeans_assign
+.params 5            ; R0=points R1=centroids R2=membership R3=n R4=k
+    S2R  R5, SR_TID.X
+    S2R  R6, SR_CTAID.X
+    S2R  R7, SR_NTID.X
+    IMAD R5, R6, R7, R5    ; point index
+    ISETP.GE P0, R5, R3
+@P0 EXIT
+    SHL  R8, R5, 4         ; 4 dims × 4 bytes
+    IADD R8, R0, R8
+    LDG  R9,  [R8]
+    LDG  R10, [R8+4]
+    LDG  R11, [R8+8]
+    LDG  R12, [R8+12]
+    MOV  R13, 0            ; cluster index
+    MOV  R14, 0x7f7fffff   ; best distance = f32::MAX
+    MOV  R15, 0            ; best cluster
+cl:
+    ISETP.GE P1, R13, R4
+@P1 BRA cdone
+    SHL  R16, R13, 4
+    IADD R16, R1, R16
+    LDT  R17, [R16]
+    LDT  R18, [R16+4]
+    LDT  R19, [R16+8]
+    LDT  R20, [R16+12]
+    FSUB R17, R9, R17
+    FSUB R18, R10, R18
+    FSUB R19, R11, R19
+    FSUB R20, R12, R20
+    MOV  R21, 0
+    FFMA R21, R17, R17, R21
+    FFMA R21, R18, R18, R21
+    FFMA R21, R19, R19, R21
+    FFMA R21, R20, R20, R21
+    FSETP.LT P2, R21, R14
+@P2 MOV R14, R21
+@P2 MOV R15, R13
+    IADD R13, R13, 1
+    BRA  cl
+cdone:
+    SHL  R22, R5, 2
+    IADD R22, R2, R22
+    STG  [R22], R15
+    EXIT
+"#;
+
+const N: u32 = 512;
+const K: u32 = 8;
+const DIM: usize = 4;
+const BLOCK: u32 = 64;
+const ITERS: usize = 3;
+
+/// The KM benchmark: 512 four-dimensional points, 8 clusters, 3 rounds.
+#[derive(Debug)]
+pub struct KMeans {
+    module: Module,
+}
+
+impl KMeans {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        KMeans {
+            module: Module::assemble(SRC).expect("KM kernel assembles"),
+        }
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = InputRng::new(0x6b05);
+        let points = rng.f32_vec(N as usize * DIM, 0.0, 10.0);
+        // Initial centroids: the first K points (Rodinia's initialisation).
+        let centroids = points[..K as usize * DIM].to_vec();
+        (points, centroids)
+    }
+
+    fn assign(points: &[f32], centroids: &[f32]) -> Vec<u32> {
+        (0..N as usize)
+            .map(|i| {
+                let p = &points[i * DIM..i * DIM + DIM];
+                let mut best = f32::MAX;
+                let mut best_c = 0u32;
+                for c in 0..K as usize {
+                    let q = &centroids[c * DIM..c * DIM + DIM];
+                    let mut acc = 0f32;
+                    for d in 0..DIM {
+                        let diff = p[d] - q[d];
+                        acc = diff.mul_add(diff, acc);
+                    }
+                    if acc < best {
+                        best = acc;
+                        best_c = c as u32;
+                    }
+                }
+                best_c
+            })
+            .collect()
+    }
+
+    fn refit(points: &[f32], membership: &[u32], centroids: &mut [f32]) {
+        let mut sums = vec![0f32; K as usize * DIM];
+        let mut counts = vec![0u32; K as usize];
+        for (i, &m) in membership.iter().enumerate() {
+            let m = m as usize % K as usize;
+            counts[m] += 1;
+            for d in 0..DIM {
+                sums[m * DIM + d] += points[i * DIM + d];
+            }
+        }
+        for c in 0..K as usize {
+            if counts[c] > 0 {
+                for d in 0..DIM {
+                    centroids[c * DIM + d] = sums[c * DIM + d] / counts[c] as f32;
+                }
+            }
+        }
+    }
+
+    /// CPU reference: final memberships followed by final centroids (as
+    /// raw bytes, matching [`Workload::run`]).
+    pub fn cpu_reference(&self) -> Vec<u8> {
+        let (points, mut centroids) = self.inputs();
+        let mut membership = Vec::new();
+        for it in 0..ITERS {
+            membership = Self::assign(&points, &centroids);
+            if it + 1 < ITERS {
+                Self::refit(&points, &membership, &mut centroids);
+            }
+        }
+        let mut out = u32s_to_bytes(&membership);
+        out.extend(f32s_to_bytes(&centroids));
+        out
+    }
+}
+
+impl Default for KMeans {
+    fn default() -> Self {
+        KMeans::new()
+    }
+}
+
+impl Workload for KMeans {
+    fn name(&self) -> &'static str {
+        "KM"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let (points, mut centroids) = self.inputs();
+        let d_p = gpu.malloc(N * DIM as u32 * 4)?;
+        let d_c = gpu.malloc(K * DIM as u32 * 4)?;
+        let d_m = gpu.malloc(N * 4)?;
+        gpu.write_f32s(d_p, &points)?;
+        gpu.write_f32s(d_c, &centroids)?;
+        let kernel = self.module.kernel("kmeans_assign").expect("kernel exists");
+        let mut membership = Vec::new();
+        for it in 0..ITERS {
+            gpu.launch(kernel, LaunchDims::new(N / BLOCK, BLOCK), &[d_p, d_c, d_m, N, K])?;
+            membership = gpu.read_u32s(d_m, N as usize)?;
+            if it + 1 < ITERS {
+                // Host-side refit, as in Rodinia.
+                Self::refit(&points, &membership, &mut centroids);
+                gpu.write_f32s(d_c, &centroids)?;
+            }
+        }
+        let mut out = u32s_to_bytes(&membership);
+        out.extend(f32s_to_bytes(&centroids));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = KMeans::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = w.run(&mut gpu).unwrap();
+        // Memberships are integers; distances are computed in the same
+        // order on both sides, so the whole image must match exactly.
+        assert_eq!(out, w.cpu_reference());
+    }
+
+    #[test]
+    fn memberships_in_range() {
+        let w = KMeans::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = w.run(&mut gpu).unwrap();
+        let members = crate::input::bytes_to_u32s(&out[..N as usize * 4]);
+        assert!(members.iter().all(|&m| m < K));
+    }
+}

@@ -1,0 +1,127 @@
+//! # gpufi-workloads — the paper's twelve benchmarks, ported to SASS-lite
+//!
+//! The gpuFI-4 evaluation uses twelve CUDA applications from the Rodinia
+//! suite and the Nvidia CUDA SDK (§V.B).  This crate ports each kernel's
+//! *algorithm* to the SASS-lite ISA at campaign-friendly problem sizes,
+//! keeping the structural traits that drive per-benchmark vulnerability
+//! differences: shared-memory reductions and tiles, barriers, 2-D
+//! stencils, wavefronts, host-side iteration loops, texture-path reads and
+//! irregular frontier parallelism.
+//!
+//! | Code | Benchmark | Origin | Structure exercised |
+//! |------|-----------|--------|---------------------|
+//! | VA | Vector addition | CUDA SDK | streaming global loads/stores |
+//! | SP | Scalar product | CUDA SDK | shared-memory tree reduction |
+//! | BP | Backpropagation | Rodinia | reduction + weight update, SFU sigmoid |
+//! | HS | HotSpot | Rodinia | 2-D stencil, shared tile, texture power grid, host iterations |
+//! | KM | K-Means | Rodinia | distance argmin, texture centroids, host refit loop |
+//! | SRAD1 | Speckle-reducing diffusion v1 | Rodinia | reduce + 2 stencil kernels |
+//! | SRAD2 | Speckle-reducing diffusion v2 | Rodinia | texture-path stencil pair |
+//! | LUD | LU decomposition | Rodinia | tiled diagonal/perimeter/internal kernels |
+//! | BFS | Breadth-first search | Rodinia | frontier kernels, host stop-flag loop |
+//! | PATHF | PathFinder | Rodinia | per-row dynamic programming, shared halo |
+//! | NW | Needleman-Wunsch | Rodinia | anti-diagonal wavefront, many small launches |
+//! | GE | Gaussian elimination | Rodinia | Fan1/Fan2 per-column kernels |
+//!
+//! Every workload is deterministic: inputs come from a fixed-seed
+//! generator ([`input::InputRng`]) and each type exposes a
+//! `cpu_reference()` used by its unit tests.
+//!
+//! # Example
+//!
+//! ```
+//! use gpufi_core::Workload;
+//! use gpufi_sim::{Gpu, GpuConfig};
+//! use gpufi_workloads::VectorAdd;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let va = VectorAdd::new(256);
+//! let mut gpu = Gpu::new(GpuConfig::rtx2060());
+//! let bytes = va.run(&mut gpu)?;
+//! assert_eq!(bytes.len(), 256 * 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod input;
+
+mod bfs;
+mod bp;
+mod ge;
+mod hs;
+mod km;
+mod lud;
+mod nw;
+mod pathfinder;
+mod sp;
+mod srad1;
+mod srad2;
+mod va;
+
+pub use bfs::Bfs;
+pub use bp::Backprop;
+pub use ge::Gaussian;
+pub use hs::HotSpot;
+pub use km::KMeans;
+pub use lud::Lud;
+pub use nw::NeedlemanWunsch;
+pub use pathfinder::PathFinder;
+pub use sp::ScalarProd;
+pub use srad1::Srad1;
+pub use srad2::Srad2;
+pub use va::VectorAdd;
+
+use gpufi_core::Workload;
+
+/// The paper's twelve benchmarks at their campaign sizes, in the order of
+/// the paper's figures: HS, KM, SRAD1, SRAD2, LUD, BFS, PATHF, NW, GE, BP,
+/// VA, SP.
+pub fn paper_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(HotSpot::default()),
+        Box::new(KMeans::default()),
+        Box::new(Srad1::default()),
+        Box::new(Srad2::default()),
+        Box::new(Lud::default()),
+        Box::new(Bfs::default()),
+        Box::new(PathFinder::default()),
+        Box::new(NeedlemanWunsch::default()),
+        Box::new(Gaussian::default()),
+        Box::new(Backprop::default()),
+        Box::new(VectorAdd::default()),
+        Box::new(ScalarProd::default()),
+    ]
+}
+
+/// Looks up one of the paper benchmarks by its short code (`"VA"`, `"HS"`,
+/// …), case-insensitively.
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    paper_suite()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_unique_benchmarks() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 12);
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("va").is_some());
+        assert!(by_name("PATHF").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

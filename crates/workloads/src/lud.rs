@@ -1,0 +1,396 @@
+//! **LUD — LU Decomposition** (Rodinia `lud`).
+//!
+//! Rodinia's tiled right-looking factorisation with its three kernels per
+//! step: `lud_diagonal` factors the pivot tile (one CTA, barriers between
+//! elimination steps), `lud_perim_row` / `lud_perim_col` solve the row and
+//! column panels against the pivot tile, and `lud_internal` applies the
+//! trailing-submatrix update.
+
+use crate::input::InputRng;
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel lud_diagonal
+.params 2            ; R0=A R1=k  (one CTA of 8 threads; thread = tile row)
+    S2R  R2, SR_TID.X
+    IMUL R3, R1, 264       ; pivot tile base = k*(8*32) + k*8
+    MOV  R4, 0             ; i
+iloop:
+    ISETP.GE P0, R4, 7
+@P0 BRA idone
+    IMUL R5, R2, 32
+    IADD R5, R5, R3
+    IADD R5, R5, R4
+    SHL  R5, R5, 2
+    IADD R5, R0, R5        ; &A[r][i]
+    IMUL R6, R4, 33
+    IADD R6, R6, R3
+    SHL  R6, R6, 2
+    IADD R6, R0, R6        ; &A[i][i]
+    ISETP.GT P1, R2, R4
+@P1 LDG  R7, [R5]
+@P1 LDG  R8, [R6]
+@P1 FDIV R7, R7, R8
+@P1 STG  [R5], R7          ; multiplier in place
+    BAR
+    IADD R9, R4, 1         ; j
+jloop:
+    ISETP.GE P2, R9, 8
+@P2 BRA jdone
+    IMUL R10, R2, 32
+    IADD R10, R10, R3
+    IADD R10, R10, R9
+    SHL  R10, R10, 2
+    IADD R10, R0, R10      ; &A[r][j]
+    IMUL R11, R4, 32
+    IADD R11, R11, R3
+    IADD R11, R11, R9
+    SHL  R11, R11, 2
+    IADD R11, R0, R11      ; &A[i][j]
+@P1 LDG  R12, [R10]
+@P1 LDG  R13, [R11]
+@P1 LDG  R14, [R5]
+@P1 FNEG R14, R14
+@P1 FFMA R12, R14, R13, R12
+@P1 STG  [R10], R12
+    IADD R9, R9, 1
+    BRA  jloop
+jdone:
+    BAR
+    IADD R4, R4, 1
+    BRA  iloop
+idone:
+    EXIT
+
+.kernel lud_perim_row
+.params 2            ; R0=A R1=k  (CTA b -> row tile (k, k+1+b); thread = column)
+    S2R  R2, SR_TID.X
+    S2R  R3, SR_CTAID.X
+    IADD R4, R1, 1
+    IADD R4, R4, R3        ; jt
+    IMUL R5, R1, 256
+    SHL  R6, R4, 3
+    IADD R5, R5, R6        ; tile base
+    IMUL R7, R1, 264       ; pivot tile base
+    MOV  R8, 0             ; i
+iloop:
+    ISETP.GE P0, R8, 7
+@P0 BRA done
+    IMUL R9, R8, 32
+    IADD R9, R9, R5
+    IADD R9, R9, R2
+    SHL  R9, R9, 2
+    IADD R9, R0, R9
+    LDG  R10, [R9]         ; A[i][c]
+    IADD R11, R8, 1        ; r
+rloop:
+    ISETP.GE P1, R11, 8
+@P1 BRA rdone
+    IMUL R12, R11, 32
+    IADD R12, R12, R7
+    IADD R12, R12, R8
+    SHL  R12, R12, 2
+    IADD R12, R0, R12
+    LDG  R13, [R12]        ; multiplier M[r][i]
+    IMUL R14, R11, 32
+    IADD R14, R14, R5
+    IADD R14, R14, R2
+    SHL  R14, R14, 2
+    IADD R14, R0, R14
+    LDG  R15, [R14]
+    FNEG R16, R13
+    FFMA R15, R16, R10, R15
+    STG  [R14], R15
+    IADD R11, R11, 1
+    BRA  rloop
+rdone:
+    IADD R8, R8, 1
+    BRA  iloop
+done:
+    EXIT
+
+.kernel lud_perim_col
+.params 2            ; R0=A R1=k  (CTA b -> col tile (k+1+b, k); thread = row)
+    S2R  R2, SR_TID.X
+    S2R  R3, SR_CTAID.X
+    IADD R4, R1, 1
+    IADD R4, R4, R3        ; it
+    SHL  R5, R4, 3
+    IMUL R5, R5, 32
+    SHL  R6, R1, 3
+    IADD R5, R5, R6        ; tile base
+    IMUL R7, R1, 264       ; pivot tile base
+    MOV  R8, 0             ; c
+cloop:
+    ISETP.GE P0, R8, 8
+@P0 BRA done
+    IMUL R9, R2, 32
+    IADD R9, R9, R5
+    IADD R9, R9, R8
+    SHL  R9, R9, 2
+    IADD R9, R0, R9        ; &A[r][c]
+    LDG  R10, [R9]
+    MOV  R11, 0            ; m
+mloop:
+    ISETP.GE P1, R11, R8
+@P1 BRA mdone
+    IMUL R12, R2, 32
+    IADD R12, R12, R5
+    IADD R12, R12, R11
+    SHL  R12, R12, 2
+    IADD R12, R0, R12
+    LDG  R13, [R12]        ; A[r][m]
+    IMUL R14, R11, 32
+    IADD R14, R14, R7
+    IADD R14, R14, R8
+    SHL  R14, R14, 2
+    IADD R14, R0, R14
+    LDG  R15, [R14]        ; U[m][c]
+    FNEG R15, R15
+    FFMA R10, R15, R13, R10
+    IADD R11, R11, 1
+    BRA  mloop
+mdone:
+    IMUL R16, R8, 33
+    IADD R16, R16, R7
+    SHL  R16, R16, 2
+    IADD R16, R0, R16
+    LDG  R17, [R16]        ; U[c][c]
+    FDIV R10, R10, R17
+    STG  [R9], R10
+    IADD R8, R8, 1
+    BRA  cloop
+done:
+    EXIT
+
+.kernel lud_internal
+.params 2            ; R0=A R1=k  (2-D grid; CTA (bj,bi) -> tile (k+1+bi, k+1+bj))
+    S2R  R2, SR_TID.X
+    S2R  R3, SR_CTAID.X    ; bj
+    S2R  R4, SR_CTAID.Y    ; bi
+    IADD R5, R1, 1
+    IADD R6, R5, R4        ; it
+    IADD R7, R5, R3        ; jt
+    SHR  R8, R2, 3         ; r
+    AND  R9, R2, 7         ; c
+    IMUL R10, R6, 256
+    SHL  R11, R7, 3
+    IADD R10, R10, R11     ; A tile base
+    IMUL R12, R6, 256
+    SHL  R13, R1, 3
+    IADD R12, R12, R13     ; L tile base
+    IMUL R14, R1, 256
+    IADD R14, R14, R11     ; U tile base
+    MOV  R15, 0            ; dot
+    MOV  R16, 0            ; m
+sloop:
+    ISETP.GE P0, R16, 8
+@P0 BRA sdone
+    IMUL R17, R8, 32
+    IADD R17, R17, R12
+    IADD R17, R17, R16
+    SHL  R17, R17, 2
+    IADD R17, R0, R17
+    LDG  R18, [R17]        ; L[r][m]
+    IMUL R19, R16, 32
+    IADD R19, R19, R14
+    IADD R19, R19, R9
+    SHL  R19, R19, 2
+    IADD R19, R0, R19
+    LDG  R20, [R19]        ; U[m][c]
+    FFMA R15, R18, R20, R15
+    IADD R16, R16, 1
+    BRA  sloop
+sdone:
+    IMUL R21, R8, 32
+    IADD R21, R21, R10
+    IADD R21, R21, R9
+    SHL  R21, R21, 2
+    IADD R21, R0, R21
+    LDG  R22, [R21]
+    FSUB R22, R22, R15
+    STG  [R21], R22
+    EXIT
+"#;
+
+const N: usize = 32;
+const B: usize = 8;
+const NB: usize = N / B;
+
+/// The LUD benchmark: a 32×32 in-place tiled LU factorisation.
+#[derive(Debug)]
+pub struct Lud {
+    module: Module,
+}
+
+impl Lud {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Lud {
+            module: Module::assemble(SRC).expect("LUD kernels assemble"),
+        }
+    }
+
+    fn input(&self) -> Vec<f32> {
+        let mut rng = InputRng::new(0x1d08);
+        let mut a = rng.f32_vec(N * N, 0.0, 1.0);
+        for i in 0..N {
+            a[i * N + i] += N as f32; // diagonally dominant: stable without pivoting
+        }
+        a
+    }
+
+    /// CPU reference mirroring the tiled GPU algorithm operation-for-
+    /// operation (so the float rounding matches).
+    pub fn cpu_reference(&self) -> Vec<f32> {
+        let mut a = self.input();
+        for k in 0..NB {
+            let pb = k * B * N + k * B;
+            // diagonal tile
+            for i in 0..B - 1 {
+                for r in i + 1..B {
+                    a[pb + r * N + i] /= a[pb + i * N + i];
+                }
+                for j in i + 1..B {
+                    for r in i + 1..B {
+                        let m = a[pb + r * N + i];
+                        a[pb + r * N + j] = (-m).mul_add(a[pb + i * N + j], a[pb + r * N + j]);
+                    }
+                }
+            }
+            // row panels
+            for jt in k + 1..NB {
+                let tb = k * B * N + jt * B;
+                for c in 0..B {
+                    for i in 0..B - 1 {
+                        let aic = a[tb + i * N + c];
+                        for r in i + 1..B {
+                            let m = a[pb + r * N + i];
+                            a[tb + r * N + c] = (-m).mul_add(aic, a[tb + r * N + c]);
+                        }
+                    }
+                }
+            }
+            // column panels
+            for it in k + 1..NB {
+                let tb = it * B * N + k * B;
+                for r in 0..B {
+                    for c in 0..B {
+                        let mut acc = a[tb + r * N + c];
+                        for m in 0..c {
+                            let u = a[pb + m * N + c];
+                            acc = (-u).mul_add(a[tb + r * N + m], acc);
+                        }
+                        a[tb + r * N + c] = acc / a[pb + c * N + c];
+                    }
+                }
+            }
+            // trailing update
+            for it in k + 1..NB {
+                for jt in k + 1..NB {
+                    let tb = it * B * N + jt * B;
+                    let lb = it * B * N + k * B;
+                    let ub = k * B * N + jt * B;
+                    for r in 0..B {
+                        for c in 0..B {
+                            let mut dot = 0f32;
+                            for m in 0..B {
+                                dot = a[lb + r * N + m].mul_add(a[ub + m * N + c], dot);
+                            }
+                            a[tb + r * N + c] -= dot;
+                        }
+                    }
+                }
+            }
+        }
+        a
+    }
+}
+
+impl Default for Lud {
+    fn default() -> Self {
+        Lud::new()
+    }
+}
+
+impl Workload for Lud {
+    fn name(&self) -> &'static str {
+        "LUD"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let a = self.input();
+        let d_a = gpu.malloc((N * N * 4) as u32)?;
+        gpu.write_f32s(d_a, &a)?;
+        let diag = self.module.kernel("lud_diagonal").expect("kernel exists");
+        let prow = self.module.kernel("lud_perim_row").expect("kernel exists");
+        let pcol = self.module.kernel("lud_perim_col").expect("kernel exists");
+        let intl = self.module.kernel("lud_internal").expect("kernel exists");
+        for k in 0..NB as u32 {
+            gpu.launch(diag, LaunchDims::new(1, B as u32), &[d_a, k])?;
+            let rest = NB as u32 - k - 1;
+            if rest > 0 {
+                gpu.launch(prow, LaunchDims::new(rest, B as u32), &[d_a, k])?;
+                gpu.launch(pcol, LaunchDims::new(rest, B as u32), &[d_a, k])?;
+                gpu.launch(
+                    intl,
+                    LaunchDims::new((rest, rest), (B * B) as u32),
+                    &[d_a, k],
+                )?;
+            }
+        }
+        let mut out = vec![0u8; N * N * 4];
+        gpu.memcpy_d2h(d_a, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{assert_f32_slices_close, bytes_to_f32s};
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = Lud::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-3);
+    }
+
+    #[test]
+    fn factorisation_reconstructs_input() {
+        // L (unit lower) × U must reproduce the original matrix.
+        let w = Lud::new();
+        let lu = w.cpu_reference();
+        let a = w.input();
+        for i in 0..N {
+            for j in 0..N {
+                let mut s = 0f64;
+                for m in 0..N {
+                    let l = if m < i {
+                        f64::from(lu[i * N + m])
+                    } else if m == i {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let u = if m <= j { f64::from(lu[m * N + j]) } else { 0.0 };
+                    s += l * u;
+                }
+                let expect = f64::from(a[i * N + j]);
+                assert!(
+                    (s - expect).abs() < 1e-2 * expect.abs().max(1.0),
+                    "A[{i}][{j}]: {s} vs {expect}"
+                );
+            }
+        }
+    }
+}

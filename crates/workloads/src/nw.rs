@@ -1,0 +1,161 @@
+//! **NW — Needleman-Wunsch** (Rodinia `nw`).
+//!
+//! Global sequence alignment filled along anti-diagonal wavefronts: the
+//! host launches one small kernel per anti-diagonal (94 launches for a
+//! 48×48 alignment), which is exactly the many-invocations-per-static-
+//! kernel shape the paper's campaign methodology targets (§VI.A).
+
+use crate::input::{u32s_to_bytes, InputRng};
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel nw_diagonal
+.params 5            ; R0=score R1=ref R2=d R3=i_start R4=count  (pitch = 49, penalty = 3)
+    S2R  R6, SR_TID.X
+    S2R  R7, SR_CTAID.X
+    S2R  R8, SR_NTID.X
+    IMAD R6, R7, R8, R6
+    ISETP.GE P0, R6, R4
+@P0 EXIT
+    IADD R9, R3, R6        ; i
+    ISUB R10, R2, R9       ; j = d - i
+    IMAD R11, R9, 49, R10  ; idx = i*pitch + j
+    SHL  R11, R11, 2
+    IADD R12, R0, R11      ; &score[i][j]
+    ISUB R15, R12, 196     ; &score[i-1][j]  (pitch*4 = 196)
+    LDG  R16, [R15-4]      ; north-west
+    LDG  R17, [R15]        ; north
+    LDG  R18, [R12-4]      ; west
+    IADD R19, R1, R11
+    LDG  R20, [R19]        ; substitution score
+    IADD R16, R16, R20
+    ISUB R17, R17, 3
+    ISUB R18, R18, 3
+    IMAX R21, R16, R17
+    IMAX R21, R21, R18
+    STG  [R12], R21
+    EXIT
+"#;
+
+const N: usize = 48;
+const PITCH: usize = N + 1;
+const PENALTY: i32 = 3;
+const BLOCK: u32 = 32;
+
+/// The NW benchmark: a 48×48 global alignment DP matrix.
+#[derive(Debug)]
+pub struct NeedlemanWunsch {
+    module: Module,
+}
+
+impl NeedlemanWunsch {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        NeedlemanWunsch {
+            module: Module::assemble(SRC).expect("NW kernel assembles"),
+        }
+    }
+
+    /// Substitution matrix (only cells `[1..][1..]` are read).
+    fn reference_matrix(&self) -> Vec<i32> {
+        let mut rng = InputRng::new(0x7b0b);
+        (0..PITCH * PITCH)
+            .map(|_| rng.below(9) as i32 - 4)
+            .collect()
+    }
+
+    fn initial_scores(&self) -> Vec<i32> {
+        let mut score = vec![0i32; PITCH * PITCH];
+        for (j, s) in score.iter_mut().enumerate().take(PITCH) {
+            *s = -(j as i32) * PENALTY;
+        }
+        for i in 0..PITCH {
+            score[i * PITCH] = -(i as i32) * PENALTY;
+        }
+        score
+    }
+
+    /// CPU reference: the filled score matrix.
+    pub fn cpu_reference(&self) -> Vec<i32> {
+        let refm = self.reference_matrix();
+        let mut score = self.initial_scores();
+        for i in 1..=N {
+            for j in 1..=N {
+                let idx = i * PITCH + j;
+                let nw = score[(i - 1) * PITCH + j - 1] + refm[idx];
+                let up = score[(i - 1) * PITCH + j] - PENALTY;
+                let left = score[i * PITCH + j - 1] - PENALTY;
+                score[idx] = nw.max(up).max(left);
+            }
+        }
+        score
+    }
+}
+
+impl Default for NeedlemanWunsch {
+    fn default() -> Self {
+        NeedlemanWunsch::new()
+    }
+}
+
+impl Workload for NeedlemanWunsch {
+    fn name(&self) -> &'static str {
+        "NW"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let refm = self.reference_matrix();
+        let score = self.initial_scores();
+        let bytes = (PITCH * PITCH * 4) as u32;
+        let d_score = gpu.malloc(bytes)?;
+        let d_ref = gpu.malloc(bytes)?;
+        gpu.write_u32s(d_score, &score.iter().map(|&v| v as u32).collect::<Vec<_>>())?;
+        gpu.write_u32s(d_ref, &refm.iter().map(|&v| v as u32).collect::<Vec<_>>())?;
+        let kernel = self.module.kernel("nw_diagonal").expect("kernel exists");
+        for d in 2..=(2 * N) as u32 {
+            let i_start = 1.max(d as i64 - N as i64) as u32;
+            let i_end = (N as u32).min(d - 1);
+            if i_end < i_start {
+                continue;
+            }
+            let count = i_end - i_start + 1;
+            gpu.launch(
+                kernel,
+                LaunchDims::new(count.div_ceil(BLOCK), BLOCK),
+                &[d_score, d_ref, d, i_start, count],
+            )?;
+        }
+        Ok(u32s_to_bytes(&gpu.read_u32s(d_score, PITCH * PITCH)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::bytes_to_u32s;
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = NeedlemanWunsch::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_u32s(&w.run(&mut gpu).unwrap());
+        let expect: Vec<u32> = w.cpu_reference().iter().map(|&v| v as u32).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn boundary_rows_untouched() {
+        let w = NeedlemanWunsch::new();
+        let m = w.cpu_reference();
+        assert_eq!(m[0], 0);
+        assert_eq!(m[1], -PENALTY);
+        assert_eq!(m[PITCH], -PENALTY);
+    }
+}

@@ -1,0 +1,163 @@
+//! **PATHF — PathFinder** (Rodinia `pathfinder`).
+//!
+//! Row-by-row dynamic programming over a cost grid: each cell adds its
+//! weight to the cheapest of the three parents above it.  The previous row
+//! is staged in shared memory; lanes at the CTA boundary fall back to
+//! (clamped) global reads, selected branchlessly.
+
+use crate::input::{u32s_to_bytes, InputRng};
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel pathfinder_step
+.params 4            ; R0=row_data R1=prev R2=next R3=cols
+.smem 256
+    S2R  R4, SR_TID.X
+    S2R  R5, SR_CTAID.X
+    S2R  R6, SR_NTID.X
+    IMAD R7, R5, R6, R4    ; j
+    SHL  R8, R7, 2
+    IADD R9, R1, R8
+    LDG  R10, [R9]         ; prev[j]
+    SHL  R11, R4, 2
+    STS  [R11], R10
+    BAR
+    ; left parent
+    ISUB R12, R7, 1
+    IMAX R12, R12, 0
+    SHL  R13, R12, 2
+    IADD R13, R1, R13
+    LDG  R14, [R13]        ; clamped global left
+    ISUB R15, R4, 1
+    IMAX R15, R15, 0
+    SHL  R15, R15, 2
+    LDS  R16, [R15]        ; clamped shared left
+    ISETP.GT P0, R4, 0
+    SEL  R14, R16, R14, P0
+    ; right parent
+    IADD R17, R7, 1
+    ISUB R18, R3, 1
+    IMIN R17, R17, R18
+    SHL  R19, R17, 2
+    IADD R19, R1, R19
+    LDG  R20, [R19]        ; clamped global right
+    ISUB R22, R6, 1
+    IADD R21, R4, 1
+    IMIN R21, R21, R22
+    SHL  R21, R21, 2
+    LDS  R23, [R21]        ; clamped shared right
+    ISETP.LT P1, R4, R22
+    SEL  R20, R23, R20, P1
+    LDS  R24, [R11]        ; centre parent
+    IMIN R25, R14, R20
+    IMIN R25, R25, R24
+    IADD R26, R0, R8
+    LDG  R27, [R26]        ; weight
+    IADD R27, R27, R25
+    IADD R28, R2, R8
+    STG  [R28], R27
+    EXIT
+"#;
+
+const COLS: u32 = 256;
+const ROWS: usize = 12;
+const BLOCK: u32 = 64;
+
+/// The PATHF benchmark: a 12×256 DP grid.
+#[derive(Debug)]
+pub struct PathFinder {
+    module: Module,
+}
+
+impl PathFinder {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        PathFinder {
+            module: Module::assemble(SRC).expect("PATHF kernel assembles"),
+        }
+    }
+
+    fn grid(&self) -> Vec<u32> {
+        let mut rng = InputRng::new(0xbf0a);
+        (0..ROWS * COLS as usize).map(|_| rng.below(10)).collect()
+    }
+
+    /// CPU reference: the final DP row.
+    pub fn cpu_reference(&self) -> Vec<u32> {
+        let data = self.grid();
+        let cols = COLS as usize;
+        let mut prev: Vec<u32> = data[..cols].to_vec();
+        for row in 1..ROWS {
+            let mut next = vec![0u32; cols];
+            for j in 0..cols {
+                let l = prev[j.saturating_sub(1)];
+                let r = prev[(j + 1).min(cols - 1)];
+                let c = prev[j];
+                next[j] = data[row * cols + j] + l.min(r).min(c);
+            }
+            prev = next;
+        }
+        prev
+    }
+}
+
+impl Default for PathFinder {
+    fn default() -> Self {
+        PathFinder::new()
+    }
+}
+
+impl Workload for PathFinder {
+    fn name(&self) -> &'static str {
+        "PATHF"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let data = self.grid();
+        let d_data = gpu.malloc(ROWS as u32 * COLS * 4)?;
+        let mut d_prev = gpu.malloc(COLS * 4)?;
+        let mut d_next = gpu.malloc(COLS * 4)?;
+        gpu.write_u32s(d_data, &data)?;
+        gpu.write_u32s(d_prev, &data[..COLS as usize])?;
+        let kernel = self.module.kernel("pathfinder_step").expect("kernel exists");
+        for row in 1..ROWS as u32 {
+            let row_ptr = d_data + row * COLS * 4;
+            gpu.launch(
+                kernel,
+                LaunchDims::new(COLS / BLOCK, BLOCK),
+                &[row_ptr, d_prev, d_next, COLS],
+            )?;
+            std::mem::swap(&mut d_prev, &mut d_next);
+        }
+        Ok(u32s_to_bytes(&gpu.read_u32s(d_prev, COLS as usize)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::bytes_to_u32s;
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = PathFinder::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_u32s(&w.run(&mut gpu).unwrap());
+        assert_eq!(out, w.cpu_reference());
+    }
+
+    #[test]
+    fn costs_are_monotone_in_rows() {
+        // Every path cost is at least the weight of its own column chain.
+        let w = PathFinder::new();
+        let final_row = w.cpu_reference();
+        assert!(final_row.iter().all(|&c| c < 10 * ROWS as u32));
+    }
+}

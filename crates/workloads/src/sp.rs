@@ -1,0 +1,158 @@
+//! **SP — Scalar Product** (Nvidia CUDA SDK `scalarProd`).
+//!
+//! Each CTA computes the dot product of its slice of two vectors via a
+//! shared-memory tree reduction with barriers; the result buffer holds one
+//! partial product per CTA.
+
+use crate::input::InputRng;
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel scalar_prod
+.params 3            ; R0=a R1=b R2=partials   (n = gridDim.x * 64)
+.smem 256
+    S2R  R4, SR_TID.X
+    S2R  R5, SR_CTAID.X
+    S2R  R6, SR_NTID.X
+    IMAD R7, R5, R6, R4   ; global element index
+    SHL  R8, R7, 2
+    IADD R9, R0, R8
+    LDG  R10, [R9]
+    IADD R9, R1, R8
+    LDG  R11, [R9]
+    FMUL R10, R10, R11
+    SHL  R12, R4, 2       ; shared-memory slot
+    STS  [R12], R10
+    BAR
+    MOV  R13, 32          ; reduction stride
+red:
+    ISETP.LT P1, R4, R13  ; active reducers
+@P1 IADD R14, R4, R13
+@P1 SHL  R14, R14, 2
+@P1 LDS  R15, [R14]
+@P1 LDS  R16, [R12]
+@P1 FADD R16, R16, R15
+@P1 STS  [R12], R16
+    BAR
+    SHR  R13, R13, 1
+    ISETP.GT P2, R13, 0
+@P2 BRA red
+    ISETP.NE P3, R4, 0
+@P3 EXIT
+    LDS  R17, [R12]
+    SHL  R18, R5, 2
+    IADD R18, R2, R18
+    STG  [R18], R17
+    EXIT
+"#;
+
+const BLOCK: u32 = 64;
+
+/// The SP benchmark.
+#[derive(Debug)]
+pub struct ScalarProd {
+    blocks: u32,
+    module: Module,
+}
+
+impl ScalarProd {
+    /// Creates the benchmark with `blocks` CTAs of 64 elements each.
+    pub fn new(blocks: u32) -> Self {
+        ScalarProd {
+            blocks: blocks.max(1),
+            module: Module::assemble(SRC).expect("SP kernel assembles"),
+        }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> u32 {
+        self.blocks * BLOCK
+    }
+
+    /// Never empty (`new` enforces at least one block).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = InputRng::new(0x5b02);
+        let n = self.len() as usize;
+        (rng.f32_vec(n, -1.0, 1.0), rng.f32_vec(n, -1.0, 1.0))
+    }
+
+    /// CPU reference: per-block dot products, tree-reduction order.
+    pub fn cpu_reference(&self) -> Vec<f32> {
+        let (a, b) = self.inputs();
+        (0..self.blocks as usize)
+            .map(|blk| {
+                let lo = blk * BLOCK as usize;
+                let mut s: Vec<f32> = (0..BLOCK as usize)
+                    .map(|t| a[lo + t] * b[lo + t])
+                    .collect();
+                let mut stride = (BLOCK / 2) as usize;
+                while stride > 0 {
+                    for t in 0..stride {
+                        s[t] += s[t + stride];
+                    }
+                    stride /= 2;
+                }
+                s[0]
+            })
+            .collect()
+    }
+}
+
+impl Default for ScalarProd {
+    /// The size used by the reproduction campaigns.
+    fn default() -> Self {
+        ScalarProd::new(48)
+    }
+}
+
+impl Workload for ScalarProd {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let (a, b) = self.inputs();
+        let bytes = self.len() * 4;
+        let da = gpu.malloc(bytes)?;
+        let db = gpu.malloc(bytes)?;
+        let dp = gpu.malloc(self.blocks * 4)?;
+        gpu.write_f32s(da, &a)?;
+        gpu.write_f32s(db, &b)?;
+        let kernel = self.module.kernel("scalar_prod").expect("kernel exists");
+        gpu.launch(kernel, LaunchDims::new(self.blocks, BLOCK), &[da, db, dp])?;
+        let mut out = vec![0u8; (self.blocks * 4) as usize];
+        gpu.memcpy_d2h(dp, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{assert_f32_slices_close, bytes_to_f32s};
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = ScalarProd::new(4);
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-5);
+    }
+
+    #[test]
+    fn uses_shared_memory() {
+        let w = ScalarProd::new(1);
+        assert_eq!(w.module().kernel("scalar_prod").unwrap().smem_bytes(), 256);
+    }
+}

@@ -1,0 +1,376 @@
+//! **SRAD1 — Speckle Reducing Anisotropic Diffusion v1** (Rodinia
+//! `srad_v1`).
+//!
+//! Three kernels per iteration, matching v1's structure: a shared-memory
+//! statistics reduction (for the homogeneity parameter `q0²`), the
+//! diffusion-coefficient kernel, and the image-update kernel.
+
+use crate::input::InputRng;
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel srad_reduce
+.params 2            ; R0=J R1=partials (2 floats per block: sum, sumsq)
+.smem 512
+    S2R  R2, SR_TID.X
+    S2R  R3, SR_CTAID.X
+    S2R  R4, SR_NTID.X
+    IMAD R5, R3, R4, R2
+    SHL  R6, R5, 2
+    IADD R6, R0, R6
+    LDG  R7, [R6]          ; J[i]
+    FMUL R8, R7, R7        ; J[i]^2
+    SHL  R9, R2, 2
+    STS  [R9], R7
+    IADD R10, R9, 256
+    STS  [R10], R8
+    BAR
+    MOV  R11, 32
+red:
+    ISETP.LT P1, R2, R11
+@P1 IADD R12, R2, R11
+@P1 SHL  R12, R12, 2
+@P1 LDS  R13, [R12]
+@P1 LDS  R14, [R9]
+@P1 FADD R14, R14, R13
+@P1 STS  [R9], R14
+@P1 IADD R15, R12, 256
+@P1 LDS  R16, [R15]
+@P1 LDS  R17, [R10]
+@P1 FADD R17, R17, R16
+@P1 STS  [R10], R17
+    BAR
+    SHR  R11, R11, 1
+    ISETP.GT P2, R11, 0
+@P2 BRA red
+    ISETP.NE P3, R2, 0
+@P3 EXIT
+    LDS  R18, [R9]
+    LDS  R19, [R10]
+    SHL  R20, R3, 3        ; block*8 bytes
+    IADD R20, R1, R20
+    STG  [R20], R18
+    STG  [R20+4], R19
+    EXIT
+
+.kernel srad_coeff
+.params 7            ; R0=J R1=c R2=dN R3=dS R4=dW R5=dE R6=q0sqr (f32 bits)
+    S2R  R7, SR_TID.X
+    S2R  R8, SR_CTAID.X
+    S2R  R9, SR_NTID.X
+    IMAD R7, R8, R9, R7    ; idx
+    AND  R10, R7, 31       ; x  (W = 32)
+    SHR  R11, R7, 5        ; y
+    ISUB R12, R10, 1
+    IMAX R12, R12, 0       ; x-1
+    IADD R13, R10, 1
+    IMIN R13, R13, 31      ; x+1
+    ISUB R14, R11, 1
+    IMAX R14, R14, 0       ; y-1
+    IADD R15, R11, 1
+    IMIN R15, R15, 31      ; y+1
+    SHL  R16, R7, 2
+    IADD R16, R0, R16
+    LDG  R17, [R16]        ; J
+    SHL  R18, R14, 5
+    IADD R18, R18, R10
+    SHL  R18, R18, 2
+    IADD R18, R0, R18
+    LDG  R19, [R18]        ; J north
+    SHL  R20, R15, 5
+    IADD R20, R20, R10
+    SHL  R20, R20, 2
+    IADD R20, R0, R20
+    LDG  R21, [R20]        ; J south
+    SHL  R22, R11, 5
+    IADD R23, R22, R12
+    SHL  R23, R23, 2
+    IADD R23, R0, R23
+    LDG  R24, [R23]        ; J west
+    IADD R25, R22, R13
+    SHL  R25, R25, 2
+    IADD R25, R0, R25
+    LDG  R26, [R25]        ; J east
+    FSUB R19, R19, R17     ; dN
+    FSUB R21, R21, R17     ; dS
+    FSUB R24, R24, R17     ; dW
+    FSUB R26, R26, R17     ; dE
+    MOV  R27, 0
+    FFMA R27, R19, R19, R27
+    FFMA R27, R21, R21, R27
+    FFMA R27, R24, R24, R27
+    FFMA R27, R26, R26, R27
+    FMUL R28, R17, R17
+    FDIV R27, R27, R28     ; G2 = |grad|^2 / J^2
+    FADD R29, R19, R21
+    FADD R29, R29, R24
+    FADD R29, R29, R26
+    FDIV R29, R29, R17     ; L = lap / J
+    FMUL R30, R27, 0.5f
+    FMUL R31, R29, R29
+    FFMA R30, R31, -0.0625f, R30   ; num
+    FMUL R32, R29, 0.25f
+    FADD R32, R32, 1.0f
+    FMUL R32, R32, R32             ; den
+    FDIV R33, R30, R32             ; q
+    FSUB R33, R33, R6              ; q - q0sqr
+    FADD R34, R6, 1.0f
+    FMUL R34, R6, R34              ; q0sqr*(1+q0sqr)
+    FDIV R33, R33, R34
+    FADD R33, R33, 1.0f
+    FRCP R33, R33                  ; c
+    FMAX R33, R33, 0.0f
+    FMIN R33, R33, 1.0f
+    SHL  R35, R7, 2
+    IADD R36, R1, R35
+    STG  [R36], R33
+    IADD R36, R2, R35
+    STG  [R36], R19
+    IADD R36, R3, R35
+    STG  [R36], R21
+    IADD R36, R4, R35
+    STG  [R36], R24
+    IADD R36, R5, R35
+    STG  [R36], R26
+    EXIT
+
+.kernel srad_update
+.params 6            ; R0=J R1=c R2=dN R3=dS R4=dW R5=dE
+    S2R  R7, SR_TID.X
+    S2R  R8, SR_CTAID.X
+    S2R  R9, SR_NTID.X
+    IMAD R7, R8, R9, R7
+    AND  R10, R7, 31
+    SHR  R11, R7, 5
+    IADD R12, R10, 1
+    IMIN R12, R12, 31      ; x+1
+    IADD R13, R11, 1
+    IMIN R13, R13, 31      ; y+1
+    SHL  R14, R7, 2
+    IADD R15, R1, R14
+    LDG  R16, [R15]        ; c own
+    SHL  R17, R13, 5
+    IADD R17, R17, R10
+    SHL  R17, R17, 2
+    IADD R17, R1, R17
+    LDG  R18, [R17]        ; c south
+    SHL  R19, R11, 5
+    IADD R19, R19, R12
+    SHL  R19, R19, 2
+    IADD R19, R1, R19
+    LDG  R20, [R19]        ; c east
+    IADD R21, R2, R14
+    LDG  R22, [R21]        ; dN
+    IADD R21, R3, R14
+    LDG  R23, [R21]        ; dS
+    IADD R21, R4, R14
+    LDG  R24, [R21]        ; dW
+    IADD R21, R5, R14
+    LDG  R25, [R21]        ; dE
+    MOV  R26, 0
+    FFMA R26, R16, R22, R26
+    FFMA R26, R18, R23, R26
+    FFMA R26, R16, R24, R26
+    FFMA R26, R20, R25, R26
+    IADD R27, R0, R14
+    LDG  R28, [R27]        ; J
+    FFMA R28, R26, 0.125f, R28     ; J += 0.25*lambda*div (lambda 0.5)
+    STG  [R27], R28
+    EXIT
+"#;
+
+const W: usize = 32;
+const N: usize = W * W;
+const BLOCK: u32 = 64;
+const ITERS: usize = 2;
+
+/// The SRAD1 benchmark: 32×32 image, two diffusion iterations.
+#[derive(Debug)]
+pub struct Srad1 {
+    module: Module,
+}
+
+impl Srad1 {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Srad1 {
+            module: Module::assemble(SRC).expect("SRAD1 kernels assemble"),
+        }
+    }
+
+    fn input(&self) -> Vec<f32> {
+        InputRng::new(0x5106).f32_vec(N, 1.0, 2.0)
+    }
+
+    /// The q0² statistic the host derives from the reduction partials,
+    /// guarded against corrupted (zero/NaN) statistics.
+    fn q0sqr(partials: &[f32]) -> f32 {
+        let n = N as f32;
+        let mut sum = 0f32;
+        let mut sumsq = 0f32;
+        for p in partials.chunks_exact(2) {
+            sum += p[0];
+            sumsq += p[1];
+        }
+        let mean = sum / n;
+        let meansq = sumsq / n;
+        let denom = mean * mean;
+        if !denom.is_normal() {
+            return 1.0;
+        }
+        ((meansq - denom) / denom).max(0.0)
+    }
+
+    fn cpu_step(j: &mut [f32], q0sqr: f32) {
+        let mut c = vec![0f32; N];
+        let (mut dn, mut ds, mut dw, mut de) = (
+            vec![0f32; N],
+            vec![0f32; N],
+            vec![0f32; N],
+            vec![0f32; N],
+        );
+        for y in 0..W {
+            for x in 0..W {
+                let i = y * W + x;
+                let jc = j[i];
+                dn[i] = j[y.saturating_sub(1) * W + x] - jc;
+                ds[i] = j[(y + 1).min(W - 1) * W + x] - jc;
+                dw[i] = j[y * W + x.saturating_sub(1)] - jc;
+                de[i] = j[y * W + (x + 1).min(W - 1)] - jc;
+                let mut g2 = 0f32;
+                g2 = dn[i].mul_add(dn[i], g2);
+                g2 = ds[i].mul_add(ds[i], g2);
+                g2 = dw[i].mul_add(dw[i], g2);
+                g2 = de[i].mul_add(de[i], g2);
+                g2 /= jc * jc;
+                let l = (((dn[i] + ds[i]) + dw[i]) + de[i]) / jc;
+                let num = (l * l).mul_add(-0.0625, g2 * 0.5);
+                let den = {
+                    let d = l * 0.25 + 1.0;
+                    d * d
+                };
+                let q = num / den;
+                let cc = 1.0 / (1.0 + (q - q0sqr) / (q0sqr * (1.0 + q0sqr)));
+                // Not `clamp`: the kernel's FMAX/FMIN chain maps NaN to 0,
+                // `clamp` would keep it NaN.
+                #[allow(clippy::manual_clamp)]
+                {
+                    c[i] = cc.max(0.0).min(1.0);
+                }
+            }
+        }
+        for y in 0..W {
+            for x in 0..W {
+                let i = y * W + x;
+                let cs = c[(y + 1).min(W - 1) * W + x];
+                let ce = c[y * W + (x + 1).min(W - 1)];
+                let mut div = 0f32;
+                div = c[i].mul_add(dn[i], div);
+                div = cs.mul_add(ds[i], div);
+                div = c[i].mul_add(dw[i], div);
+                div = ce.mul_add(de[i], div);
+                j[i] = div.mul_add(0.125, j[i]);
+            }
+        }
+    }
+
+    /// CPU reference: the final image.
+    pub fn cpu_reference(&self) -> Vec<f32> {
+        let mut j = self.input();
+        for _ in 0..ITERS {
+            // Mirror the GPU reduction: per-block tree sums, then host adds
+            // the partials in block order.
+            let mut partials = Vec::new();
+            for blk in j.chunks_exact(BLOCK as usize) {
+                let mut s: Vec<f32> = blk.to_vec();
+                let mut sq: Vec<f32> = blk.iter().map(|v| v * v).collect();
+                let mut stride = (BLOCK / 2) as usize;
+                while stride > 0 {
+                    for t in 0..stride {
+                        s[t] += s[t + stride];
+                        sq[t] += sq[t + stride];
+                    }
+                    stride /= 2;
+                }
+                partials.push(s[0]);
+                partials.push(sq[0]);
+            }
+            let q0 = Self::q0sqr(&partials);
+            Self::cpu_step(&mut j, q0);
+        }
+        j
+    }
+}
+
+impl Default for Srad1 {
+    fn default() -> Self {
+        Srad1::new()
+    }
+}
+
+impl Workload for Srad1 {
+    fn name(&self) -> &'static str {
+        "SRAD1"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let j = self.input();
+        let blocks = N as u32 / BLOCK;
+        let d_j = gpu.malloc(N as u32 * 4)?;
+        let d_c = gpu.malloc(N as u32 * 4)?;
+        let d_dn = gpu.malloc(N as u32 * 4)?;
+        let d_ds = gpu.malloc(N as u32 * 4)?;
+        let d_dw = gpu.malloc(N as u32 * 4)?;
+        let d_de = gpu.malloc(N as u32 * 4)?;
+        let d_part = gpu.malloc(blocks * 8)?;
+        gpu.write_f32s(d_j, &j)?;
+        let k_red = self.module.kernel("srad_reduce").expect("kernel exists");
+        let k_coeff = self.module.kernel("srad_coeff").expect("kernel exists");
+        let k_upd = self.module.kernel("srad_update").expect("kernel exists");
+        for _ in 0..ITERS {
+            gpu.launch(k_red, LaunchDims::new(blocks, BLOCK), &[d_j, d_part])?;
+            let partials = gpu.read_f32s(d_part, blocks as usize * 2)?;
+            let q0 = Self::q0sqr(&partials);
+            gpu.launch(
+                k_coeff,
+                LaunchDims::new(blocks, BLOCK),
+                &[d_j, d_c, d_dn, d_ds, d_dw, d_de, q0.to_bits()],
+            )?;
+            gpu.launch(
+                k_upd,
+                LaunchDims::new(blocks, BLOCK),
+                &[d_j, d_c, d_dn, d_ds, d_dw, d_de],
+            )?;
+        }
+        let mut out = vec![0u8; N * 4];
+        gpu.memcpy_d2h(d_j, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{assert_f32_slices_close, bytes_to_f32s};
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = Srad1::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-3);
+    }
+
+    #[test]
+    fn q0_is_robust_to_degenerate_stats() {
+        assert_eq!(Srad1::q0sqr(&[0.0, 0.0]), 1.0);
+        assert!(Srad1::q0sqr(&[f32::NAN, 1.0]) == 1.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! **SRAD2 — Speckle Reducing Anisotropic Diffusion v2** (Rodinia
+//! `srad_v2`).
+//!
+//! Same diffusion as [`Srad1`](crate::Srad1) but with v2's two-kernel
+//! organisation: `srad_cuda_1` derives the directional derivatives and the
+//! diffusion coefficient (image reads on the texture path), `srad_cuda_2`
+//! applies the update (coefficient/derivative reads on the texture path).
+//! The homogeneity statistic comes from a host-side read-back, as v2's
+//! driver does.
+
+use crate::input::InputRng;
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel srad_cuda_1
+.params 7            ; R0=J R1=c R2=dN R3=dS R4=dW R5=dE R6=q0sqr
+    S2R  R7, SR_TID.X
+    S2R  R8, SR_CTAID.X
+    S2R  R9, SR_NTID.X
+    IMAD R7, R8, R9, R7
+    AND  R10, R7, 31
+    SHR  R11, R7, 5
+    ISUB R12, R10, 1
+    IMAX R12, R12, 0
+    IADD R13, R10, 1
+    IMIN R13, R13, 31
+    ISUB R14, R11, 1
+    IMAX R14, R14, 0
+    IADD R15, R11, 1
+    IMIN R15, R15, 31
+    SHL  R16, R7, 2
+    IADD R16, R0, R16
+    LDT  R17, [R16]        ; J (texture)
+    SHL  R18, R14, 5
+    IADD R18, R18, R10
+    SHL  R18, R18, 2
+    IADD R18, R0, R18
+    LDT  R19, [R18]
+    SHL  R20, R15, 5
+    IADD R20, R20, R10
+    SHL  R20, R20, 2
+    IADD R20, R0, R20
+    LDT  R21, [R20]
+    SHL  R22, R11, 5
+    IADD R23, R22, R12
+    SHL  R23, R23, 2
+    IADD R23, R0, R23
+    LDT  R24, [R23]
+    IADD R25, R22, R13
+    SHL  R25, R25, 2
+    IADD R25, R0, R25
+    LDT  R26, [R25]
+    FSUB R19, R19, R17
+    FSUB R21, R21, R17
+    FSUB R24, R24, R17
+    FSUB R26, R26, R17
+    MOV  R27, 0
+    FFMA R27, R19, R19, R27
+    FFMA R27, R21, R21, R27
+    FFMA R27, R24, R24, R27
+    FFMA R27, R26, R26, R27
+    FMUL R28, R17, R17
+    FDIV R27, R27, R28
+    FADD R29, R19, R21
+    FADD R29, R29, R24
+    FADD R29, R29, R26
+    FDIV R29, R29, R17
+    FMUL R30, R27, 0.5f
+    FMUL R31, R29, R29
+    FFMA R30, R31, -0.0625f, R30
+    FMUL R32, R29, 0.25f
+    FADD R32, R32, 1.0f
+    FMUL R32, R32, R32
+    FDIV R33, R30, R32
+    FSUB R33, R33, R6
+    FADD R34, R6, 1.0f
+    FMUL R34, R6, R34
+    FDIV R33, R33, R34
+    FADD R33, R33, 1.0f
+    FRCP R33, R33
+    FMAX R33, R33, 0.0f
+    FMIN R33, R33, 1.0f
+    SHL  R35, R7, 2
+    IADD R36, R1, R35
+    STG  [R36], R33
+    IADD R36, R2, R35
+    STG  [R36], R19
+    IADD R36, R3, R35
+    STG  [R36], R21
+    IADD R36, R4, R35
+    STG  [R36], R24
+    IADD R36, R5, R35
+    STG  [R36], R26
+    EXIT
+
+.kernel srad_cuda_2
+.params 6            ; R0=J R1=c R2=dN R3=dS R4=dW R5=dE
+    S2R  R7, SR_TID.X
+    S2R  R8, SR_CTAID.X
+    S2R  R9, SR_NTID.X
+    IMAD R7, R8, R9, R7
+    AND  R10, R7, 31
+    SHR  R11, R7, 5
+    IADD R12, R10, 1
+    IMIN R12, R12, 31
+    IADD R13, R11, 1
+    IMIN R13, R13, 31
+    SHL  R14, R7, 2
+    IADD R15, R1, R14
+    LDT  R16, [R15]        ; c own (texture)
+    SHL  R17, R13, 5
+    IADD R17, R17, R10
+    SHL  R17, R17, 2
+    IADD R17, R1, R17
+    LDT  R18, [R17]        ; c south
+    SHL  R19, R11, 5
+    IADD R19, R19, R12
+    SHL  R19, R19, 2
+    IADD R19, R1, R19
+    LDT  R20, [R19]        ; c east
+    IADD R21, R2, R14
+    LDT  R22, [R21]
+    IADD R21, R3, R14
+    LDT  R23, [R21]
+    IADD R21, R4, R14
+    LDT  R24, [R21]
+    IADD R21, R5, R14
+    LDT  R25, [R21]
+    MOV  R26, 0
+    FFMA R26, R16, R22, R26
+    FFMA R26, R18, R23, R26
+    FFMA R26, R16, R24, R26
+    FFMA R26, R20, R25, R26
+    IADD R27, R0, R14
+    LDG  R28, [R27]
+    FFMA R28, R26, 0.125f, R28
+    STG  [R27], R28
+    EXIT
+"#;
+
+const W: usize = 32;
+const N: usize = W * W;
+const BLOCK: u32 = 64;
+const ITERS: usize = 2;
+
+/// The SRAD2 benchmark: 32×32 image, two diffusion iterations, texture
+/// reads.
+#[derive(Debug)]
+pub struct Srad2 {
+    module: Module,
+}
+
+impl Srad2 {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Srad2 {
+            module: Module::assemble(SRC).expect("SRAD2 kernels assemble"),
+        }
+    }
+
+    fn input(&self) -> Vec<f32> {
+        InputRng::new(0x5207).f32_vec(N, 1.0, 2.0)
+    }
+
+    /// Host-side homogeneity statistic from the full image (v2 style),
+    /// guarded against corrupted values.
+    fn q0sqr(j: &[f32]) -> f32 {
+        let n = j.len() as f32;
+        let mut sum = 0f32;
+        let mut sumsq = 0f32;
+        for &v in j {
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n;
+        let denom = mean * mean;
+        if !denom.is_normal() {
+            return 1.0;
+        }
+        ((sumsq / n - denom) / denom).max(0.0)
+    }
+
+    fn cpu_step(j: &mut [f32], q0sqr: f32) {
+        // Identical arithmetic to Srad1's step (the kernels compute the
+        // same expressions; only the memory paths differ).
+        let mut c = vec![0f32; N];
+        let (mut dn, mut ds, mut dw, mut de) =
+            (vec![0f32; N], vec![0f32; N], vec![0f32; N], vec![0f32; N]);
+        for y in 0..W {
+            for x in 0..W {
+                let i = y * W + x;
+                let jc = j[i];
+                dn[i] = j[y.saturating_sub(1) * W + x] - jc;
+                ds[i] = j[(y + 1).min(W - 1) * W + x] - jc;
+                dw[i] = j[y * W + x.saturating_sub(1)] - jc;
+                de[i] = j[y * W + (x + 1).min(W - 1)] - jc;
+                let mut g2 = 0f32;
+                g2 = dn[i].mul_add(dn[i], g2);
+                g2 = ds[i].mul_add(ds[i], g2);
+                g2 = dw[i].mul_add(dw[i], g2);
+                g2 = de[i].mul_add(de[i], g2);
+                g2 /= jc * jc;
+                let l = (((dn[i] + ds[i]) + dw[i]) + de[i]) / jc;
+                let num = (l * l).mul_add(-0.0625, g2 * 0.5);
+                let den = {
+                    let d = l * 0.25 + 1.0;
+                    d * d
+                };
+                let q = num / den;
+                let cc = 1.0 / (1.0 + (q - q0sqr) / (q0sqr * (1.0 + q0sqr)));
+                // Not `clamp`: the kernel's FMAX/FMIN chain maps NaN to 0,
+                // `clamp` would keep it NaN.
+                #[allow(clippy::manual_clamp)]
+                {
+                    c[i] = cc.max(0.0).min(1.0);
+                }
+            }
+        }
+        for y in 0..W {
+            for x in 0..W {
+                let i = y * W + x;
+                let cs = c[(y + 1).min(W - 1) * W + x];
+                let ce = c[y * W + (x + 1).min(W - 1)];
+                let mut div = 0f32;
+                div = c[i].mul_add(dn[i], div);
+                div = cs.mul_add(ds[i], div);
+                div = c[i].mul_add(dw[i], div);
+                div = ce.mul_add(de[i], div);
+                j[i] = div.mul_add(0.125, j[i]);
+            }
+        }
+    }
+
+    /// CPU reference: the final image.
+    pub fn cpu_reference(&self) -> Vec<f32> {
+        let mut j = self.input();
+        for _ in 0..ITERS {
+            let q0 = Self::q0sqr(&j);
+            Self::cpu_step(&mut j, q0);
+        }
+        j
+    }
+}
+
+impl Default for Srad2 {
+    fn default() -> Self {
+        Srad2::new()
+    }
+}
+
+impl Workload for Srad2 {
+    fn name(&self) -> &'static str {
+        "SRAD2"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let j = self.input();
+        let blocks = N as u32 / BLOCK;
+        let d_j = gpu.malloc(N as u32 * 4)?;
+        let d_c = gpu.malloc(N as u32 * 4)?;
+        let d_dn = gpu.malloc(N as u32 * 4)?;
+        let d_ds = gpu.malloc(N as u32 * 4)?;
+        let d_dw = gpu.malloc(N as u32 * 4)?;
+        let d_de = gpu.malloc(N as u32 * 4)?;
+        gpu.write_f32s(d_j, &j)?;
+        let k1 = self.module.kernel("srad_cuda_1").expect("kernel exists");
+        let k2 = self.module.kernel("srad_cuda_2").expect("kernel exists");
+        for _ in 0..ITERS {
+            let img = gpu.read_f32s(d_j, N)?;
+            let q0 = Self::q0sqr(&img);
+            gpu.launch(
+                k1,
+                LaunchDims::new(blocks, BLOCK),
+                &[d_j, d_c, d_dn, d_ds, d_dw, d_de, q0.to_bits()],
+            )?;
+            gpu.launch(
+                k2,
+                LaunchDims::new(blocks, BLOCK),
+                &[d_j, d_c, d_dn, d_ds, d_dw, d_de],
+            )?;
+        }
+        let mut out = vec![0u8; N * 4];
+        gpu.memcpy_d2h(d_j, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{assert_f32_slices_close, bytes_to_f32s};
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = Srad2::new();
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-3);
+    }
+
+    #[test]
+    fn differs_from_srad1_structure() {
+        // v2 has two kernels; v1 has three.
+        assert_eq!(Srad2::new().module().kernels().len(), 2);
+    }
+}

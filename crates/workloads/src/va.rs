@@ -1,0 +1,128 @@
+//! **VA — Vector Addition** (Nvidia CUDA SDK `vectorAdd`).
+//!
+//! The canonical embarrassingly parallel kernel: `c[i] = a[i] + b[i]`.
+
+use crate::input::InputRng;
+use gpufi_core::{Workload, WorkloadError};
+use gpufi_isa::Module;
+use gpufi_sim::{Gpu, LaunchDims};
+
+const SRC: &str = r#"
+.kernel vec_add
+.params 4            ; R0=a R1=b R2=c R3=n
+    S2R  R4, SR_TID.X
+    S2R  R5, SR_CTAID.X
+    S2R  R6, SR_NTID.X
+    IMAD R4, R5, R6, R4
+    ISETP.GE P0, R4, R3
+@P0 EXIT
+    SHL  R5, R4, 2
+    IADD R6, R0, R5
+    LDG  R7, [R6]
+    IADD R8, R1, R5
+    LDG  R9, [R8]
+    FADD R7, R7, R9
+    IADD R10, R2, R5
+    STG  [R10], R7
+    EXIT
+"#;
+
+const BLOCK: u32 = 128;
+
+/// The VA benchmark.
+#[derive(Debug)]
+pub struct VectorAdd {
+    n: u32,
+    module: Module,
+}
+
+impl VectorAdd {
+    /// Creates the benchmark for `n` elements (rounded up to a full block).
+    pub fn new(n: u32) -> Self {
+        let n = n.max(1).div_ceil(BLOCK) * BLOCK;
+        VectorAdd {
+            n,
+            module: Module::assemble(SRC).expect("VA kernel assembles"),
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether the vector is empty (never true; `new` enforces ≥ 1 block).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = InputRng::new(0xa001);
+        let a = rng.f32_vec(self.n as usize, -1.0, 1.0);
+        let b = rng.f32_vec(self.n as usize, -1.0, 1.0);
+        (a, b)
+    }
+
+    /// The CPU golden reference.
+    pub fn cpu_reference(&self) -> Vec<f32> {
+        let (a, b) = self.inputs();
+        a.iter().zip(&b).map(|(x, y)| x + y).collect()
+    }
+}
+
+impl Default for VectorAdd {
+    /// The size used by the reproduction campaigns.
+    fn default() -> Self {
+        VectorAdd::new(4096)
+    }
+}
+
+impl Workload for VectorAdd {
+    fn name(&self) -> &'static str {
+        "VA"
+    }
+
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<u8>, WorkloadError> {
+        let (a, b) = self.inputs();
+        let bytes = self.n * 4;
+        let da = gpu.malloc(bytes)?;
+        let db = gpu.malloc(bytes)?;
+        let dc = gpu.malloc(bytes)?;
+        gpu.write_f32s(da, &a)?;
+        gpu.write_f32s(db, &b)?;
+        let kernel = self.module.kernel("vec_add").expect("kernel exists");
+        gpu.launch(
+            kernel,
+            LaunchDims::new(self.n / BLOCK, BLOCK),
+            &[da, db, dc, self.n],
+        )?;
+        let mut out = vec![0u8; bytes as usize];
+        gpu.memcpy_d2h(dc, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{assert_f32_slices_close, bytes_to_f32s};
+    use gpufi_sim::GpuConfig;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let w = VectorAdd::new(256);
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let out = bytes_to_f32s(&w.run(&mut gpu).unwrap());
+        assert_f32_slices_close(&out, &w.cpu_reference(), 1e-6);
+    }
+
+    #[test]
+    fn rounds_to_block() {
+        assert_eq!(VectorAdd::new(1).len(), 128);
+        assert_eq!(VectorAdd::new(129).len(), 256);
+    }
+}

@@ -1,0 +1,76 @@
+//! ACE analysis vs. statistical fault injection.
+//!
+//! The paper (§II.C) dismisses ACE-style (Architecturally Correct
+//! Execution) residency analyses because they come "with the inherent
+//! overestimation of the AVF" and cannot classify fault effects.  This
+//! reproduction implements **both**: the simulator tracks register
+//! def→last-use liveness spans during the golden run (an ACE-style
+//! estimate), and the campaign engine measures the same quantity by
+//! injection.  This example puts the two side by side.
+//!
+//! Both numbers are on the *per-thread allocated registers* basis (no
+//! `df_reg` derating), so they are directly comparable.
+//!
+//! ```text
+//! cargo run --release --example ace_vs_injection [RUNS]
+//! ```
+
+use gpufi::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let card = GpuConfig::rtx2060();
+
+    println!(
+        "{:<8} {:>10} {:>14} {:>8}   (register file, RTX 2060, {} injections)",
+        "bench", "ACE AVF", "injection FR", "ACE/FR", runs
+    );
+
+    let mut overestimates = 0usize;
+    let mut total = 0usize;
+    for w in paper_suite() {
+        let golden = profile(w.as_ref(), &card)?;
+        // App-level ACE estimate: aggregate liveness spans over all
+        // launches, against the total allocated register-cycles.
+        let ace_cycles: u64 = golden.app.launches.iter().map(|l| l.ace_reg_cycles).sum();
+        let total_reg_cycles: f64 = golden
+            .app
+            .launches
+            .iter()
+            .map(|l| l.thread_cycles as f64 * f64::from(l.regs_per_thread))
+            .sum();
+        let ace = if total_reg_cycles > 0.0 {
+            (ace_cycles as f64 / total_reg_cycles).min(1.0)
+        } else {
+            0.0
+        };
+
+        let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, 13);
+        let fr = run_campaign(w.as_ref(), &card, &cfg, &golden)?
+            .tally
+            .failure_ratio();
+
+        let ratio = if fr > 0.0 { ace / fr } else { f64::INFINITY };
+        println!(
+            "{:<8} {:>10.4} {:>14.4} {:>8.2}",
+            w.name(),
+            ace,
+            fr,
+            ratio
+        );
+        total += 1;
+        if ace >= fr {
+            overestimates += 1;
+        }
+    }
+    println!(
+        "\nACE >= injection for {overestimates}/{total} benchmarks — the \
+         systematic overestimation\nthe paper cites (ACE counts every live \
+         bit as vulnerable; injection observes that\nmany corrupted live \
+         values are still architecturally masked downstream)."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Multi-bit upset study: sweep the fault cardinality (1-, 2-, 3-, 4-bit
+//! flips in the same entry) on one benchmark's register file — the study
+//! behind the paper's Figures 5 and 6, generalised to any cardinality.
+//!
+//! ```text
+//! cargo run --release --example multi_bit_study [BENCH] [RUNS]
+//! ```
+
+use gpufi::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let bench_name = args.next().unwrap_or_else(|| "SRAD2".to_string());
+    let runs: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(150);
+
+    let benchmark =
+        by_name(&bench_name).ok_or_else(|| format!("unknown benchmark `{bench_name}`"))?;
+    let card = GpuConfig::rtx2060();
+    let golden = profile(benchmark.as_ref(), &card)?;
+
+    println!(
+        "{} on {}: {} runs per campaign, register file, same-entry flips\n",
+        benchmark.name(),
+        card.name,
+        runs
+    );
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "bits", "masked", "SDC", "crash", "timeout", "FR (eq.1)"
+    );
+
+    let mut single_fr = None;
+    for bits in 1..=4u32 {
+        let spec = CampaignSpec::new(Structure::RegisterFile).bits(bits);
+        let cfg = CampaignConfig::new(spec, runs, 2022 + u64::from(bits));
+        let r = run_campaign(benchmark.as_ref(), &card, &cfg, &golden)?;
+        let t = &r.tally;
+        println!(
+            "{:>5} {:>8} {:>8} {:>8} {:>8} {:>10.4}",
+            bits,
+            t.count(FaultEffect::Masked),
+            t.count(FaultEffect::Sdc),
+            t.count(FaultEffect::Crash),
+            t.count(FaultEffect::Timeout),
+            t.failure_ratio()
+        );
+        if bits == 1 {
+            single_fr = Some(t.failure_ratio());
+        } else if bits == 3 {
+            if let Some(s) = single_fr {
+                if s > 0.0 {
+                    println!(
+                        "      triple/single failure-ratio: {:.2}x (paper Fig. 6: ~2x)",
+                        t.failure_ratio() / s
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}

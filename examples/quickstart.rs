@@ -1,0 +1,43 @@
+//! Quickstart: profile a benchmark fault-free, run a small single-bit
+//! register-file campaign, and print the fault-effect breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpufi::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The target: the paper's VA benchmark on a simulated RTX 2060.
+    let benchmark = VectorAdd::new(2048);
+    let card = GpuConfig::rtx2060();
+
+    // Step 1 — golden run (the paper's profiling step, §III.C): captures
+    // the fault-free output, cycle windows and occupancy statistics.
+    let golden = profile(&benchmark, &card)?;
+    println!("fault-free cycles : {}", golden.total_cycles());
+    println!("static kernels    : {:?}", golden.app.static_kernels());
+
+    // Step 2 — a 200-run single-bit fault-injection campaign on the
+    // register file (the paper uses 3 000 runs per campaign).
+    let runs = 200;
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, 42);
+    let result = run_campaign(&benchmark, &card, &cfg, &golden)?;
+
+    // Step 3 — the classifier's verdicts (§V.B).
+    println!("\nfault effects over {runs} injections:");
+    for effect in FaultEffect::ALL {
+        println!(
+            "  {:<12} {:>5}  ({:>5.1} %)",
+            effect.name(),
+            result.tally.count(effect),
+            100.0 * result.tally.fraction(effect)
+        );
+    }
+    println!(
+        "\nfailure ratio (eq. 1): {:.4}  (±{:.1}% at 99% confidence)",
+        result.tally.failure_ratio(),
+        100.0 * margin_of_error(0.99, runs as u64, u64::MAX)
+    );
+    Ok(())
+}

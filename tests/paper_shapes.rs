@@ -1,0 +1,121 @@
+//! Regression locks on the paper's qualitative findings, at small but
+//! seeded campaign sizes — these are the claims EXPERIMENTS.md reports,
+//! reduced to cheap assertions so a refactor cannot silently lose them.
+
+use gpufi::prelude::*;
+
+fn rf_campaign(bench: &str, runs: usize, seed: u64) -> Tally {
+    let w = by_name(bench).unwrap();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(w.as_ref(), &card).unwrap();
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, seed);
+    run_campaign(w.as_ref(), &card, &cfg, &golden).unwrap().tally
+}
+
+/// Fig. 1 shape: SDC dominates the failures of a high-AVF benchmark, and
+/// crashes stay a minority (demand-paged memory semantics).
+#[test]
+fn sdc_dominates_register_file_failures() {
+    let t = rf_campaign("SRAD2", 60, 101);
+    assert!(t.failures() > 0, "SRAD2 RF campaign must observe failures: {t}");
+    assert!(
+        t.sdc >= t.crash,
+        "SDC must dominate crashes (paper Fig. 1): {t}"
+    );
+    assert!(
+        t.crash * 4 <= t.failures().max(1) * 3,
+        "crashes must not dominate: {t}"
+    );
+}
+
+/// Fig. 6 direction: triple-bit faults fail at least as often as
+/// single-bit faults (seeded, same benchmark).
+#[test]
+fn triple_bit_fails_at_least_as_often() {
+    let w = by_name("HS").unwrap();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(w.as_ref(), &card).unwrap();
+    let runs = 80;
+    let single = run_campaign(
+        w.as_ref(),
+        &card,
+        &CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile).bits(1), runs, 5),
+        &golden,
+    )
+    .unwrap()
+    .tally;
+    let triple = run_campaign(
+        w.as_ref(),
+        &card,
+        &CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile).bits(3), runs, 5),
+        &golden,
+    )
+    .unwrap()
+    .tally;
+    // Allow statistical slack of a few runs at this sample size.
+    assert!(
+        triple.failures() + 5 >= single.failures(),
+        "triple-bit ({}) must not fail much less than single-bit ({})",
+        triple.failures(),
+        single.failures()
+    );
+}
+
+/// Fig. 7 shape: with equal AVFs, the 28 nm process yields much higher
+/// FIT than 12 nm (raw-rate ratio ≈ 6.7×).
+#[test]
+fn titan_raw_rate_dominates_fit() {
+    let r12 = raw_fit_per_bit(12);
+    let r28 = raw_fit_per_bit(28);
+    assert!((r28 / r12 - 6.67).abs() < 0.1, "ratio {}", r28 / r12);
+}
+
+/// Paper §VI.A: the campaign size justification — 3 000 runs at 99 %
+/// confidence gives a margin below 2.5 %.
+#[test]
+fn paper_sample_size_statistics() {
+    let margin = margin_of_error(0.99, 3000, u64::MAX);
+    assert!(margin < 0.025, "margin {margin}");
+    assert!(sample_size(0.99, margin, u64::MAX) <= 3100);
+}
+
+/// Occupancy ordering from the paper's Fig. 3 discussion: SRAD2's
+/// occupancy is at least SRAD1's (same diffusion at different kernel
+/// organisations).
+#[test]
+fn srad_occupancy_ordering() {
+    let card = GpuConfig::rtx2060();
+    let occ = |name: &str| {
+        let w = by_name(name).unwrap();
+        let golden = profile(w.as_ref(), &card).unwrap();
+        let total: u64 = golden.app.total_cycles();
+        golden
+            .app
+            .static_kernels()
+            .iter()
+            .map(|k| golden.app.occupancy_of(k) * golden.app.cycles_of(k) as f64)
+            .sum::<f64>()
+            / total as f64
+    };
+    let (s1, s2) = (occ("SRAD1"), occ("SRAD2"));
+    assert!(
+        s2 >= s1 * 0.9,
+        "SRAD2 occupancy ({s2:.3}) should be at least SRAD1's ({s1:.3})"
+    );
+}
+
+/// Whole-application campaigns draw from every kernel's windows: a BP
+/// register-file campaign must be able to reach both kernels.
+#[test]
+fn whole_app_campaigns_cover_all_kernels() {
+    let w = by_name("BP").unwrap();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(w.as_ref(), &card).unwrap();
+    assert_eq!(golden.app.static_kernels().len(), 2);
+    // Both kernels have non-empty windows the generator can sample.
+    for k in golden.app.static_kernels() {
+        let windows = golden.windows(Some(&k));
+        assert!(!windows.is_empty());
+        assert!(windows.iter().all(|win| win.end > win.start));
+    }
+}
