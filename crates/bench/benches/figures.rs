@@ -1,11 +1,13 @@
-//! Criterion benches exercising the full regeneration path of every table
-//! and figure (miniature campaign sizes, so `cargo bench` stays fast).
+//! Benchmarks exercising the full regeneration path of every table and
+//! figure (miniature campaign sizes, so `cargo bench` stays fast).
 //!
-//! For real reproduction runs use the `repro` binary, which shares the
-//! same code paths at configurable campaign sizes.
+//! A dependency-free harness (`harness = false`) timed with
+//! `std::time::Instant`.  For real reproduction runs use the `repro`
+//! binary, which shares the same code paths at configurable campaign
+//! sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpufi_bench::{figures, run_suite, tables, ReproConfig};
+use std::time::Instant;
 
 fn tiny_cfg() -> ReproConfig {
     ReproConfig {
@@ -15,36 +17,41 @@ fn tiny_cfg() -> ReproConfig {
     }
 }
 
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_memory_sizes", |b| b.iter(tables::table1));
-    c.bench_function("table2_memory_spaces", |b| b.iter(tables::table2));
-    c.bench_function("table4_target_structures", |b| b.iter(tables::table4));
-    c.bench_function("table5_microarch_params", |b| b.iter(tables::table5));
+/// Times `iters` calls of `f` (after one warm-up call) and prints the
+/// per-iteration mean.
+fn time<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed().as_secs_f64();
+    println!(
+        "{label:<36} {:>12.3} ms/iter  ({iters} iters)",
+        total / f64::from(iters) * 1e3
+    );
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
+    time("table1_memory_sizes", 100, tables::table1);
+    time("table2_memory_spaces", 100, tables::table2);
+    time("table4_target_structures", 100, tables::table4);
+    time("table5_microarch_params", 100, tables::table5);
+
     // One miniature sweep shared by all figure renderers (the expensive
     // part); each figure then renders from it.
     let suite = run_suite(&tiny_cfg());
-    c.bench_function("fig1_rf_breakdown_render", |b| b.iter(|| figures::fig1(&suite)));
-    c.bench_function("fig2_structure_shares_render", |b| b.iter(|| figures::fig2(&suite)));
-    c.bench_function("fig3_wavf_occupancy_render", |b| b.iter(|| figures::fig3(&suite)));
-    c.bench_function("fig4_performance_share_render", |b| b.iter(|| figures::fig4(&suite)));
-    c.bench_function("fig5_triple_bit_render", |b| b.iter(|| figures::fig5(&suite)));
-    c.bench_function("fig6_single_vs_triple_render", |b| b.iter(|| figures::fig6(&suite)));
-    c.bench_function("fig7_fit_render", |b| b.iter(|| figures::fig7(&suite)));
+    time("fig1_rf_breakdown_render", 100, || figures::fig1(&suite));
+    time("fig2_structure_shares_render", 100, || {
+        figures::fig2(&suite)
+    });
+    time("fig3_wavf_occupancy_render", 100, || figures::fig3(&suite));
+    time("fig4_performance_share_render", 100, || {
+        figures::fig4(&suite)
+    });
+    time("fig5_triple_bit_render", 100, || figures::fig5(&suite));
+    time("fig6_single_vs_triple_render", 100, || {
+        figures::fig6(&suite)
+    });
+    time("fig7_fit_render", 100, || figures::fig7(&suite));
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(1))
-        .warm_up_time(std::time::Duration::from_millis(300))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_tables, bench_figures
-}
-criterion_main!(benches);

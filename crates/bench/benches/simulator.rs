@@ -1,12 +1,18 @@
-//! Criterion micro-benchmarks of the simulator substrate: assembler,
-//! cache, end-to-end kernel execution and injection-campaign overhead.
+//! Micro-benchmarks of the simulator substrate: assembler, cache,
+//! end-to-end kernel execution and injection-campaign throughput.
+//!
+//! A dependency-free harness (`harness = false`): each benchmark is timed
+//! with `std::time::Instant` and printed as a one-line summary.  Run with
+//! `cargo bench --bench simulator`.  The headline comparison at the end
+//! measures the fault-lifetime early-exit engine against full simulation
+//! on a register-file campaign.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gpufi_core::{profile, run_campaign, CampaignConfig, Workload};
 use gpufi_faults::{CampaignSpec, Structure};
 use gpufi_isa::Module;
 use gpufi_sim::{CacheConfig, Gpu, GpuConfig, LaunchDims};
-use gpufi_workloads::{HotSpot, VectorAdd};
+use gpufi_workloads::{Gaussian, HotSpot, VectorAdd};
+use std::time::Instant;
 
 const KERNEL: &str = r#"
 .kernel saxpy
@@ -28,85 +34,128 @@ const KERNEL: &str = r#"
     EXIT
 "#;
 
-fn bench_assembler(c: &mut Criterion) {
-    c.bench_function("assemble_saxpy_module", |b| {
-        b.iter(|| Module::assemble(std::hint::black_box(KERNEL)).unwrap())
+/// Times `iters` calls of `f` (after one warm-up call) and prints the
+/// per-iteration mean; returns the total wall seconds.
+fn time<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed().as_secs_f64();
+    println!(
+        "{label:<44} {:>12.3} ms/iter  ({iters} iters)",
+        total / f64::from(iters) * 1e3
+    );
+    total
+}
+
+fn bench_assembler() {
+    time("assemble_saxpy_module", 200, || {
+        Module::assemble(std::hint::black_box(KERNEL)).unwrap()
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let cfg = CacheConfig::with_capacity(64 * 1024, 4, 128);
-    c.bench_function("cache_fill_read_64k", |b| {
-        b.iter_batched(
-            || gpufi_sim::mem::Cache::new(cfg),
-            |mut cache| {
-                let line = vec![0u8; 128];
-                let mut buf = [0u8; 4];
-                for la in 0..512u64 {
-                    cache.fill(la, &line, false);
-                    cache.read(la, 0, &mut buf);
-                }
-                cache
-            },
-            BatchSize::SmallInput,
-        )
+    time("cache_fill_read_64k", 200, || {
+        let mut cache = gpufi_sim::mem::Cache::new(cfg);
+        let line = vec![0u8; 128];
+        let mut buf = [0u8; 4];
+        for la in 0..512u64 {
+            cache.fill(la, &line, false);
+            cache.read(la, 0, &mut buf);
+        }
+        cache
     });
 }
 
-fn bench_kernel_execution(c: &mut Criterion) {
+fn bench_kernel_execution() {
     let module = Module::assemble(KERNEL).unwrap();
     let kernel = module.kernel("saxpy").unwrap();
-    c.bench_function("launch_saxpy_4096_rtx2060", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::new(GpuConfig::rtx2060());
-            let x = gpu.malloc(4096 * 4).unwrap();
-            let y = gpu.malloc(4096 * 4).unwrap();
-            let z = gpu.malloc(4096 * 4).unwrap();
-            gpu.launch(kernel, LaunchDims::new(32, 128), &[x, y, z, 4096])
-                .unwrap()
-        })
+    time("launch_saxpy_4096_rtx2060", 20, || {
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let x = gpu.malloc(4096 * 4).unwrap();
+        let y = gpu.malloc(4096 * 4).unwrap();
+        let z = gpu.malloc(4096 * 4).unwrap();
+        gpu.launch(kernel, LaunchDims::new(32, 128), &[x, y, z, 4096])
+            .unwrap()
     });
 }
 
-fn bench_workload_golden(c: &mut Criterion) {
+fn bench_workload_golden() {
     let hs = HotSpot::default();
     let card = GpuConfig::rtx2060();
-    c.bench_function("golden_profile_hotspot", |b| {
-        b.iter(|| profile(&hs, &card).unwrap())
-    });
+    time("golden_profile_hotspot", 5, || profile(&hs, &card).unwrap());
 }
 
-fn bench_injection_campaign(c: &mut Criterion) {
+fn bench_injection_campaign() {
     let va = VectorAdd::default();
     let card = GpuConfig::rtx2060();
     let golden = profile(&va, &card).unwrap();
-    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 4, 7)
-        .with_threads(1);
-    c.bench_function("campaign_4_runs_va_regfile", |b| {
-        b.iter(|| run_campaign(&va, &card, &cfg, &golden).unwrap())
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 4, 7).with_threads(1);
+    time("campaign_4_runs_va_regfile", 10, || {
+        run_campaign(&va, &card, &cfg, &golden).unwrap()
     });
     // Baseline: the same 4 executions without any injection machinery.
-    c.bench_function("baseline_4_runs_va_no_injection", |b| {
-        b.iter(|| {
-            for _ in 0..4 {
-                let mut gpu = Gpu::new(card.clone());
-                va.run(&mut gpu).unwrap();
-            }
-        })
+    time("baseline_4_runs_va_no_injection", 10, || {
+        for _ in 0..4 {
+            let mut gpu = Gpu::new(card.clone());
+            va.run(&mut gpu).unwrap();
+        }
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
+/// Headline: a whole-application register-file campaign with
+/// fault-lifetime early exit and work-stealing workers versus the same
+/// campaign forced through full simulation (the seed engine's only mode).
+///
+/// Gaussian elimination launches `fan1`/`fan2` once per pivot, so a fault
+/// whose taint dies inside launch `k` lets the engine skip the remaining
+/// `2n - k` launches — the multi-kernel shape the paper's campaigns
+/// actually have.  (A single-wave kernel like VectorAdd bounds the win:
+/// dead-register taints only clear at lane exit, near the natural end.)
+fn bench_early_exit_speedup() {
+    let ge = Gaussian::default();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(&ge, &card).unwrap();
+    let runs = 300;
+    let fast = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, 11);
+    let full = fast.clone().no_early_exit();
+
+    let t_full = time("campaign_300_ge_regfile_full_sim", 3, || {
+        run_campaign(&ge, &card, &full, &golden).unwrap()
+    });
+    let t_fast = time("campaign_300_ge_regfile_early_exit", 3, || {
+        run_campaign(&ge, &card, &fast, &golden).unwrap()
+    });
+
+    let r_fast = run_campaign(&ge, &card, &fast, &golden).unwrap();
+    let r_full = run_campaign(&ge, &card, &full, &golden).unwrap();
+    assert_eq!(
+        r_fast.tally, r_full.tally,
+        "early exit must not change classifications"
+    );
+    println!(
+        "early-exit engine: {:.1} runs/s on {} threads, {:.1}% runs cut short, \
+         {:.1}% faults applied",
+        r_fast.stats.runs_per_sec,
+        r_fast.stats.threads,
+        r_fast.stats.early_exit_rate * 100.0,
+        r_fast.stats.applied_rate * 100.0,
+    );
+    println!(
+        "full-sim engine:   {:.1} runs/s on {} threads",
+        r_full.stats.runs_per_sec, r_full.stats.threads,
+    );
+    println!("speedup (wall): {:.2}x", t_full / t_fast);
 }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_assembler, bench_cache, bench_kernel_execution,
-              bench_workload_golden, bench_injection_campaign
+fn main() {
+    bench_assembler();
+    bench_cache();
+    bench_kernel_execution();
+    bench_workload_golden();
+    bench_injection_campaign();
+    bench_early_exit_speedup();
 }
-criterion_main!(benches);

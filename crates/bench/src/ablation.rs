@@ -11,8 +11,15 @@ use std::fmt::Write as _;
 /// Runs both ablations and renders a report.
 pub fn ablation(cfg: &ReproConfig) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "ABLATION 1. Warp scheduler: GTO vs round-robin (golden cycles, RTX 2060).");
-    let _ = writeln!(out, "{:<8} {:>10} {:>10} {:>8}", "bench", "GTO", "RR", "RR/GTO");
+    let _ = writeln!(
+        out,
+        "ABLATION 1. Warp scheduler: GTO vs round-robin (golden cycles, RTX 2060)."
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>8}",
+        "bench", "GTO", "RR", "RR/GTO"
+    );
     for w in gpufi_workloads::paper_suite() {
         let gto = {
             let card = GpuConfig::rtx2060();
@@ -53,6 +60,12 @@ pub fn ablation(cfg: &ReproConfig) -> String {
         )
         .with_threads(cfg.threads);
         let r = run_campaign(w.as_ref(), &card, &ccfg, &golden).expect("campaign");
+        eprintln!(
+            "  [{name}] {:.1} runs/s on {} threads, {:.0}% early exits",
+            r.stats.runs_per_sec,
+            r.stats.threads,
+            100.0 * r.stats.early_exit_rate
+        );
         // Whole-application campaign: use the cycle-dominant kernel's df.
         let kernel = golden
             .app
@@ -66,14 +79,7 @@ pub fn ablation(cfg: &ReproConfig) -> String {
             card.registers_per_sm,
         );
         let fr = r.tally.failure_ratio();
-        let _ = writeln!(
-            out,
-            "{:<8} {:>9.4} {:>8.4} {:>12.5}",
-            name,
-            fr,
-            df,
-            fr * df
-        );
+        let _ = writeln!(out, "{:<8} {:>9.4} {:>8.4} {:>12.5}", name, fr, df, fr * df);
     }
     let _ = writeln!(
         out,

@@ -12,8 +12,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const TARGETS: [&str; 14] = [
-    "table1", "table2", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-    "fig7", "raw", "ablation", "all",
+    "table1", "table2", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "raw", "ablation", "all",
 ];
 
 fn main() -> ExitCode {
@@ -48,7 +48,10 @@ fn main() -> ExitCode {
         return usage("no target given");
     }
     if targets.iter().any(|t| t == "all") {
-        targets = TARGETS[..TARGETS.len() - 1].iter().map(|s| s.to_string()).collect();
+        targets = TARGETS[..TARGETS.len() - 1]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
 
     // Static tables need no campaigns; figures share one sweep.

@@ -42,7 +42,10 @@ fn rf_breakdown_table(out: &mut String, card: &CardResults) {
 /// cards × twelve benchmarks.
 pub fn fig1(suite: &SuiteResults) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "FIG. 1. Register-file fault effects, single-bit faults.");
+    let _ = writeln!(
+        out,
+        "FIG. 1. Register-file fault effects, single-bit faults."
+    );
     for card in &suite.single {
         let _ = writeln!(out, "\n--- {} ---", card.card);
         rf_breakdown_table(&mut out, card);
@@ -59,7 +62,11 @@ pub fn fig2(suite: &SuiteResults) -> String {
         "FIG. 2. Hardware-structure contribution to total AVF (RTX 2060)."
     );
     for target in ["SRAD2", "HS"] {
-        let Some(b) = suite.single[0].benchmarks.iter().find(|b| b.benchmark == target) else {
+        let Some(b) = suite.single[0]
+            .benchmarks
+            .iter()
+            .find(|b| b.benchmark == target)
+        else {
             continue;
         };
         let _ = writeln!(out, "\n--- {target} ---");
@@ -68,7 +75,13 @@ pub fn fig2(suite: &SuiteResults) -> String {
             let _ = writeln!(out, "  (zero AVF — no structure contributed failures)");
         }
         for (s, share) in shares {
-            let _ = writeln!(out, "  {:<18} {:>7} % {}", s.name(), pct(share), bar(share, 1.0));
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>7} % {}",
+                s.name(),
+                pct(share),
+                bar(share, 1.0)
+            );
         }
     }
     out
@@ -78,7 +91,10 @@ pub fn fig2(suite: &SuiteResults) -> String {
 /// single-bit.
 pub fn fig3(suite: &SuiteResults) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "FIG. 3. Total GPU chip AVF (single-bit) and warp occupancy.");
+    let _ = writeln!(
+        out,
+        "FIG. 3. Total GPU chip AVF (single-bit) and warp occupancy."
+    );
     for card in &suite.single {
         let _ = writeln!(out, "\n--- {} ---", card.card);
         let _ = writeln!(out, "{:<8} {:>9} {:>10}", "bench", "wAVF %", "occupancy");
@@ -115,7 +131,13 @@ pub fn fig4(suite: &SuiteResults) -> String {
         let share = tally.performance_share_of_masked();
         total_share += share;
         n += 1;
-        let _ = writeln!(out, "{:<8} {:>9} {}", b.benchmark, pct(share), bar(share, 0.10));
+        let _ = writeln!(
+            out,
+            "{:<8} {:>9} {}",
+            b.benchmark,
+            pct(share),
+            bar(share, 0.10)
+        );
     }
     if n > 0 {
         let _ = writeln!(out, "{:<8} {:>9}", "mean", pct(total_share / n as f64));
@@ -127,7 +149,10 @@ pub fn fig4(suite: &SuiteResults) -> String {
 /// (RTX 2060).
 pub fn fig5(suite: &SuiteResults) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "FIG. 5. Register-file fault effects, triple-bit faults (RTX 2060).");
+    let _ = writeln!(
+        out,
+        "FIG. 5. Register-file fault effects, triple-bit faults (RTX 2060)."
+    );
     let card = CardResults {
         card: "RTX 2060".to_string(),
         benchmarks: suite.triple_rtx.clone(),
@@ -146,7 +171,11 @@ pub fn fig6(suite: &SuiteResults) -> String {
         "bench", "1-bit %", "3-bit %", "ratio"
     );
     for (s, t) in suite.single[0].benchmarks.iter().zip(&suite.triple_rtx) {
-        let ratio = if s.wavf > 0.0 { t.wavf / s.wavf } else { f64::NAN };
+        let ratio = if s.wavf > 0.0 {
+            t.wavf / s.wavf
+        } else {
+            f64::NAN
+        };
         let _ = writeln!(
             out,
             "{:<8} {:>10} {:>10} {:>7.2}",
@@ -163,7 +192,10 @@ pub fn fig6(suite: &SuiteResults) -> String {
 /// benchmarks.
 pub fn fig7(suite: &SuiteResults) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "FIG. 7. Total FIT rates (failures per 10^9 device-hours).");
+    let _ = writeln!(
+        out,
+        "FIG. 7. Total FIT rates (failures per 10^9 device-hours)."
+    );
     let _ = write!(out, "{:<8}", "bench");
     for card in &suite.single {
         let _ = write!(out, "{:>16}", card.card);

@@ -38,7 +38,11 @@ pub fn table1() -> String {
         let _ = write!(out, "{name:<22}");
         for c in &cards {
             let bits = f(c);
-            let cell = if bits == 0 { "N/A".to_string() } else { fmt_size(bits) };
+            let cell = if bits == 0 {
+                "N/A".to_string()
+            } else {
+                fmt_size(bits)
+            };
             let _ = write!(out, "{cell:>16}");
         }
         let _ = writeln!(out);
@@ -50,10 +54,16 @@ pub fn table1() -> String {
 /// (encoded in the simulator's `AccessKind` routing).
 pub fn table2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE II. CUDA SUPPORTED MEMORY SPACES IN THE SIMULATOR.");
+    let _ = writeln!(
+        out,
+        "TABLE II. CUDA SUPPORTED MEMORY SPACES IN THE SIMULATOR."
+    );
     let _ = writeln!(out, "{:<28} Accesses serviced", "Core Memory");
     let rows = [
-        ("Shared memory (R/W)", "shared memory accesses only (LDS/STS)"),
+        (
+            "Shared memory (R/W)",
+            "shared memory accesses only (LDS/STS)",
+        ),
         (
             "Data cache (R/W)",
             "global (evict-on-write) and local (writeback) accesses (LDG/STG, LDL/STL)",
@@ -122,10 +132,16 @@ pub fn table5() -> String {
     };
     row("SMs", &|c| c.num_sms.to_string());
     row("Warp size", &|_| gpufi_sim::WARP_SIZE.to_string());
-    row("Maximum Threads per SM", &|c| c.max_threads_per_sm.to_string());
+    row("Maximum Threads per SM", &|c| {
+        c.max_threads_per_sm.to_string()
+    });
     row("Maximum CTAs per SM", &|c| c.max_ctas_per_sm.to_string());
-    row("Registers per SM (4 bytes each)", &|c| c.registers_per_sm.to_string());
-    row("Shared Memory per SM", &|c| format!("{} KB", c.smem_per_sm / 1024));
+    row("Registers per SM (4 bytes each)", &|c| {
+        c.registers_per_sm.to_string()
+    });
+    row("Shared Memory per SM", &|c| {
+        format!("{} KB", c.smem_per_sm / 1024)
+    });
     row("L1 data cache per SM", &|c| match c.l1d {
         Some(l1) => format!("{} KB", l1.data_bytes() / 1024),
         None => "N/A".to_string(),
@@ -137,14 +153,22 @@ pub fn table5() -> String {
     row("L1 texture cache per SM", &|c| {
         format!("{} KB", c.l1t.data_bytes() / 1024)
     });
-    row("L1 texture cache per SM *", &|c| fmt_size(c.l1t.total_bits()));
+    row("L1 texture cache per SM *", &|c| {
+        fmt_size(c.l1t.total_bits())
+    });
     row("L1 constant cache per SM", &|c| {
         format!("{} KB", c.l1c.data_bytes() / 1024)
     });
-    row("L1 constant cache per SM *", &|c| fmt_size(c.l1c.total_bits()));
-    row("L2 cache size", &|c| fmt_size(u64::from(c.l2.data_bytes()) * 8));
+    row("L1 constant cache per SM *", &|c| {
+        fmt_size(c.l1c.total_bits())
+    });
+    row("L2 cache size", &|c| {
+        fmt_size(u64::from(c.l2.data_bytes()) * 8)
+    });
     row("L2 cache size *", &|c| fmt_size(c.l2.total_bits()));
-    row("L2 banks (memory partitions)", &|c| c.num_l2_banks.to_string());
+    row("L2 banks (memory partitions)", &|c| {
+        c.num_l2_banks.to_string()
+    });
     row("Process (nm)", &|c| c.process_nm.to_string());
     out
 }

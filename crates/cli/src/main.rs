@@ -37,12 +37,16 @@ usage:
   gpufi profile  --bench <NAME> [--card <CARD> | --config <FILE>]
   gpufi campaign --bench <NAME> --structure <S> [--card <CARD>] [--runs N]
                  [--bits K] [--kernel <K>] [--scope thread|warp] [--spread]
-                 [--seed S] [--threads T] [--csv FILE]
+                 [--seed S] [--threads T] [--no-early-exit] [--csv FILE]
   gpufi analyze  --bench <NAME> [--card <CARD>] [--runs N] [--bits K] [--seed S]
 
 cards:      rtx2060 (default) | gv100 | titan, or --config <FILE> with a
             gpgpusim.config-style `key = value` chip description
-structures: rf | local | shared | l1d | l1t | l1c | l2";
+structures: rf | local | shared | l1d | l1t | l1c | l2
+
+campaigns abort each run as soon as every injected fault's lifetime has
+provably ended (classified Masked at the golden cycle count);
+--no-early-exit forces full simulation of every run (validation mode)";
 
 /// Minimal `--flag value` parser over the argument list.
 struct Args<'a> {
@@ -65,7 +69,9 @@ impl<'a> Args<'a> {
     fn parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
         match self.value(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {flag}: `{v}`")),
         }
     }
 }
@@ -141,7 +147,10 @@ fn cmd_profile(args: &Args<'_>) -> Result<(), String> {
     for k in golden.app.static_kernels() {
         let space = &golden.fault_spaces[&k];
         let invocations = golden.app.windows_of(&k).len();
-        let (mut l1d, mut l2) = (gpufi_sim::CacheStats::default(), gpufi_sim::CacheStats::default());
+        let (mut l1d, mut l2) = (
+            gpufi_sim::CacheStats::default(),
+            gpufi_sim::CacheStats::default(),
+        );
         for l in golden.app.launches.iter().filter(|l| l.kernel == k) {
             l1d.hits += l.l1d_stats.hits;
             l1d.misses += l.l1d_stats.misses;
@@ -185,6 +194,9 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     }
     let golden = profile(workload.as_ref(), &card).map_err(|e| e.to_string())?;
     let mut cfg = CampaignConfig::new(spec, runs, seed).with_threads(threads);
+    if args.flag("--no-early-exit") {
+        cfg = cfg.no_early_exit();
+    }
     if let Some(kernel) = args.value("--kernel") {
         cfg = cfg.for_kernel(kernel);
     }
@@ -211,6 +223,18 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     println!(
         "  error margin at 99% confidence: ±{:.2} %",
         100.0 * margin_of_error(0.99, runs.max(1) as u64, u64::MAX)
+    );
+    let s = &result.stats;
+    println!(
+        "  engine: {:.1} runs/s on {} threads ({:.0} ms wall)",
+        s.runs_per_sec, s.threads, s.wall_ms
+    );
+    println!(
+        "  faults applied: {} ({:.1} %)   early exits: {} ({:.1} %)",
+        s.applied,
+        100.0 * s.applied_rate,
+        s.early_exits,
+        100.0 * s.early_exit_rate
     );
     if let Some(path) = args.value("--csv") {
         let csv = gpufi_core::campaign_csv(&result);
@@ -310,6 +334,9 @@ mod tests {
     fn unknown_command_is_an_error() {
         assert!(run(&args(&["frobnicate"])).is_err());
         assert!(run(&args(&["list"])).is_ok());
-        assert!(run(&args(&["campaign", "--bench", "VA"])).is_err(), "missing --structure");
+        assert!(
+            run(&args(&["campaign", "--bench", "VA"])).is_err(),
+            "missing --structure"
+        );
     }
 }

@@ -129,7 +129,11 @@ impl AppAnalysis {
     /// Per-structure shares of the total AVF (the paper's Fig. 2 pies).
     /// Empty when the AVF is zero.
     pub fn avf_shares(&self) -> Vec<(Structure, f64)> {
-        let total: f64 = self.structures.iter().map(StructureOutcome::avf_weight).sum();
+        let total: f64 = self
+            .structures
+            .iter()
+            .map(StructureOutcome::avf_weight)
+            .sum();
         if total <= 0.0 {
             return Vec::new();
         }
@@ -182,7 +186,10 @@ pub fn analyze_with_golden(
 
     let mut structures = Vec::new();
     let mut kernel_avfs: Vec<KernelAvf> = vec![
-        KernelAvf { avf: 0.0, cycles: 0 };
+        KernelAvf {
+            avf: 0.0,
+            cycles: 0
+        };
         kernels.len()
     ];
     for (ki, k) in kernels.iter().enumerate() {
@@ -333,5 +340,6 @@ fn seed_for(base: u64, kernel_idx: usize, s: Structure) -> u64 {
         Structure::L2 => 6,
         Structure::L1Const => 7,
     };
-    base ^ (kernel_idx as u64).wrapping_mul(0x5851_f42d_4c95_7f2d) ^ sid.wrapping_mul(0x1405_7b7e_f767_814f)
+    base ^ (kernel_idx as u64).wrapping_mul(0x5851_f42d_4c95_7f2d)
+        ^ sid.wrapping_mul(0x1405_7b7e_f767_814f)
 }

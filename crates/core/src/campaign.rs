@@ -2,13 +2,16 @@
 
 use crate::classify::classify;
 use crate::profile::GoldenProfile;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use gpufi_faults::{CampaignSpec, DrawError, MaskGenerator};
 use gpufi_metrics::{FaultEffect, Tally};
-use gpufi_sim::{Gpu, GpuConfig, KernelWindow};
+use gpufi_sim::{Gpu, GpuConfig, KernelWindow, Trap};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Configuration of one injection campaign.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +26,11 @@ pub struct CampaignConfig {
     pub kernel: Option<String>,
     /// Worker threads (0 = autodetect).
     pub threads: usize,
+    /// Abort a run as soon as every planned fault's lifetime has provably
+    /// ended (classifying it **Masked** with the golden cycle count).
+    /// Disable to force full simulation of every run — the validation mode
+    /// behind `--no-early-exit`.
+    pub early_exit: bool,
 }
 
 impl CampaignConfig {
@@ -34,6 +42,7 @@ impl CampaignConfig {
             seed,
             kernel: None,
             threads: 0,
+            early_exit: true,
         }
     }
 
@@ -46,6 +55,12 @@ impl CampaignConfig {
     /// Sets the number of worker threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Disables fault-lifetime early exit (full-simulation validation mode).
+    pub fn no_early_exit(mut self) -> Self {
+        self.early_exit = false;
         self
     }
 
@@ -68,10 +83,32 @@ pub struct RunRecord {
     /// Whether the fault actually changed state (e.g. cache flips on
     /// invalid lines change nothing).
     pub applied: bool,
+    /// Whether the run was cut short because every fault's lifetime ended
+    /// (always classified **Masked** with the golden cycle count).
+    pub early_exit: bool,
+}
+
+/// Wall-clock throughput and fault-behaviour statistics of one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CampaignStats {
+    /// Total wall-clock time of the campaign, in milliseconds.
+    pub wall_ms: f64,
+    /// Injection runs completed per second of wall-clock time.
+    pub runs_per_sec: f64,
+    /// Worker threads that executed the campaign.
+    pub threads: usize,
+    /// Runs whose fault actually changed machine state.
+    pub applied: usize,
+    /// `applied / runs`.
+    pub applied_rate: f64,
+    /// Runs cut short by fault-lifetime early exit.
+    pub early_exits: usize,
+    /// `early_exits / runs`.
+    pub early_exit_rate: f64,
 }
 
 /// The aggregated result of a campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// The fault shape that was injected.
     pub spec: CampaignSpec,
@@ -81,6 +118,18 @@ pub struct CampaignResult {
     pub tally: Tally,
     /// Per-run records, in run order.
     pub records: Vec<RunRecord>,
+    /// Throughput and fault-behaviour statistics (excluded from equality:
+    /// two identical campaigns differ in wall-clock time).
+    pub stats: CampaignStats,
+}
+
+impl PartialEq for CampaignResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.kernel == other.kernel
+            && self.tally == other.tally
+            && self.records == other.records
+    }
 }
 
 /// Why a campaign could not run.
@@ -110,6 +159,18 @@ impl From<DrawError> for CampaignError {
     }
 }
 
+/// Derives the per-run generator seed: the `run_idx`-th output of a
+/// splitmix64 stream started at `seed`.  The full-avalanche finalizer keeps
+/// every (seed, run) pair distinct — unlike the previous
+/// `seed * C ^ run_idx` mix, which collapsed all runs of seed 0 onto the
+/// bare run index (and made seed 0 share masks with seed 1).
+fn mix_seed(seed: u64, run_idx: u64) -> u64 {
+    let mut z = seed.wrapping_add(run_idx.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Executes one injection run and classifies it.
 fn one_run(
     workload: &dyn Workload,
@@ -120,7 +181,7 @@ fn one_run(
 ) -> Result<RunRecord, CampaignError> {
     // Derive a per-run generator so results are independent of the thread
     // interleaving.
-    let mut gen = MaskGenerator::new(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ run_idx);
+    let mut gen = MaskGenerator::new(mix_seed(cfg.seed, run_idx));
 
     // Pick the window set and the fault space of the kernel it belongs to.
     let windows: Vec<KernelWindow> = golden.windows(cfg.kernel.as_deref());
@@ -141,7 +202,7 @@ fn one_run(
             (windows, *space)
         }
         None => {
-            let w = pick_weighted(&mut gen, &windows);
+            let w = pick_weighted(&mut gen, &windows)?;
             let space = golden
                 .fault_spaces
                 .get(&w.kernel)
@@ -155,33 +216,62 @@ fn one_run(
     let mut gpu = Gpu::new(card.clone());
     gpu.arm_faults(plan);
     gpu.set_watchdog(golden.total_cycles() * 2);
+    gpu.set_early_exit(cfg.early_exit);
     let result = workload.run(&mut gpu);
-    let cycles = gpu.stats().total_cycles().max(gpu.cycle());
     let applied = gpu.injection_records().iter().any(|r| r.applied);
+    if matches!(&result, Err(WorkloadError::Trap(Trap::FaultsExpired))) {
+        // Every fault's lifetime ended with the machine state equal to the
+        // golden run's, so the remaining execution is the golden execution:
+        // Masked, at the golden cycle count.
+        return Ok(RunRecord {
+            effect: FaultEffect::Masked,
+            cycles: golden.total_cycles(),
+            applied,
+            early_exit: true,
+        });
+    }
+    let cycles = gpu.stats().total_cycles().max(gpu.cycle());
     let effect = classify(&result, cycles, golden);
-    Ok(RunRecord { effect, cycles, applied })
+    Ok(RunRecord {
+        effect,
+        cycles,
+        applied,
+        early_exit: false,
+    })
 }
 
 /// Picks one window with probability proportional to its length.
-fn pick_weighted<'a>(gen: &mut MaskGenerator, windows: &'a [KernelWindow]) -> &'a KernelWindow {
-    // Reuse the generator's bit source through distinct_bits for a cheap
-    // uniform draw over the total span.
-    let total: u64 = windows.iter().map(|w| w.end - w.start).sum();
-    let mut r = gen.distinct_bits(1, total.max(1))[0];
+///
+/// # Errors
+///
+/// Returns [`DrawError::EmptyWindows`] when every window is empty (zero
+/// total cycles), instead of the old behaviour of underflowing on a window
+/// with `end < start`.
+fn pick_weighted<'a>(
+    gen: &mut MaskGenerator,
+    windows: &'a [KernelWindow],
+) -> Result<&'a KernelWindow, DrawError> {
+    let total: u64 = windows.iter().map(|w| w.end.saturating_sub(w.start)).sum();
+    if total == 0 {
+        return Err(DrawError::EmptyWindows);
+    }
+    let mut r = gen.uniform(total);
     for w in windows {
-        let len = w.end - w.start;
+        let len = w.end.saturating_sub(w.start);
         if r < len {
-            return w;
+            return Ok(w);
         }
         r -= len;
     }
-    windows.last().expect("non-empty windows")
+    unreachable!("uniform draw below the total window length")
 }
 
 /// Runs a full campaign: `cfg.runs` independent injection runs of
 /// `workload` on `card`, classified against `golden`.
 ///
-/// Runs execute on `cfg.threads` worker threads; the result is identical
+/// Runs execute on `cfg.threads` worker threads pulling run indices from a
+/// shared counter (work stealing), so one slow Timeout run cannot idle the
+/// remaining workers the way static sharding did.  The result is identical
 /// regardless of thread count because every run derives its own RNG from
 /// the campaign seed and the run index.
 ///
@@ -195,6 +285,7 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
     golden: &GoldenProfile,
 ) -> Result<CampaignResult, CampaignError> {
+    let start = Instant::now();
     let threads = cfg.effective_threads().clamp(1, cfg.runs.max(1));
     let mut records: Vec<Option<RunRecord>> = vec![None; cfg.runs];
 
@@ -203,40 +294,192 @@ pub fn run_campaign(
             *slot = Some(one_run(workload, card, cfg, golden, i as u64)?);
         }
     } else {
-        let chunk = cfg.runs.div_ceil(threads);
-        let results: Vec<Result<Vec<RunRecord>, CampaignError>> =
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(cfg.runs);
-                    if lo >= hi {
-                        continue;
-                    }
-                    handles.push(scope.spawn(move |_| {
-                        (lo..hi)
-                            .map(|i| one_run(workload, card, cfg, golden, i as u64))
-                            .collect::<Result<Vec<_>, _>>()
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("campaign scope");
-        let mut idx = 0;
-        for r in results {
-            for rec in r? {
-                records[idx] = Some(rec);
-                idx += 1;
-            }
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let first_err: Mutex<Option<CampaignError>> = Mutex::new(None);
+        let done: Vec<Vec<(usize, RunRecord)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= cfg.runs {
+                                break;
+                            }
+                            match one_run(workload, card, cfg, golden, i as u64) {
+                                Ok(rec) => local.push((i, rec)),
+                                Err(e) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    first_err.lock().expect("first-error slot").get_or_insert(e);
+                                    break;
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        if let Some(e) = first_err.into_inner().expect("first-error slot") {
+            return Err(e);
+        }
+        for (i, rec) in done.into_iter().flatten() {
+            records[i] = Some(rec);
         }
     }
 
-    let records: Vec<RunRecord> = records.into_iter().map(|r| r.expect("all runs filled")).collect();
+    let records: Vec<RunRecord> = records
+        .into_iter()
+        .map(|r| r.expect("all runs filled"))
+        .collect();
     let tally: Tally = records.iter().map(|r| r.effect).collect();
+    let wall = start.elapsed().as_secs_f64();
+    let applied = records.iter().filter(|r| r.applied).count();
+    let early_exits = records.iter().filter(|r| r.early_exit).count();
+    let n = records.len();
+    let stats = CampaignStats {
+        wall_ms: wall * 1e3,
+        runs_per_sec: if wall > 0.0 { n as f64 / wall } else { 0.0 },
+        threads,
+        applied,
+        applied_rate: if n > 0 {
+            applied as f64 / n as f64
+        } else {
+            0.0
+        },
+        early_exits,
+        early_exit_rate: if n > 0 {
+            early_exits as f64 / n as f64
+        } else {
+            0.0
+        },
+    };
     Ok(CampaignResult {
         spec: cfg.spec.clone(),
         kernel: cfg.kernel.clone(),
         tally,
         records,
+        stats,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_separates_seed_zero_from_seed_one() {
+        // Regression: the old `seed * C ^ run_idx` mix mapped seed 0 to the
+        // bare run index, so seeds 0 and 1 shared fault masks.
+        for run in 0..64u64 {
+            assert_ne!(mix_seed(0, run), mix_seed(1, run), "run {run}");
+        }
+    }
+
+    #[test]
+    fn mix_seed_separates_runs() {
+        let mut seen: Vec<u64> = (0..256).map(|i| mix_seed(0, i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 256, "per-run seeds must be distinct");
+    }
+
+    #[test]
+    fn pick_weighted_rejects_empty_and_inverted_windows() {
+        let mut gen = MaskGenerator::new(1);
+        let empty = [KernelWindow {
+            kernel: "k".into(),
+            start: 10,
+            end: 10,
+        }];
+        assert_eq!(
+            pick_weighted(&mut gen, &empty).unwrap_err(),
+            DrawError::EmptyWindows
+        );
+        // An inverted window (end < start) counts as empty instead of
+        // underflowing.
+        let inverted = [KernelWindow {
+            kernel: "k".into(),
+            start: 20,
+            end: 10,
+        }];
+        assert_eq!(
+            pick_weighted(&mut gen, &inverted).unwrap_err(),
+            DrawError::EmptyWindows
+        );
+    }
+
+    #[test]
+    fn pick_weighted_skips_empty_windows() {
+        let mut gen = MaskGenerator::new(2);
+        let windows = [
+            KernelWindow {
+                kernel: "a".into(),
+                start: 5,
+                end: 5,
+            },
+            KernelWindow {
+                kernel: "b".into(),
+                start: 10,
+                end: 20,
+            },
+        ];
+        for _ in 0..50 {
+            let w = pick_weighted(&mut gen, &windows).unwrap();
+            assert_eq!(w.kernel, "b");
+        }
+    }
+
+    #[test]
+    fn pick_weighted_visits_every_kernel_window() {
+        // Whole-application sampling must reach every kernel's window set,
+        // including short windows dwarfed by a dominant kernel (the SRAD
+        // shape: three static kernels, two invocations each).
+        let windows = [
+            KernelWindow {
+                kernel: "extract".into(),
+                start: 0,
+                end: 120,
+            },
+            KernelWindow {
+                kernel: "srad".into(),
+                start: 120,
+                end: 4000,
+            },
+            KernelWindow {
+                kernel: "compress".into(),
+                start: 4000,
+                end: 4100,
+            },
+            KernelWindow {
+                kernel: "extract".into(),
+                start: 4100,
+                end: 4220,
+            },
+            KernelWindow {
+                kernel: "srad".into(),
+                start: 4220,
+                end: 8100,
+            },
+            KernelWindow {
+                kernel: "compress".into(),
+                start: 8100,
+                end: 8200,
+            },
+        ];
+        let mut gen = MaskGenerator::new(3);
+        let mut hit = std::collections::HashSet::new();
+        for _ in 0..400 {
+            hit.insert(pick_weighted(&mut gen, &windows).unwrap().kernel.clone());
+        }
+        assert_eq!(hit.len(), 3, "sampled kernels: {hit:?}");
+    }
 }

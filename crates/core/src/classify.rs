@@ -67,8 +67,14 @@ mod tests {
     #[test]
     fn performance_is_masked_with_different_cycles() {
         let g = golden();
-        assert_eq!(classify(&Ok(vec![1, 2, 3]), 120, &g), FaultEffect::Performance);
-        assert_eq!(classify(&Ok(vec![1, 2, 3]), 80, &g), FaultEffect::Performance);
+        assert_eq!(
+            classify(&Ok(vec![1, 2, 3]), 120, &g),
+            FaultEffect::Performance
+        );
+        assert_eq!(
+            classify(&Ok(vec![1, 2, 3]), 80, &g),
+            FaultEffect::Performance
+        );
     }
 
     #[test]
@@ -94,7 +100,9 @@ mod tests {
         );
         assert_eq!(
             classify(
-                &Err(WorkloadError::Device(gpufi_sim::LaunchError::BadDevicePointer)),
+                &Err(WorkloadError::Device(
+                    gpufi_sim::LaunchError::BadDevicePointer
+                )),
                 50,
                 &g
             ),

@@ -68,8 +68,10 @@ mod workload;
 pub use analysis::{
     analyze, analyze_with_golden, AnalysisConfig, AppAnalysis, EffectRates, StructureOutcome,
 };
-pub use campaign::{run_campaign, CampaignConfig, CampaignError, CampaignResult, RunRecord};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignResult, CampaignStats, RunRecord,
+};
 pub use classify::classify;
-pub use report::{analysis_csv, campaign_csv, campaign_summary_csv};
 pub use profile::{profile, GoldenProfile};
+pub use report::{analysis_csv, campaign_csv, campaign_summary_csv};
 pub use workload::{Workload, WorkloadError};

@@ -20,11 +20,19 @@ fn field(s: &str) -> String {
 
 /// Renders a campaign as CSV: one header, one row per run.
 ///
-/// Columns: `run,effect,cycles,applied`.
+/// Columns: `run,effect,cycles,applied,early_exit`.
 pub fn campaign_csv(result: &CampaignResult) -> String {
-    let mut out = String::from("run,effect,cycles,applied\n");
+    let mut out = String::from("run,effect,cycles,applied,early_exit\n");
     for (i, r) in result.records.iter().enumerate() {
-        let _ = writeln!(out, "{},{},{},{}", i, r.effect.name(), r.cycles, r.applied);
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            i,
+            r.effect.name(),
+            r.cycles,
+            r.applied,
+            r.early_exit
+        );
     }
     out
 }
@@ -55,8 +63,9 @@ pub fn campaign_summary_csv(result: &CampaignResult) -> String {
 /// Columns:
 /// `benchmark,card,structure,size_bits,sdc,crash,timeout,performance,avf_weight`.
 pub fn analysis_csv(a: &AppAnalysis) -> String {
-    let mut out =
-        String::from("benchmark,card,structure,size_bits,sdc,crash,timeout,performance,avf_weight\n");
+    let mut out = String::from(
+        "benchmark,card,structure,size_bits,sdc,crash,timeout,performance,avf_weight\n",
+    );
     for s in &a.structures {
         let _ = writeln!(
             out,
@@ -101,9 +110,20 @@ mod tests {
             kernel: Some("vec_add".into()),
             tally,
             records: vec![
-                RunRecord { effect: FaultEffect::Masked, cycles: 100, applied: false },
-                RunRecord { effect: FaultEffect::Sdc, cycles: 100, applied: true },
+                RunRecord {
+                    effect: FaultEffect::Masked,
+                    cycles: 100,
+                    applied: false,
+                    early_exit: true,
+                },
+                RunRecord {
+                    effect: FaultEffect::Sdc,
+                    cycles: 100,
+                    applied: true,
+                    early_exit: false,
+                },
             ],
+            stats: crate::campaign::CampaignStats::default(),
         }
     }
 
@@ -131,7 +151,12 @@ mod tests {
             structures: vec![StructureOutcome {
                 structure: Structure::RegisterFile,
                 tally: Tally::default(),
-                rates: EffectRates { sdc: 0.1, crash: 0.0, timeout: 0.0, performance: 0.0 },
+                rates: EffectRates {
+                    sdc: 0.1,
+                    crash: 0.0,
+                    timeout: 0.0,
+                    performance: 0.0,
+                },
                 size_bits: 100,
             }],
             wavf: 0.05,

@@ -195,7 +195,10 @@ impl fmt::Display for DrawError {
         match self {
             DrawError::EmptyWindows => f.write_str("kernel has no execution windows"),
             DrawError::EmptyStructure(s) => {
-                write!(f, "structure `{s}` has no injectable bits for this kernel/chip")
+                write!(
+                    f,
+                    "structure `{s}` has no injectable bits for this kernel/chip"
+                )
             }
         }
     }
@@ -220,22 +223,40 @@ impl MaskGenerator {
         }
     }
 
-    /// Draws `k` distinct bit positions below `space`.
+    /// Draws `k` distinct bit positions below `space` with Floyd's
+    /// sampling algorithm: exactly `k` RNG draws, no rejection loop, so the
+    /// cost stays bounded even when `k` approaches `space`.
     ///
     /// # Panics
     ///
     /// Panics if `space == 0` or `k as u64 > space`.
     pub fn distinct_bits(&mut self, k: u32, space: u64) -> Vec<u64> {
         assert!(space > 0, "empty bit space");
-        assert!(u64::from(k) <= space, "cannot draw {k} distinct bits from {space}");
+        assert!(
+            u64::from(k) <= space,
+            "cannot draw {k} distinct bits from {space}"
+        );
         let mut out: Vec<u64> = Vec::with_capacity(k as usize);
-        while out.len() < k as usize {
-            let b = self.rng.gen_range(0..space);
-            if !out.contains(&b) {
-                out.push(b);
+        for j in (space - u64::from(k))..space {
+            let t = self.rng.gen_range(0..j + 1);
+            if out.contains(&t) {
+                out.push(j);
+            } else {
+                out.push(t);
             }
         }
         out
+    }
+
+    /// Draws a uniform value in `0..bound` (campaign-internal sampling,
+    /// e.g. picking a kernel window by its cycle weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn uniform(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        self.rng.gen_range(0..bound)
     }
 
     /// Picks a uniformly random cycle inside the union of `windows`.
@@ -332,7 +353,8 @@ impl MaskGenerator {
                 if space.l1c_bits == 0 {
                     return Err(DrawError::EmptyStructure(spec.structure));
                 }
-                let bits = self.structure_bits(k, space.l1c_bits, const_line_bits(), spec.multi_bit);
+                let bits =
+                    self.structure_bits(k, space.l1c_bits, const_line_bits(), spec.multi_bit);
                 FaultTarget::L1Const {
                     core_lot: entry_lot,
                     replicate: spec.replicate,
@@ -422,8 +444,16 @@ mod tests {
 
     fn windows() -> Vec<KernelWindow> {
         vec![
-            KernelWindow { kernel: "k".into(), start: 10, end: 20 },
-            KernelWindow { kernel: "k".into(), start: 50, end: 100 },
+            KernelWindow {
+                kernel: "k".into(),
+                start: 10,
+                end: 20,
+            },
+            KernelWindow {
+                kernel: "k".into(),
+                start: 50,
+                end: 100,
+            },
         ]
     }
 
@@ -439,6 +469,28 @@ mod tests {
             assert_eq!(sorted.len(), 3, "bits must be distinct: {bits:?}");
             assert!(bits.iter().all(|&b| b < 32));
         }
+    }
+
+    #[test]
+    fn distinct_bits_can_exhaust_the_space() {
+        // Floyd's algorithm draws the full space without rejection; the
+        // old loop was quadratic (and pathological) here.
+        let mut g = MaskGenerator::new(9);
+        for space in [1u64, 2, 7, 32, 64] {
+            let mut bits = g.distinct_bits(space as u32, space);
+            bits.sort_unstable();
+            let expect: Vec<u64> = (0..space).collect();
+            assert_eq!(bits, expect, "k == space must enumerate every bit");
+        }
+    }
+
+    #[test]
+    fn uniform_stays_below_bound() {
+        let mut g = MaskGenerator::new(10);
+        for _ in 0..1000 {
+            assert!(g.uniform(7) < 7);
+        }
+        assert_eq!(g.uniform(1), 0);
     }
 
     #[test]
@@ -460,11 +512,15 @@ mod tests {
     #[test]
     fn register_faults_respect_allocation() {
         let mut g = MaskGenerator::new(3);
-        let spec = CampaignSpec::new(Structure::RegisterFile).bits(3).warp_scope();
+        let spec = CampaignSpec::new(Structure::RegisterFile)
+            .bits(3)
+            .warp_scope();
         for _ in 0..50 {
             let p = g.draw(&spec, &space(), &windows()).unwrap();
             match &p.faults[0].target {
-                FaultTarget::RegisterFile { scope, reg, bits, .. } => {
+                FaultTarget::RegisterFile {
+                    scope, reg, bits, ..
+                } => {
                     assert_eq!(*scope, Scope::Warp);
                     assert!(*reg < 10);
                     assert_eq!(bits.len(), 3);
@@ -478,7 +534,9 @@ mod tests {
     #[test]
     fn same_entry_mode_keeps_bits_in_one_line() {
         let mut g = MaskGenerator::new(4);
-        let spec = CampaignSpec::new(Structure::L2).bits(3).mode(MultiBitMode::SameEntry);
+        let spec = CampaignSpec::new(Structure::L2)
+            .bits(3)
+            .mode(MultiBitMode::SameEntry);
         for _ in 0..50 {
             let p = g.draw(&spec, &space(), &windows()).unwrap();
             let FaultTarget::L2 { bits } = &p.faults[0].target else {

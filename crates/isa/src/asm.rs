@@ -143,7 +143,10 @@ fn handle_directive(
     let name = parts.next().unwrap_or("");
     let arg = parts.next();
     if parts.next().is_some() {
-        return Err(AsmError::new(line, format!("too many operands for .{name}")));
+        return Err(AsmError::new(
+            line,
+            format!("too many operands for .{name}"),
+        ));
     }
     match name {
         "kernel" => {
@@ -154,7 +157,10 @@ fn handle_directive(
                 kernels.push(prev.finish()?);
             }
             if kernels.iter().any(|k| k.name() == kname) {
-                return Err(AsmError::new(line, format!("duplicate kernel name `{kname}`")));
+                return Err(AsmError::new(
+                    line,
+                    format!("duplicate kernel name `{kname}`"),
+                ));
             }
             *current = Some(PendingKernel::new(kname, line));
             Ok(())
@@ -163,9 +169,9 @@ fn handle_directive(
             let k = current
                 .as_mut()
                 .ok_or_else(|| AsmError::new(line, format!(".{name} before .kernel")))?;
-            let value: u32 = arg
-                .and_then(|a| a.parse().ok())
-                .ok_or_else(|| AsmError::new(line, format!(".{name} requires an unsigned integer")))?;
+            let value: u32 = arg.and_then(|a| a.parse().ok()).ok_or_else(|| {
+                AsmError::new(line, format!(".{name} requires an unsigned integer"))
+            })?;
             match name {
                 "params" => {
                     if value > MAX_REG as u32 + 1 {
@@ -226,9 +232,9 @@ fn parse_statement(line: &str, line_no: u32, k: &mut PendingKernel) -> Result<()
     // Optional guard.
     let mut guard = None;
     if let Some(g) = rest.strip_prefix('@') {
-        let (gtok, after) = g.split_once(char::is_whitespace).ok_or_else(|| {
-            AsmError::new(line_no, "guard must be followed by an instruction")
-        })?;
+        let (gtok, after) = g
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| AsmError::new(line_no, "guard must be followed by an instruction"))?;
         let (negate, ptok) = match gtok.strip_prefix('!') {
             Some(p) => (true, p),
             None => (false, gtok),
@@ -268,7 +274,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -302,7 +310,10 @@ fn parse_reg(tok: &str, line: u32) -> Result<Reg, AsmError> {
         .and_then(|n| n.parse::<u16>().ok())
         .ok_or_else(|| AsmError::new(line, format!("expected register, found `{tok}`")))?;
     if idx > MAX_REG as u16 {
-        return Err(AsmError::new(line, format!("register R{idx} out of range (max R{MAX_REG})")));
+        return Err(AsmError::new(
+            line,
+            format!("register R{idx} out of range (max R{MAX_REG})"),
+        ));
     }
     Ok(Reg::new(idx as u8).expect("bounds checked"))
 }
@@ -313,7 +324,10 @@ fn parse_pred(tok: &str, line: u32) -> Result<Pred, AsmError> {
         .and_then(|n| n.parse::<u16>().ok())
         .ok_or_else(|| AsmError::new(line, format!("expected predicate, found `{tok}`")))?;
     if idx > MAX_PRED as u16 {
-        return Err(AsmError::new(line, format!("predicate P{idx} out of range (max P{MAX_PRED})")));
+        return Err(AsmError::new(
+            line,
+            format!("predicate P{idx} out of range (max P{MAX_PRED})"),
+        ));
     }
     Ok(Pred::new(idx as u8).expect("bounds checked"))
 }
@@ -330,7 +344,9 @@ fn parse_imm(tok: &str, line: u32) -> Result<u32, AsmError> {
         return u32::from_str_radix(hex, 16)
             .map_err(|_| AsmError::new(line, format!("bad hex immediate `{tok}`")));
     }
-    let is_float = tok.ends_with('f') || tok.ends_with('F') || tok.contains('.')
+    let is_float = tok.ends_with('f')
+        || tok.ends_with('F')
+        || tok.contains('.')
         || (tok.contains(['e', 'E']) && !tok.starts_with("0x"));
     if is_float {
         let t = tok.trim_end_matches(['f', 'F']);
@@ -343,7 +359,10 @@ fn parse_imm(tok: &str, line: u32) -> Result<u32, AsmError> {
         if (i32::MIN as i64..=u32::MAX as i64).contains(&v) {
             return Ok(v as u32);
         }
-        return Err(AsmError::new(line, format!("immediate `{tok}` out of 32-bit range")));
+        return Err(AsmError::new(
+            line,
+            format!("immediate `{tok}` out of 32-bit range"),
+        ));
     }
     Err(AsmError::new(line, format!("bad operand `{tok}`")))
 }
@@ -357,7 +376,11 @@ fn parse_mem(tok: &str, line: u32) -> Result<(Reg, i32), AsmError> {
         .trim();
     let (reg_tok, off) = match inner.find(['+', '-']) {
         Some(pos) => {
-            let sign = if inner.as_bytes()[pos] == b'-' { -1i64 } else { 1 };
+            let sign = if inner.as_bytes()[pos] == b'-' {
+                -1i64
+            } else {
+                1
+            };
             let off_tok = inner[pos + 1..].trim();
             let magnitude: i64 = off_tok
                 .parse()
@@ -373,7 +396,12 @@ fn parse_mem(tok: &str, line: u32) -> Result<(Reg, i32), AsmError> {
     Ok((parse_reg(reg_tok, line)?, off))
 }
 
-fn expect_n<'a>(ops: &'a [&'a str], n: usize, m: &str, line: u32) -> Result<&'a [&'a str], AsmError> {
+fn expect_n<'a>(
+    ops: &'a [&'a str],
+    n: usize,
+    m: &str,
+    line: u32,
+) -> Result<&'a [&'a str], AsmError> {
     if ops.len() != n {
         return Err(AsmError::new(
             line,
@@ -474,8 +502,9 @@ fn parse_op(
         }
         "S2R" => {
             let o = expect_n(ops, 2, base, line)?;
-            let sr = SpecialReg::from_name(o[1])
-                .ok_or_else(|| AsmError::new(line, format!("unknown special register `{}`", o[1])))?;
+            let sr = SpecialReg::from_name(o[1]).ok_or_else(|| {
+                AsmError::new(line, format!("unknown special register `{}`", o[1]))
+            })?;
             Ok(Op::S2r {
                 d: parse_reg(o[0], line)?,
                 sr,
@@ -505,12 +534,19 @@ fn parse_op(
         "I2F" | "F2I" => {
             let o = expect_n(ops, 2, base, line)?;
             let (d, a) = (parse_reg(o[0], line)?, parse_reg(o[1], line)?);
-            Ok(if base == "I2F" { Op::I2f { d, a } } else { Op::F2i { d, a } })
+            Ok(if base == "I2F" {
+                Op::I2f { d, a }
+            } else {
+                Op::F2i { d, a }
+            })
         }
         "ISETP" | "FSETP" => {
-            let cmp = suffix
-                .and_then(CmpOp::from_suffix)
-                .ok_or_else(|| AsmError::new(line, format!("{base} requires a .EQ/.NE/.LT/.LE/.GT/.GE suffix")))?;
+            let cmp = suffix.and_then(CmpOp::from_suffix).ok_or_else(|| {
+                AsmError::new(
+                    line,
+                    format!("{base} requires a .EQ/.NE/.LT/.LE/.GT/.GE suffix"),
+                )
+            })?;
             let o = expect_n(ops, 3, base, line)?;
             let p = parse_pred(o[0], line)?;
             let a = parse_reg(o[1], line)?;
@@ -546,7 +582,11 @@ fn parse_op(
                 });
                 u32::MAX // patched by the fixup pass
             };
-            Ok(if base == "BRA" { Op::Bra { target } } else { Op::Ssy { target } })
+            Ok(if base == "BRA" {
+                Op::Bra { target }
+            } else {
+                Op::Ssy { target }
+            })
         }
         "SYNC" => expect_n(ops, 0, base, line).map(|_| Op::Sync),
         "BAR" => expect_n(ops, 0, base, line).map(|_| Op::Bar),
@@ -563,7 +603,12 @@ fn parse_op(
             let o = expect_n(ops, 2, base, line)?;
             let d = parse_reg(o[0], line)?;
             let (addr, offset) = parse_mem(o[1], line)?;
-            Ok(Op::Ld { space, d, addr, offset })
+            Ok(Op::Ld {
+                space,
+                d,
+                addr,
+                offset,
+            })
         }
         "STG" | "STS" | "STL" => {
             let space = match base {
@@ -574,7 +619,12 @@ fn parse_op(
             let o = expect_n(ops, 2, base, line)?;
             let (addr, offset) = parse_mem(o[0], line)?;
             let v = parse_reg(o[1], line)?;
-            Ok(Op::St { space, addr, offset, v })
+            Ok(Op::St {
+                space,
+                addr,
+                offset,
+                v,
+            })
         }
         other => Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
     }
@@ -597,10 +647,8 @@ mod tests {
 
     #[test]
     fn resolves_forward_and_backward_labels() {
-        let m = Module::assemble(
-            ".kernel k\nstart: BRA done\n NOP\ndone: BRA start\n EXIT\n",
-        )
-        .unwrap();
+        let m =
+            Module::assemble(".kernel k\nstart: BRA done\n NOP\ndone: BRA start\n EXIT\n").unwrap();
         let k = m.kernel("k").unwrap();
         assert_eq!(k.instrs()[0].op, Op::Bra { target: 2 });
         assert_eq!(k.instrs()[2].op, Op::Bra { target: 0 });
@@ -633,7 +681,10 @@ mod tests {
         .unwrap();
         let k = m.kernel("k").unwrap();
         let imm = |i: usize| match k.instrs()[i].op {
-            Op::Mov { src: Operand::Imm(v), .. } => v,
+            Op::Mov {
+                src: Operand::Imm(v),
+                ..
+            } => v,
             ref o => panic!("not a mov-imm: {o:?}"),
         };
         assert_eq!(imm(0) as i32, -7);
@@ -651,15 +702,27 @@ mod tests {
         let k = m.kernel("k").unwrap();
         assert!(matches!(
             k.instrs()[0].op,
-            Op::Ld { space: MemSpace::Global, offset: 0, .. }
+            Op::Ld {
+                space: MemSpace::Global,
+                offset: 0,
+                ..
+            }
         ));
         assert!(matches!(
             k.instrs()[1].op,
-            Op::Ld { space: MemSpace::Shared, offset: 64, .. }
+            Op::Ld {
+                space: MemSpace::Shared,
+                offset: 64,
+                ..
+            }
         ));
         assert!(matches!(
             k.instrs()[2].op,
-            Op::St { space: MemSpace::Local, offset: -4, .. }
+            Op::St {
+                space: MemSpace::Local,
+                offset: -4,
+                ..
+            }
         ));
     }
 
@@ -710,10 +773,8 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let m = Module::assemble(
-            ".kernel k ; trailing\n NOP # hash comment\n EXIT // slashes\n",
-        )
-        .unwrap();
+        let m = Module::assemble(".kernel k ; trailing\n NOP # hash comment\n EXIT // slashes\n")
+            .unwrap();
         assert_eq!(m.kernel("k").unwrap().instrs().len(), 2);
     }
 
@@ -722,7 +783,11 @@ mod tests {
         let m = Module::assemble(".kernel k\n ISUB R1, R2, 42\n EXIT\n").unwrap();
         assert!(matches!(
             m.kernel("k").unwrap().instrs()[0].op,
-            Op::IArith { op: IntOp::Sub, b: Operand::Imm(42), .. }
+            Op::IArith {
+                op: IntOp::Sub,
+                b: Operand::Imm(42),
+                ..
+            }
         ));
     }
 

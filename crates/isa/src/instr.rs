@@ -327,8 +327,13 @@ impl Op {
         }
         match *self {
             Op::Mov { src, .. } => [op_reg(src), None, None],
-            Op::S2r { .. } | Op::Bra { .. } | Op::Ssy { .. } | Op::Sync | Op::Bar
-            | Op::Exit | Op::Nop => [None, None, None],
+            Op::S2r { .. }
+            | Op::Bra { .. }
+            | Op::Ssy { .. }
+            | Op::Sync
+            | Op::Bar
+            | Op::Exit
+            | Op::Nop => [None, None, None],
             Op::IArith { a, b, .. } | Op::Bit { a, b, .. } | Op::FArith { a, b, .. } => {
                 [Some(a), op_reg(b), None]
             }
@@ -454,10 +459,25 @@ impl fmt::Display for Op {
             Op::Bar => f.write_str("BAR"),
             Op::Exit => f.write_str("EXIT"),
             Op::Nop => f.write_str("NOP"),
-            Op::Ld { space, d, addr, offset } => {
-                write!(f, "{} {d}, [{addr}{}]", space.load_mnemonic(), FmtOff(offset))
+            Op::Ld {
+                space,
+                d,
+                addr,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "{} {d}, [{addr}{}]",
+                    space.load_mnemonic(),
+                    FmtOff(offset)
+                )
             }
-            Op::St { space, addr, offset, v } => {
+            Op::St {
+                space,
+                addr,
+                offset,
+                v,
+            } => {
                 let m = space.store_mnemonic().expect("texture space has no stores");
                 write!(f, "{m} [{addr}{}], {v}", FmtOff(offset))
             }
@@ -521,7 +541,10 @@ mod tests {
             v: r(6),
         };
         assert_eq!(st.src_regs(), [Some(r(5)), Some(r(6)), None]);
-        let mov_imm = Op::Mov { d: r(1), src: Operand::Imm(3) };
+        let mov_imm = Op::Mov {
+            d: r(1),
+            src: Operand::Imm(3),
+        };
         assert_eq!(mov_imm.src_regs(), [None, None, None]);
         assert_eq!(Op::Exit.src_regs(), [None, None, None]);
     }
@@ -546,11 +569,7 @@ mod tests {
 
     #[test]
     fn display_round_forms() {
-        let i = Instr::guarded(
-            Pred::new(0).unwrap(),
-            true,
-            Op::Bra { target: 7 },
-        );
+        let i = Instr::guarded(Pred::new(0).unwrap(), true, Op::Bra { target: 7 });
         assert_eq!(i.to_string(), "@!P0 BRA 7");
         let ld = Instr::new(Op::Ld {
             space: MemSpace::Global,

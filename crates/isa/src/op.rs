@@ -223,7 +223,14 @@ mod tests {
 
     #[test]
     fn cmp_suffix_roundtrip() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(CmpOp::from_suffix(op.suffix()), Some(op));
         }
         assert_eq!(CmpOp::from_suffix("XX"), None);

@@ -1,0 +1,394 @@
+//! Round-trip tests: any well-formed instruction stream survives a
+//! disassemble → reassemble round trip, and the assembler never panics on
+//! arbitrary input. A seeded inline PRNG plus an exhaustive per-variant
+//! sweep replace the former `proptest` strategies so the suite runs
+//! hermetically offline.
+
+use gpufi_isa::{
+    BitOp, CmpOp, FloatOp, FloatUnOp, Instr, IntOp, MemSpace, Module, Op, Operand, Pred, Reg,
+    SpecialReg,
+};
+
+/// splitmix64 — tiny, seedable, deterministic.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg::new(self.below(255) as u8).expect("in range")
+    }
+
+    fn pred(&mut self) -> Pred {
+        Pred::new(self.below(7) as u8).expect("in range")
+    }
+
+    fn operand(&mut self) -> Operand {
+        if self.below(2) == 0 {
+            Operand::Reg(self.reg())
+        } else {
+            Operand::Imm(self.next() as u32)
+        }
+    }
+
+    fn offset(&mut self) -> i32 {
+        self.below(8192) as i32 - 4096
+    }
+
+    /// One random non-control op (branch targets are handled separately).
+    fn straightline_op(&mut self) -> Op {
+        const INT_OPS: [IntOp; 5] = [IntOp::Add, IntOp::Sub, IntOp::Mul, IntOp::Min, IntOp::Max];
+        const FLOAT_OPS: [FloatOp; 6] = [
+            FloatOp::Add,
+            FloatOp::Sub,
+            FloatOp::Mul,
+            FloatOp::Div,
+            FloatOp::Min,
+            FloatOp::Max,
+        ];
+        const BIT_OPS: [BitOp; 6] = [
+            BitOp::And,
+            BitOp::Or,
+            BitOp::Xor,
+            BitOp::Shl,
+            BitOp::Shr,
+            BitOp::Sar,
+        ];
+        const FUN_OPS: [FloatUnOp; 7] = [
+            FloatUnOp::Rcp,
+            FloatUnOp::Sqrt,
+            FloatUnOp::Ex2,
+            FloatUnOp::Lg2,
+            FloatUnOp::Abs,
+            FloatUnOp::Neg,
+            FloatUnOp::Floor,
+        ];
+        const CMP_OPS: [CmpOp; 6] = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        const LOADABLE: [MemSpace; 4] = [
+            MemSpace::Global,
+            MemSpace::Shared,
+            MemSpace::Local,
+            MemSpace::Texture,
+        ];
+        const STORABLE: [MemSpace; 3] = [MemSpace::Global, MemSpace::Shared, MemSpace::Local];
+
+        match self.below(20) {
+            0 => Op::Mov {
+                d: self.reg(),
+                src: self.operand(),
+            },
+            1 => Op::S2r {
+                d: self.reg(),
+                sr: SpecialReg::ALL[self.below(SpecialReg::ALL.len() as u64) as usize],
+            },
+            2 => Op::IArith {
+                op: INT_OPS[self.below(5) as usize],
+                d: self.reg(),
+                a: self.reg(),
+                b: self.operand(),
+            },
+            3 => Op::IMad {
+                d: self.reg(),
+                a: self.reg(),
+                b: self.operand(),
+                c: self.reg(),
+            },
+            4 => Op::Bit {
+                op: BIT_OPS[self.below(6) as usize],
+                d: self.reg(),
+                a: self.reg(),
+                b: self.operand(),
+            },
+            5 => Op::Not {
+                d: self.reg(),
+                a: self.reg(),
+            },
+            6 => Op::FArith {
+                op: FLOAT_OPS[self.below(6) as usize],
+                d: self.reg(),
+                a: self.reg(),
+                b: self.operand(),
+            },
+            7 => Op::FFma {
+                d: self.reg(),
+                a: self.reg(),
+                b: self.operand(),
+                c: self.reg(),
+            },
+            8 => Op::FUnary {
+                op: FUN_OPS[self.below(7) as usize],
+                d: self.reg(),
+                a: self.reg(),
+            },
+            9 => Op::I2f {
+                d: self.reg(),
+                a: self.reg(),
+            },
+            10 => Op::F2i {
+                d: self.reg(),
+                a: self.reg(),
+            },
+            11 => Op::ISetp {
+                cmp: CMP_OPS[self.below(6) as usize],
+                p: self.pred(),
+                a: self.reg(),
+                b: self.operand(),
+            },
+            12 => Op::FSetp {
+                cmp: CMP_OPS[self.below(6) as usize],
+                p: self.pred(),
+                a: self.reg(),
+                b: self.operand(),
+            },
+            13 => Op::Sel {
+                d: self.reg(),
+                a: self.reg(),
+                b: self.operand(),
+                p: self.pred(),
+            },
+            14 => Op::Sync,
+            15 => Op::Bar,
+            16 => Op::Exit,
+            17 => Op::Nop,
+            18 => Op::Ld {
+                space: LOADABLE[self.below(4) as usize],
+                d: self.reg(),
+                addr: self.reg(),
+                offset: self.offset(),
+            },
+            _ => Op::St {
+                space: STORABLE[self.below(3) as usize],
+                addr: self.reg(),
+                offset: self.offset(),
+                v: self.reg(),
+            },
+        }
+    }
+
+    fn instr(&mut self) -> Instr {
+        let op = self.straightline_op();
+        match self.below(3) {
+            0 => Instr::new(op),
+            1 => Instr::guarded(self.pred(), false, op),
+            _ => Instr::guarded(self.pred(), true, op),
+        }
+    }
+}
+
+/// One instance of every straight-line op variant with edge-case operands,
+/// each also exercised under a guard.
+fn one_of_each() -> Vec<Instr> {
+    let r0 = Reg::new(0).expect("in range");
+    let r254 = Reg::new(254).expect("in range");
+    let p0 = Pred::new(0).expect("in range");
+    let p6 = Pred::new(6).expect("in range");
+    let ops = vec![
+        Op::Mov {
+            d: r0,
+            src: Operand::Imm(u32::MAX),
+        },
+        Op::Mov {
+            d: r254,
+            src: Operand::Reg(r0),
+        },
+        Op::S2r {
+            d: r0,
+            sr: SpecialReg::ALL[0],
+        },
+        Op::IArith {
+            op: IntOp::Add,
+            d: r0,
+            a: r254,
+            b: Operand::Imm(0),
+        },
+        Op::IMad {
+            d: r0,
+            a: r0,
+            b: Operand::Reg(r254),
+            c: r0,
+        },
+        Op::Bit {
+            op: BitOp::Sar,
+            d: r254,
+            a: r0,
+            b: Operand::Imm(31),
+        },
+        Op::Not { d: r0, a: r254 },
+        Op::FArith {
+            op: FloatOp::Div,
+            d: r0,
+            a: r0,
+            b: Operand::Reg(r0),
+        },
+        Op::FFma {
+            d: r0,
+            a: r0,
+            b: Operand::Imm(0x3f80_0000),
+            c: r254,
+        },
+        Op::FUnary {
+            op: FloatUnOp::Floor,
+            d: r0,
+            a: r0,
+        },
+        Op::I2f { d: r0, a: r0 },
+        Op::F2i { d: r254, a: r254 },
+        Op::ISetp {
+            cmp: CmpOp::Ge,
+            p: p0,
+            a: r0,
+            b: Operand::Imm(7),
+        },
+        Op::FSetp {
+            cmp: CmpOp::Ne,
+            p: p6,
+            a: r254,
+            b: Operand::Reg(r0),
+        },
+        Op::Sel {
+            d: r0,
+            a: r0,
+            b: Operand::Reg(r254),
+            p: p0,
+        },
+        Op::Sync,
+        Op::Bar,
+        Op::Exit,
+        Op::Nop,
+        Op::Ld {
+            space: MemSpace::Texture,
+            d: r0,
+            addr: r254,
+            offset: -4096,
+        },
+        Op::Ld {
+            space: MemSpace::Global,
+            d: r0,
+            addr: r0,
+            offset: 4095,
+        },
+        Op::St {
+            space: MemSpace::Shared,
+            addr: r0,
+            offset: 0,
+            v: r254,
+        },
+        Op::St {
+            space: MemSpace::Local,
+            addr: r254,
+            offset: -1,
+            v: r0,
+        },
+    ];
+    let mut instrs = Vec::new();
+    for op in ops {
+        instrs.push(Instr::new(op));
+        instrs.push(Instr::guarded(p0, false, op));
+        instrs.push(Instr::guarded(p6, true, op));
+    }
+    instrs
+}
+
+fn assert_roundtrip(mut instrs: Vec<Instr>, rng: &mut Prng, branches: usize) {
+    // Insert branch-like ops with in-range targets.
+    let len = instrs.len() as u32;
+    for _ in 0..branches {
+        let target = rng.below(u64::from(len)) as u32;
+        let op = if rng.below(2) == 0 {
+            Op::Ssy { target }
+        } else {
+            Op::Bra { target }
+        };
+        let pos = rng.below(instrs.len() as u64) as usize;
+        instrs.insert(pos, Instr::new(op));
+    }
+    // Build a module by assembling a hand-printed form.
+    let mut text = String::from(".kernel prop\n.params 0\n");
+    for i in &instrs {
+        text.push_str(&format!("{i}\n"));
+    }
+    let m1 = Module::assemble(&text).expect("printed form assembles");
+    let m2 = Module::assemble(&m1.to_string()).expect("roundtrip assembles");
+    assert_eq!(m1, m2);
+}
+
+/// print(asm) parsed back yields the identical module, for every op
+/// variant and for random streams.
+#[test]
+fn disassembly_reassembles() {
+    let mut rng = Prng(11);
+    assert_roundtrip(one_of_each(), &mut rng, 6);
+    for case in 0..64 {
+        let n = 1 + rng.below(39) as usize;
+        let instrs: Vec<Instr> = (0..n).map(|_| rng.instr()).collect();
+        let branches = (case % 6) as usize;
+        assert_roundtrip(instrs, &mut rng, branches);
+    }
+}
+
+/// The assembler returns errors, never panics, on arbitrary text.
+#[test]
+fn assembler_never_panics() {
+    let fixed = [
+        "",
+        ".kernel",
+        ".kernel \n.params x\n",
+        ".params 4\nIADD",
+        "IADD R1, R2, R3",
+        ".kernel k\nBOGUS R1\n",
+        ".kernel k\n.params 0\nIADD R999, R0, R0\n",
+        ".kernel k\nLDG R1, [R2+]\n",
+        "@@P0 EXIT",
+        ".kernel κ\nπ ρ σ\n",
+        "\u{0}\u{1}\u{2}",
+        ".kernel k\nBRA 4294967295\n",
+    ];
+    for text in fixed {
+        let _ = Module::assemble(text);
+    }
+    let mut rng = Prng(12);
+    for _ in 0..256 {
+        let n = rng.below(200) as usize;
+        let text: String = (0..n)
+            .map(|_| char::from_u32(rng.below(0xd800) as u32).unwrap_or(' '))
+            .collect();
+        let _ = Module::assemble(&text);
+    }
+}
+
+/// Register-count inference covers every register referenced.
+#[test]
+fn num_regs_covers_references() {
+    let mut rng = Prng(13);
+    for _ in 0..64 {
+        let n = 1 + rng.below(29) as usize;
+        let instrs: Vec<Instr> = (0..n).map(|_| Instr::new(rng.straightline_op())).collect();
+        let max_ref = instrs.iter().filter_map(|i| i.op.max_reg()).max();
+        let mut text = String::from(".kernel k\n");
+        for i in &instrs {
+            text.push_str(&format!("{i}\n"));
+        }
+        let m = Module::assemble(&text).expect("assembles");
+        let k = m.kernel("k").expect("kernel exists");
+        if let Some(max_ref) = max_ref {
+            assert!(u16::from(k.num_regs()) > u16::from(max_ref));
+        }
+    }
+}

@@ -69,7 +69,11 @@ pub fn avf_kernel(structures: &[StructureResult]) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    structures.iter().map(StructureResult::weighted_fr).sum::<f64>() / total as f64
+    structures
+        .iter()
+        .map(StructureResult::weighted_fr)
+        .sum::<f64>()
+        / total as f64
 }
 
 /// One kernel's AVF with its cycle weight, for equation (3).
@@ -159,8 +163,14 @@ mod tests {
     #[test]
     fn wavf_is_cycle_weighted() {
         let k = vec![
-            KernelAvf { avf: 0.8, cycles: 100 },
-            KernelAvf { avf: 0.2, cycles: 300 },
+            KernelAvf {
+                avf: 0.8,
+                cycles: 100,
+            },
+            KernelAvf {
+                avf: 0.2,
+                cycles: 300,
+            },
         ];
         // (0.8×100 + 0.2×300) / 400 = 0.35
         assert!((wavf(&k) - 0.35).abs() < 1e-12);

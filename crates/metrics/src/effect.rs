@@ -35,7 +35,10 @@ impl FaultEffect {
     /// Whether this effect counts as a failure in equation (1)
     /// (SDC, Crash or Timeout).
     pub fn is_failure(self) -> bool {
-        matches!(self, FaultEffect::Sdc | FaultEffect::Crash | FaultEffect::Timeout)
+        matches!(
+            self,
+            FaultEffect::Sdc | FaultEffect::Crash | FaultEffect::Timeout
+        )
     }
 
     /// Display name matching the paper's figures.

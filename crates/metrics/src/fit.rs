@@ -34,7 +34,10 @@ pub fn structure_fit(s: &StructureResult, raw_fit_bit: f64) -> f64 {
 /// (§VI.F: "The FIT rate of the entire GPU is calculated by adding the
 /// individual FITs of the structures").
 pub fn chip_fit(structures: &[StructureResult], raw_fit_bit: f64) -> f64 {
-    structures.iter().map(|s| structure_fit(s, raw_fit_bit)).sum()
+    structures
+        .iter()
+        .map(|s| structure_fit(s, raw_fit_bit))
+        .sum()
 }
 
 #[cfg(test)]

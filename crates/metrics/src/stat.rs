@@ -10,7 +10,10 @@
 ///
 /// Panics unless `0 < confidence < 1`.
 pub fn z_score(confidence: f64) -> f64 {
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
     // Common levels, to the precision usually quoted.
     if (confidence - 0.90).abs() < 1e-9 {
         return 1.6449;

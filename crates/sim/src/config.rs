@@ -34,7 +34,10 @@ impl CacheConfig {
     /// Panics if the capacity is not divisible into `ways × line_bytes`
     /// sets, or any argument is zero.
     pub fn with_capacity(total_bytes: u32, ways: u32, line_bytes: u32) -> Self {
-        assert!(total_bytes > 0 && ways > 0 && line_bytes > 0, "zero cache dimension");
+        assert!(
+            total_bytes > 0 && ways > 0 && line_bytes > 0,
+            "zero cache dimension"
+        );
         let way_bytes = ways * line_bytes;
         assert_eq!(
             total_bytes % way_bytes,
@@ -258,7 +261,8 @@ impl GpuConfig {
     /// Chip-wide L1 data cache bits including tags (Table I row 3), zero if
     /// the card has no L1D.
     pub fn l1d_bits_total(&self) -> u64 {
-        self.l1d.map_or(0, |c| c.total_bits() * u64::from(self.num_sms))
+        self.l1d
+            .map_or(0, |c| c.total_bits() * u64::from(self.num_sms))
     }
 
     /// Chip-wide L1 texture cache bits including tags (Table I row 4).

@@ -102,16 +102,15 @@ impl GpuConfig {
         let mut cfg = GpuConfig::rtx2060();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = (idx + 1) as u32;
-            let line = raw
-                .split(['#', ';'])
-                .next()
-                .unwrap_or("")
-                .trim();
+            let line = raw.split(['#', ';']).next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(ConfigError::new(line_no, format!("expected key = value, found `{line}`")));
+                return Err(ConfigError::new(
+                    line_no,
+                    format!("expected key = value, found `{line}`"),
+                ));
             };
             let key = key.trim();
             let value = value.trim();
@@ -133,19 +132,16 @@ impl GpuConfig {
                 "smem_per_sm" => cfg.smem_per_sm = parse_u32(value)?,
                 "l1d" => cfg.l1d = parse_cache(value, line_no)?,
                 "l1t" => {
-                    cfg.l1t = parse_cache(value, line_no)?.ok_or_else(|| {
-                        ConfigError::new(line_no, "l1t cannot be `none`")
-                    })?;
+                    cfg.l1t = parse_cache(value, line_no)?
+                        .ok_or_else(|| ConfigError::new(line_no, "l1t cannot be `none`"))?;
                 }
                 "l1c" => {
-                    cfg.l1c = parse_cache(value, line_no)?.ok_or_else(|| {
-                        ConfigError::new(line_no, "l1c cannot be `none`")
-                    })?;
+                    cfg.l1c = parse_cache(value, line_no)?
+                        .ok_or_else(|| ConfigError::new(line_no, "l1c cannot be `none`"))?;
                 }
                 "l2" => {
-                    cfg.l2 = parse_cache(value, line_no)?.ok_or_else(|| {
-                        ConfigError::new(line_no, "l2 cannot be `none`")
-                    })?;
+                    cfg.l2 = parse_cache(value, line_no)?
+                        .ok_or_else(|| ConfigError::new(line_no, "l2 cannot be `none`"))?;
                 }
                 "l2_banks" => cfg.num_l2_banks = parse_u32(value)?.max(1),
                 "process_nm" => cfg.process_nm = parse_u32(value)?.max(1),

@@ -82,6 +82,9 @@ struct Warp {
     /// ACE liveness: cycle of the last definition or use per register
     /// slot (same layout as `regs`).
     touch: Vec<u64>,
+    /// Register slots (same layout as `regs`) holding fault-flipped values
+    /// that no instruction has observed yet.
+    tainted_regs: Vec<usize>,
 }
 
 impl Warp {
@@ -128,6 +131,8 @@ struct Cta {
     warps: Vec<Warp>,
     barrier_arrived: u32,
     live_warps: u32,
+    /// Fault-flipped shared-memory bit indices not yet observed by a load.
+    smem_taints: Vec<u64>,
 }
 
 /// Identifies a warp for fault-injection bookkeeping.
@@ -161,6 +166,9 @@ pub struct SimtCore {
     /// ACE liveness: accumulated register def-to-last-use span cycles
     /// (one 32-bit register of one thread for one cycle = one unit).
     pub ace_reg_cycles: u64,
+    /// Latched when a fault-flipped register or shared-memory value was
+    /// read by an executing instruction.
+    escaped: bool,
 }
 
 impl SimtCore {
@@ -181,7 +189,28 @@ impl SimtCore {
             lat_smem: cfg.lat.smem,
             instructions: 0,
             ace_reg_cycles: 0,
+            escaped: false,
         }
+    }
+
+    /// Unobserved fault-flipped state on this core: tainted register slots
+    /// plus tainted shared-memory bits of resident CTAs.
+    pub fn taint_count(&self) -> u64 {
+        self.ctas
+            .iter()
+            .map(|c| {
+                c.smem_taints.len() as u64
+                    + c.warps
+                        .iter()
+                        .map(|w| w.tainted_regs.len() as u64)
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Whether a fault-flipped value on this core has been observed.
+    pub fn taint_escaped(&self) -> bool {
+        self.escaped
     }
 
     /// Prepares the core for a kernel whose per-SM CTA residency limit has
@@ -231,6 +260,7 @@ impl SimtCore {
                     regs,
                     preds: [0; LANES],
                     touch,
+                    tainted_regs: Vec::new(),
                 }
             })
             .collect::<Vec<_>>();
@@ -242,6 +272,7 @@ impl SimtCore {
             warps,
             barrier_arrived: 0,
             live_warps,
+            smem_taints: Vec::new(),
         });
         self.launch_seq += 1;
     }
@@ -384,9 +415,7 @@ impl SimtCore {
     ) -> Result<(), Trap> {
         let instrs = ctx.kernel.instrs();
         let pc = self.ctas[slot].warps[widx].pc;
-        let instr: Instr = *instrs
-            .get(pc as usize)
-            .ok_or(Trap::InvalidPc { pc })?;
+        let instr: Instr = *instrs.get(pc as usize).ok_or(Trap::InvalidPc { pc })?;
 
         // Guard evaluation.
         let warp = &self.ctas[slot].warps[widx];
@@ -403,12 +432,15 @@ impl SimtCore {
         }
 
         // ACE liveness (register file): a read extends the enclosing
-        // def-to-last-use span; a write starts a new one.
+        // def-to-last-use span; a write starts a new one.  The same pass
+        // drives fault liveness: reading a tainted slot makes the flip
+        // architecturally observable; a full 32-bit write kills it.
         {
             let srcs = instr.op.src_regs();
             let dst = instr.op.dest_reg();
             let warp = &mut self.ctas[slot].warps[widx];
             let mut ace = 0u64;
+            let mut escape = false;
             for lane in 0..LANES {
                 if exec_mask & (1 << lane) == 0 {
                     continue;
@@ -419,15 +451,20 @@ impl SimtCore {
                         ace += now - warp.touch[idx];
                         warp.touch[idx] = now;
                     }
+                    escape |= warp.tainted_regs.contains(&idx);
                 }
                 if let Some(d) = dst {
                     let idx = d.index() as usize * LANES + lane;
                     if idx < warp.touch.len() {
                         warp.touch[idx] = now;
                     }
+                    if let Some(i) = warp.tainted_regs.iter().position(|&t| t == idx) {
+                        warp.tainted_regs.swap_remove(i);
+                    }
                 }
             }
             self.ace_reg_cycles += ace;
+            self.escaped |= escape;
         }
 
         let class = instr.op.class();
@@ -519,7 +556,11 @@ impl SimtCore {
                 w.set_pred(l, p, v);
             }),
             Op::Sel { d, a, b, p } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = if w.pred(l, p) { w.reg(l, a) } else { w.operand(l, b) };
+                let v = if w.pred(l, p) {
+                    w.reg(l, a)
+                } else {
+                    w.operand(l, b)
+                };
                 w.set_reg(l, d, v);
             }),
             Op::Nop => {}
@@ -579,7 +620,18 @@ impl SimtCore {
             }
 
             // ---------------- Memory ----------------
-            Op::Ld { space, d, addr, offset } | Op::St { space, addr, offset, v: d } => {
+            Op::Ld {
+                space,
+                d,
+                addr,
+                offset,
+            }
+            | Op::St {
+                space,
+                addr,
+                offset,
+                v: d,
+            } => {
                 let is_store = matches!(instr.op, Op::St { .. });
                 match space {
                     MemSpace::Shared => {
@@ -600,28 +652,36 @@ impl SimtCore {
                                 let val = self.ctas[slot].warps[widx].reg(lane, d);
                                 self.ctas[slot].smem[a as usize..a as usize + 4]
                                     .copy_from_slice(&val.to_le_bytes());
+                                // Overwritten bytes no longer diverge.
+                                let lo = u64::from(a) * 8;
+                                self.ctas[slot]
+                                    .smem_taints
+                                    .retain(|&b| b < lo || b >= lo + 32);
                             } else {
-                                let b: [u8; 4] = self.ctas[slot].smem
-                                    [a as usize..a as usize + 4]
+                                let lo = u64::from(a) * 8;
+                                if self.ctas[slot]
+                                    .smem_taints
+                                    .iter()
+                                    .any(|&b| b >= lo && b < lo + 32)
+                                {
+                                    self.escaped = true;
+                                }
+                                let b: [u8; 4] = self.ctas[slot].smem[a as usize..a as usize + 4]
                                     .try_into()
                                     .expect("4-byte slice");
-                                self.ctas[slot].warps[widx].set_reg(
-                                    lane,
-                                    d,
-                                    u32::from_le_bytes(b),
-                                );
+                                self.ctas[slot].warps[widx].set_reg(lane, d, u32::from_le_bytes(b));
                             }
                         }
                         ready_at = now + u64::from(self.lat_smem);
                     }
                     MemSpace::Const => {
-                        ready_at =
-                            self.const_access(slot, widx, exec_mask, d, addr, offset, is_store, now, mem)?;
+                        ready_at = self.const_access(
+                            slot, widx, exec_mask, d, addr, offset, is_store, now, mem,
+                        )?;
                     }
                     MemSpace::Global | MemSpace::Local | MemSpace::Texture => {
                         ready_at = self.device_mem_access(
-                            slot, widx, exec_mask, space, d, addr, offset, is_store, now, ctx,
-                            mem,
+                            slot, widx, exec_mask, space, d, addr, offset, is_store, now, ctx, mem,
                         )?;
                     }
                 }
@@ -637,17 +697,20 @@ impl SimtCore {
         }
         // A warp that finished via EXIT may unblock a pending barrier.
         let cta = &mut self.ctas[slot];
-        if cta.warps[widx].finished
-            && cta.live_warps > 0
-            && cta.barrier_arrived >= cta.live_warps
-        {
+        if cta.warps[widx].finished && cta.live_warps > 0 && cta.barrier_arrived >= cta.live_warps {
             Self::release_barrier(cta, now + 1);
         }
         Ok(())
     }
 
     /// Applies `f` to each lane set in `mask`.
-    fn lanewise(&mut self, slot: usize, widx: usize, mask: u32, mut f: impl FnMut(&mut Warp, usize)) {
+    fn lanewise(
+        &mut self,
+        slot: usize,
+        widx: usize,
+        mask: u32,
+        mut f: impl FnMut(&mut Warp, usize),
+    ) {
         let warp = &mut self.ctas[slot].warps[widx];
         for lane in 0..LANES {
             if mask & (1 << lane) != 0 {
@@ -663,6 +726,10 @@ impl SimtCore {
         let warp = &mut cta.warps[widx];
         warp.live &= !mask;
         warp.active &= !mask;
+        // Registers of exited lanes can never be read again: their taints
+        // die with the threads, exactly as in the golden run.
+        warp.tainted_regs
+            .retain(|&idx| mask & (1 << (idx % LANES)) == 0);
         for f in &mut warp.stack {
             *f.mask_mut() &= !mask;
         }
@@ -871,7 +938,14 @@ impl SimtCore {
                     for &b in bits {
                         warp.regs[idx] ^= 1 << (b % 32);
                     }
-                    return Some(WarpHandle { sm: id, cta_slot: s, warp: wi });
+                    if !warp.tainted_regs.contains(&idx) {
+                        warp.tainted_regs.push(idx);
+                    }
+                    return Some(WarpHandle {
+                        sm: id,
+                        cta_slot: s,
+                        warp: wi,
+                    });
                 }
                 remaining -= cnt;
             }
@@ -901,8 +975,15 @@ impl SimtCore {
                         for &b in bits {
                             warp.regs[idx] ^= 1 << (b % 32);
                         }
+                        if !warp.tainted_regs.contains(&idx) {
+                            warp.tainted_regs.push(idx);
+                        }
                     }
-                    return Some(WarpHandle { sm: id, cta_slot: s, warp: wi });
+                    return Some(WarpHandle {
+                        sm: id,
+                        cta_slot: s,
+                        warp: wi,
+                    });
                 }
                 remaining -= 1;
             }
@@ -922,6 +1003,12 @@ impl SimtCore {
             return false;
         }
         cta.smem[byte] ^= 1 << (bit % 8);
+        // A repeated flip restores the golden bit, so taint is a toggle.
+        if let Some(i) = cta.smem_taints.iter().position(|&b| b == bit) {
+            cta.smem_taints.swap_remove(i);
+        } else {
+            cta.smem_taints.push(bit);
+        }
         true
     }
 

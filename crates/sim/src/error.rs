@@ -39,6 +39,11 @@ pub enum Trap {
     Watchdog,
     /// No warp can make progress (e.g. a diverged or corrupted barrier).
     Deadlock,
+    /// Every planned fault's lifetime has provably ended: the flips either
+    /// never applied or died unobserved, so the remaining execution equals
+    /// the golden run.  Raised only in early-exit mode; the campaign engine
+    /// intercepts it and classifies the run **Masked**.
+    FaultsExpired,
 }
 
 impl Trap {
@@ -63,6 +68,9 @@ impl fmt::Display for Trap {
             }
             Trap::Watchdog => f.write_str("watchdog cycle limit exceeded"),
             Trap::Deadlock => f.write_str("no warp can make progress"),
+            Trap::FaultsExpired => {
+                f.write_str("all planned faults expired unobserved (early exit)")
+            }
         }
     }
 }
@@ -105,7 +113,10 @@ impl fmt::Display for LaunchError {
                 write!(f, "kernel CTA does not fit on an SM: {resource}")
             }
             LaunchError::BadParamCount { expected, supplied } => {
-                write!(f, "kernel expects {expected} parameters, {supplied} supplied")
+                write!(
+                    f,
+                    "kernel expects {expected} parameters, {supplied} supplied"
+                )
             }
             LaunchError::OutOfMemory => f.write_str("device memory exhausted"),
             LaunchError::BadDevicePointer => f.write_str("invalid device pointer"),
@@ -129,6 +140,7 @@ mod tests {
             Trap::LmemOutOfBounds { offset: 1 },
             Trap::Watchdog,
             Trap::Deadlock,
+            Trap::FaultsExpired,
         ] {
             assert!(!t.to_string().is_empty());
         }
@@ -139,5 +151,6 @@ mod tests {
         assert!(Trap::Watchdog.is_timeout());
         assert!(!Trap::Deadlock.is_timeout());
         assert!(!Trap::InvalidAddress { addr: 0 }.is_timeout());
+        assert!(!Trap::FaultsExpired.is_timeout());
     }
 }

@@ -189,7 +189,10 @@ mod tests {
             bits: vec![0],
         };
         assert_eq!(t.structure_name(), "register file");
-        assert_eq!(FaultTarget::L2 { bits: vec![] }.structure_name(), "L2 cache");
+        assert_eq!(
+            FaultTarget::L2 { bits: vec![] }.structure_name(),
+            "L2 cache"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub struct Gpu {
     next_fault: usize,
     records: Vec<InjectionRecord>,
     stats: AppStats,
+    early_exit: bool,
 }
 
 impl Gpu {
@@ -48,6 +49,7 @@ impl Gpu {
             next_fault: 0,
             records: Vec::new(),
             stats: AppStats::default(),
+            early_exit: false,
         }
     }
 
@@ -193,6 +195,24 @@ impl Gpu {
         self.watchdog = Some(limit);
     }
 
+    /// Enables fault-lifetime early exit: once every armed fault's cycle
+    /// has passed and no flipped state survives unobserved, the launch
+    /// aborts with [`Trap::FaultsExpired`] — the rest of the run provably
+    /// equals the golden execution.
+    pub fn set_early_exit(&mut self, on: bool) {
+        self.early_exit = on;
+    }
+
+    /// Unobserved fault-flipped state across cores and the memory system.
+    fn taint_count(&self) -> u64 {
+        self.cores.iter().map(SimtCore::taint_count).sum::<u64>() + self.mem.taint_count()
+    }
+
+    /// Whether any fault-flipped state has been observed anywhere.
+    fn taint_escaped(&self) -> bool {
+        self.mem.taint_escaped() || self.cores.iter().any(SimtCore::taint_escaped)
+    }
+
     /// The injectable fault-space sizes for `kernel` on this chip.
     pub fn fault_space(&self, kernel: &Kernel) -> FaultSpace {
         FaultSpace {
@@ -301,6 +321,15 @@ impl Gpu {
         let max_warps = f64::from(self.cfg.max_warps_per_sm());
         let (mut occ_int, mut thr_int, mut cta_int, mut t_int) = (0.0f64, 0.0f64, 0.0f64, 0u64);
 
+        // Latched once a flip is observed: the run can no longer early-exit,
+        // so stop scanning taint state.
+        let mut ee_dead = false;
+        // The taint scan walks every core and cache bank; doing that each
+        // cycle costs more than the exit saves.  Scan on a stride instead —
+        // an exit delayed by up to EE_STRIDE-1 cycles is still sound (no
+        // faults remain, so a zero taint count can only stay zero).
+        const EE_STRIDE: u32 = 32;
+        let mut ee_tick = 0u32;
         let outcome: Result<(), Trap> = 'run: loop {
             // Fire due faults.
             while self.next_fault < self.faults.len()
@@ -310,6 +339,25 @@ impl Gpu {
                 self.next_fault += 1;
                 let record = self.apply_fault(&fault, &ctx);
                 self.records.push(record);
+            }
+
+            // Fault-lifetime early exit: every planned fault has fired and
+            // no flipped bit survives unobserved — the machine state equals
+            // the golden run's, so the remaining execution is determined.
+            if self.early_exit
+                && !ee_dead
+                && !self.faults.is_empty()
+                && self.next_fault == self.faults.len()
+            {
+                if ee_tick == 0 {
+                    ee_tick = EE_STRIDE;
+                    if self.taint_escaped() {
+                        ee_dead = true;
+                    } else if self.taint_count() == 0 {
+                        break 'run Err(Trap::FaultsExpired);
+                    }
+                }
+                ee_tick -= 1;
             }
 
             // Issue one instruction per core.
@@ -353,11 +401,7 @@ impl Gpu {
             let mut dt = if any {
                 1
             } else {
-                let next = self
-                    .cores
-                    .iter()
-                    .filter_map(SimtCore::next_ready)
-                    .min();
+                let next = self.cores.iter().filter_map(SimtCore::next_ready).min();
                 match next {
                     Some(t) if t > self.cycle => t - self.cycle,
                     Some(_) => 1,
@@ -437,7 +481,12 @@ impl Gpu {
         let structure = fault.target.structure_name();
         let mut outcomes = Vec::new();
         let applied = match &fault.target {
-            FaultTarget::RegisterFile { scope, entry_lot, reg, bits } => match scope {
+            FaultTarget::RegisterFile {
+                scope,
+                entry_lot,
+                reg,
+                bits,
+            } => match scope {
                 Scope::Thread => {
                     let total: u64 = self.cores.iter().map(SimtCore::live_thread_count).sum();
                     if total == 0 {
@@ -504,7 +553,11 @@ impl Gpu {
                     }
                 }
             }
-            FaultTarget::SharedMemory { cta_lot, replicate, bits } => {
+            FaultTarget::SharedMemory {
+                cta_lot,
+                replicate,
+                bits,
+            } => {
                 let total: u64 = self.cores.iter().map(SimtCore::cta_count).sum();
                 if total == 0 {
                     false
@@ -526,7 +579,11 @@ impl Gpu {
                     any
                 }
             }
-            FaultTarget::L1Data { core_lot, replicate, bits } => {
+            FaultTarget::L1Data {
+                core_lot,
+                replicate,
+                bits,
+            } => {
                 let Some(space) = self.mem.l1d_bits() else {
                     return InjectionRecord {
                         cycle: self.cycle,
@@ -546,7 +603,11 @@ impl Gpu {
                 }
                 outcomes.iter().any(|o| *o != FlipOutcome::InvalidLine)
             }
-            FaultTarget::L1Tex { core_lot, replicate, bits } => {
+            FaultTarget::L1Tex {
+                core_lot,
+                replicate,
+                bits,
+            } => {
                 let space = self.mem.l1t_bits();
                 let n = u64::from(self.cfg.num_sms);
                 for r in 0..u64::from((*replicate).max(1)) {
@@ -557,7 +618,11 @@ impl Gpu {
                 }
                 outcomes.iter().any(|o| *o != FlipOutcome::InvalidLine)
             }
-            FaultTarget::L1Const { core_lot, replicate, bits } => {
+            FaultTarget::L1Const {
+                core_lot,
+                replicate,
+                bits,
+            } => {
                 let space = self.mem.l1c_bits();
                 let n = u64::from(self.cfg.num_sms);
                 for r in 0..u64::from((*replicate).max(1)) {

@@ -13,12 +13,18 @@
 
 use crate::config::{CacheConfig, TAG_BITS};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// One cache line: valid/dirty state, tag, LRU stamp, and the data bytes.
+///
+/// `tainted` marks a line whose data bits were changed by an injected
+/// fault but not yet observed — the fault-lifetime tracker uses it to
+/// decide when an armed fault can no longer influence execution.
 #[derive(Debug, Clone)]
 struct Line {
     valid: bool,
     dirty: bool,
+    tainted: bool,
     tag: u64,
     lru: u64,
     data: Vec<u8>,
@@ -96,6 +102,13 @@ pub struct Cache {
     lines: Vec<Line>,
     tick: u64,
     stats: CacheStats,
+    taints: u32,
+    // Latched when fault-flipped state becomes observable: a read (or host
+    // peek) hits a tainted line, a tainted dirty victim is written back to
+    // the next level, or a tag flip lands on a valid line (tag flips change
+    // hit/miss timing immediately).  `Cell` because the host-coherence read
+    // path is `&self`.
+    escaped: Cell<bool>,
 }
 
 impl Cache {
@@ -105,6 +118,7 @@ impl Cache {
             .map(|_| Line {
                 valid: false,
                 dirty: false,
+                tainted: false,
                 tag: 0,
                 lru: 0,
                 data: vec![0; cfg.line_bytes as usize],
@@ -115,6 +129,27 @@ impl Cache {
             lines,
             tick: 0,
             stats: CacheStats::default(),
+            taints: 0,
+            escaped: Cell::new(false),
+        }
+    }
+
+    /// Lines currently holding unobserved fault-flipped data.
+    pub fn taint_count(&self) -> u32 {
+        self.taints
+    }
+
+    /// Whether fault-flipped state has become observable (see the field
+    /// docs); once set, the fault-lifetime tracker must run the simulation
+    /// to completion.
+    pub fn taint_escaped(&self) -> bool {
+        self.escaped.get()
+    }
+
+    fn clear_taint(&mut self, i: usize) {
+        if self.lines[i].tainted {
+            self.lines[i].tainted = false;
+            self.taints -= 1;
         }
     }
 
@@ -176,6 +211,9 @@ impl Cache {
             Some(i) => {
                 self.tick += 1;
                 self.lines[i].lru = self.tick;
+                if self.lines[i].tainted {
+                    self.escaped.set(true);
+                }
                 let o = offset as usize;
                 out.copy_from_slice(&self.lines[i].data[o..o + out.len()]);
                 self.stats.hits += 1;
@@ -200,6 +238,12 @@ impl Cache {
                 let o = offset as usize;
                 self.lines[i].data[o..o + bytes.len()].copy_from_slice(bytes);
                 self.lines[i].dirty |= dirty;
+                // A full-line overwrite provably erases any flipped bits; a
+                // partial write keeps the taint (the flip may sit outside
+                // the written range).
+                if o == 0 && bytes.len() == self.cfg.line_bytes as usize {
+                    self.clear_taint(i);
+                }
                 self.stats.hits += 1;
                 true
             }
@@ -213,7 +257,12 @@ impl Cache {
     /// Reads one byte at `offset` within a resident line without touching
     /// LRU state or statistics (host-coherence path).
     pub fn peek(&self, line_addr: u64, offset: u32) -> Option<u8> {
-        self.find(line_addr).map(|i| self.lines[i].data[offset as usize])
+        self.find(line_addr).map(|i| {
+            if self.lines[i].tainted {
+                self.escaped.set(true);
+            }
+            self.lines[i].data[offset as usize]
+        })
     }
 
     /// Overwrites one byte of a resident line without touching LRU state,
@@ -239,7 +288,11 @@ impl Cache {
     ///
     /// Panics if `data` is not exactly one line long.
     pub fn fill(&mut self, line_addr: u64, data: &[u8], dirty: bool) -> Option<Writeback> {
-        assert_eq!(data.len(), self.cfg.line_bytes as usize, "fill size mismatch");
+        assert_eq!(
+            data.len(),
+            self.cfg.line_bytes as usize,
+            "fill size mismatch"
+        );
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
         // Refill of a resident line overwrites it in place (never create a
@@ -256,6 +309,11 @@ impl Cache {
         } else {
             let line = &self.lines[victim];
             if line.valid && line.dirty {
+                // Writing a tainted victim back carries flipped bits into
+                // the next memory level — they become observable there.
+                if line.tainted {
+                    self.escaped.set(true);
+                }
                 self.stats.writebacks += 1;
                 Some(Writeback {
                     line_addr: self.line_addr_of(set, line.tag),
@@ -265,6 +323,9 @@ impl Cache {
                 None
             }
         };
+        // The victim's bytes are replaced wholesale; a clean tainted victim
+        // is silently dropped, which matches the golden run's state.
+        self.clear_taint(victim);
         self.tick += 1;
         let line = &mut self.lines[victim];
         line.valid = true;
@@ -283,6 +344,7 @@ impl Cache {
         if let Some(i) = self.find(line_addr) {
             self.lines[i].valid = false;
             self.lines[i].dirty = false;
+            self.clear_taint(i);
         }
     }
 
@@ -295,6 +357,9 @@ impl Cache {
             let set = (i / ways) as u64;
             let line = &mut self.lines[i];
             if line.valid && line.dirty {
+                if line.tainted {
+                    self.escaped.set(true);
+                }
                 out.push(Writeback {
                     line_addr: line.tag * sets + set,
                     data: line.data.clone(),
@@ -303,6 +368,10 @@ impl Cache {
             }
             line.valid = false;
             line.dirty = false;
+            if line.tainted {
+                line.tainted = false;
+                self.taints -= 1;
+            }
         }
         out
     }
@@ -338,11 +407,18 @@ impl Cache {
         }
         if within < u64::from(TAG_BITS) {
             line.tag ^= 1 << within;
+            // A corrupted tag changes hit/miss behaviour (and thus timing)
+            // from the very next lookup — it is immediately observable.
+            self.escaped.set(true);
             FlipOutcome::Tag
         } else {
             let data_bit = within - u64::from(TAG_BITS);
             let byte = (data_bit / 8) as usize;
             line.data[byte] ^= 1 << (data_bit % 8);
+            if !line.tainted {
+                line.tainted = true;
+                self.taints += 1;
+            }
             FlipOutcome::Data
         }
     }
@@ -471,5 +547,69 @@ mod tests {
         c.fill(0, &[0; 8], false);
         c.fill(1, &[0; 8], false);
         assert_eq!(c.valid_lines(), 2);
+    }
+
+    #[test]
+    fn data_flip_taints_until_observed() {
+        let mut c = small();
+        c.fill(0, &[0; 8], false);
+        assert_eq!(c.flip_bit(u64::from(TAG_BITS)), FlipOutcome::Data);
+        assert_eq!(c.taint_count(), 1);
+        assert!(!c.taint_escaped());
+        let mut buf = [0u8; 1];
+        c.read(0, 0, &mut buf);
+        assert!(c.taint_escaped(), "reading tainted data must escape");
+    }
+
+    #[test]
+    fn tag_flip_escapes_immediately() {
+        let mut c = small();
+        c.fill(0, &[0; 8], false);
+        assert_eq!(c.flip_bit(0), FlipOutcome::Tag);
+        assert!(c.taint_escaped());
+        assert_eq!(c.taint_count(), 0);
+    }
+
+    #[test]
+    fn clean_eviction_clears_taint_silently() {
+        let mut c = small();
+        c.fill(0, &[0; 8], false);
+        c.flip_bit(u64::from(TAG_BITS));
+        c.fill(2, &[0; 8], false);
+        c.fill(4, &[0; 8], false); // evicts the clean, tainted line 0
+        assert!(!c.probe(0));
+        assert_eq!(c.taint_count(), 0);
+        assert!(
+            !c.taint_escaped(),
+            "an unread clean victim matches golden state"
+        );
+    }
+
+    #[test]
+    fn dirty_tainted_eviction_escapes() {
+        let mut c = small();
+        c.fill(0, &[0; 8], true);
+        c.flip_bit(u64::from(TAG_BITS));
+        c.fill(2, &[0; 8], false);
+        let wb = c.fill(4, &[0; 8], false);
+        assert!(wb.is_some(), "dirty victim written back");
+        assert!(
+            c.taint_escaped(),
+            "tainted writeback reaches the next level"
+        );
+    }
+
+    #[test]
+    fn invalidate_and_full_overwrite_clear_taint() {
+        let mut c = small();
+        c.fill(0, &[0; 8], false);
+        c.flip_bit(u64::from(TAG_BITS));
+        c.write(0, 0, &[7; 8], false); // full-line overwrite erases the flip
+        assert_eq!(c.taint_count(), 0);
+        c.flip_bit(u64::from(TAG_BITS));
+        assert_eq!(c.taint_count(), 1);
+        c.invalidate(0);
+        assert_eq!(c.taint_count(), 0);
+        assert!(!c.taint_escaped());
     }
 }

@@ -20,6 +20,7 @@
 use super::cache::{Cache, CacheStats, FlipOutcome};
 use crate::config::{GpuConfig, LatencyConfig};
 use crate::error::{LaunchError, Trap};
+use std::cell::Cell;
 
 /// First byte address of the global (device-malloc) segment.
 pub const GLOBAL_BASE: u32 = 0x1000;
@@ -61,6 +62,12 @@ pub struct MemSystem {
     l2: Vec<Cache>,
     bank_busy: Vec<u64>,
     dram_busy: Vec<u64>,
+    // Fault-lifetime tracking for the local-memory backing segment: bit
+    // indices flipped by injection but not yet read back through a fill.
+    local_taints: Vec<u64>,
+    // Latched when tainted local-backing bytes are read (fills are `&self`
+    // on some paths, hence the Cell).
+    escaped: Cell<bool>,
 }
 
 /// Capacity of the constant bank (CUDA's `__constant__` space is 64 KB).
@@ -78,7 +85,10 @@ impl MemSystem {
         if let Some(l1d) = cfg.l1d {
             assert_eq!(l1d.line_bytes, line_bytes, "L1D line size must match L2");
         }
-        assert_eq!(cfg.l1t.line_bytes, line_bytes, "L1T line size must match L2");
+        assert_eq!(
+            cfg.l1t.line_bytes, line_bytes,
+            "L1T line size must match L2"
+        );
         assert_eq!(
             cfg.l2.sets % cfg.num_l2_banks,
             0,
@@ -99,9 +109,55 @@ impl MemSystem {
             l1d: (0..cfg.num_sms).map(|_| cfg.l1d.map(Cache::new)).collect(),
             l1t: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1t)).collect(),
             l1c: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1c)).collect(),
-            l2: (0..cfg.num_l2_banks).map(|_| Cache::new(bank_cfg)).collect(),
+            l2: (0..cfg.num_l2_banks)
+                .map(|_| Cache::new(bank_cfg))
+                .collect(),
             bank_busy: vec![0; cfg.num_l2_banks as usize],
             dram_busy: vec![0; cfg.num_l2_banks as usize],
+            local_taints: Vec::new(),
+            escaped: Cell::new(false),
+        }
+    }
+
+    /// Unobserved fault-flipped state across the whole memory system:
+    /// tainted cache lines plus flipped local-backing bits.
+    pub fn taint_count(&self) -> u64 {
+        let caches = self
+            .l1d
+            .iter()
+            .flatten()
+            .chain(self.l1t.iter())
+            .chain(self.l1c.iter())
+            .chain(self.l2.iter())
+            .map(|c| u64::from(c.taint_count()))
+            .sum::<u64>();
+        caches + self.local_taints.len() as u64
+    }
+
+    /// Whether any fault-flipped memory state has become observable
+    /// (read, written back to a lower level, or a tag corrupted).
+    pub fn taint_escaped(&self) -> bool {
+        self.escaped.get()
+            || self
+                .l1d
+                .iter()
+                .flatten()
+                .chain(self.l1t.iter())
+                .chain(self.l1c.iter())
+                .chain(self.l2.iter())
+                .any(Cache::taint_escaped)
+    }
+
+    /// Escapes if the local-backing byte range `[start, start+len)` holds a
+    /// tainted bit (it is about to be observed by a fill).
+    fn observe_local_range(&self, start: usize, len: usize) {
+        if !self.local_taints.is_empty()
+            && self
+                .local_taints
+                .iter()
+                .any(|&b| ((b / 8) as usize) >= start && ((b / 8) as usize) < start + len)
+        {
+            self.escaped.set(true);
         }
     }
 
@@ -144,6 +200,9 @@ impl MemSystem {
         }
         self.local.clear();
         self.local.resize(padded as usize, 0);
+        // The reset destroys any flipped-but-unread local bits, exactly as it
+        // wipes the golden contents: the divergence is gone, not observed.
+        self.local_taints.clear();
         Ok(())
     }
 
@@ -317,6 +376,7 @@ impl MemSystem {
             let o = (start - LOCAL_BASE) as usize;
             let end = o + self.line_bytes as usize;
             Some(if end <= self.local.len() {
+                self.observe_local_range(o, self.line_bytes as usize);
                 self.local[o..end].to_vec()
             } else {
                 zeros
@@ -350,6 +410,8 @@ impl MemSystem {
             let o = (start - LOCAL_BASE) as usize;
             if o + data.len() <= self.local.len() {
                 self.local[o..o + data.len()].copy_from_slice(data);
+                self.local_taints
+                    .retain(|&b| ((b / 8) as usize) < o || ((b / 8) as usize) >= o + data.len());
             }
         } else if start >= GLOBAL_BASE {
             let o = (start - GLOBAL_BASE) as usize;
@@ -377,9 +439,9 @@ impl MemSystem {
         if self.l2[bank].read(local_la, 0, &mut buf) {
             return Ok(buf);
         }
-        let data = self
-            .dram_line(line_addr)
-            .ok_or(Trap::InvalidAddress { addr: (line_addr * u64::from(self.line_bytes)).min(u64::from(u32::MAX)) as u32 })?;
+        let data = self.dram_line(line_addr).ok_or(Trap::InvalidAddress {
+            addr: (line_addr * u64::from(self.line_bytes)).min(u64::from(u32::MAX)) as u32,
+        })?;
         if let Some(wb) = self.l2[bank].fill(local_la, &data, false) {
             let victim_la = wb.line_addr * u64::from(self.num_banks) + bank as u64;
             self.dram_write_line(victim_la, &wb.data);
@@ -395,9 +457,7 @@ impl MemSystem {
         if self.l2[bank].write(local_la, off, bytes, true) {
             return Ok(());
         }
-        let mut data = self
-            .dram_line(la)
-            .ok_or(Trap::InvalidAddress { addr })?;
+        let mut data = self.dram_line(la).ok_or(Trap::InvalidAddress { addr })?;
         data[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
         if let Some(wb) = self.l2[bank].fill(la / u64::from(self.num_banks), &data, true) {
             let victim_la = wb.line_addr * u64::from(self.num_banks) + bank as u64;
@@ -439,7 +499,10 @@ impl MemSystem {
         match kind {
             AccessKind::Global | AccessKind::Local => {
                 if self.l1d[sm].is_some() {
-                    let hit = self.l1d[sm].as_mut().expect("checked").read(la, off, &mut buf);
+                    let hit = self.l1d[sm]
+                        .as_mut()
+                        .expect("checked")
+                        .read(la, off, &mut buf);
                     if !hit {
                         let data = self.l2_read_line(la)?;
                         let l1 = self.l1d[sm].as_mut().expect("checked");
@@ -472,7 +535,13 @@ impl MemSystem {
     ///
     /// Traps on misaligned or unmapped addresses, and on texture stores
     /// (the texture path is read-only).
-    pub fn store4(&mut self, sm: usize, kind: AccessKind, addr: u32, value: u32) -> Result<(), Trap> {
+    pub fn store4(
+        &mut self,
+        sm: usize,
+        kind: AccessKind,
+        addr: u32,
+        value: u32,
+    ) -> Result<(), Trap> {
         self.check_access(addr)?;
         let la = u64::from(addr) / u64::from(self.line_bytes);
         let off = addr % self.line_bytes;
@@ -488,7 +557,10 @@ impl MemSystem {
             }
             AccessKind::Local => {
                 if self.l1d[sm].is_some() {
-                    let hit = self.l1d[sm].as_mut().expect("checked").write(la, off, &bytes, true);
+                    let hit = self.l1d[sm]
+                        .as_mut()
+                        .expect("checked")
+                        .write(la, off, &bytes, true);
                     if !hit {
                         // Write-allocate: fetch, fill, then write.
                         let data = self.l2_read_line(la)?;
@@ -587,7 +659,10 @@ impl MemSystem {
     /// Injectable bits of one SM's L1 data cache, or `None` when the card
     /// has no L1D.
     pub fn l1d_bits(&self) -> Option<u64> {
-        self.l1d.first().and_then(|c| c.as_ref()).map(Cache::total_bits)
+        self.l1d
+            .first()
+            .and_then(|c| c.as_ref())
+            .map(Cache::total_bits)
     }
 
     /// Injectable bits of one SM's L1 texture cache.
@@ -646,6 +721,12 @@ impl MemSystem {
             return false;
         }
         self.local[byte] ^= 1 << (bit % 8);
+        // A repeated flip restores the golden bit, so taint is a toggle.
+        if let Some(i) = self.local_taints.iter().position(|&b| b == bit) {
+            self.local_taints.swap_remove(i);
+        } else {
+            self.local_taints.push(bit);
+        }
         true
     }
 
@@ -656,15 +737,18 @@ impl MemSystem {
 
     /// Aggregate L1D statistics across SMs (cards without L1D report zeros).
     pub fn l1d_stats(&self) -> CacheStats {
-        self.l1d.iter().flatten().fold(CacheStats::default(), |a, c| {
-            let s = c.stats();
-            CacheStats {
-                hits: a.hits + s.hits,
-                misses: a.misses + s.misses,
-                writebacks: a.writebacks + s.writebacks,
-                fills: a.fills + s.fills,
-            }
-        })
+        self.l1d
+            .iter()
+            .flatten()
+            .fold(CacheStats::default(), |a, c| {
+                let s = c.stats();
+                CacheStats {
+                    hits: a.hits + s.hits,
+                    misses: a.misses + s.misses,
+                    writebacks: a.writebacks + s.writebacks,
+                    fills: a.fills + s.fills,
+                }
+            })
     }
 
     /// Aggregate L1T statistics across SMs.
@@ -726,7 +810,6 @@ mod tests {
         let mut buf = [0u8; 4];
         m.host_read(a, &mut buf).unwrap();
         assert_eq!(buf, [1, 2, 3, 4]);
-        assert!(m.host_read(a + 16, &mut [0u8; 128]).is_err() || true);
     }
 
     #[test]
@@ -785,7 +868,10 @@ mod tests {
         m.store4(0, AccessKind::Global, wild, 99).unwrap();
         assert_eq!(m.load4(1, AccessKind::Global, wild).unwrap(), 99);
         // Far beyond the local backing too.
-        assert_eq!(m.load4(0, AccessKind::Global, LOCAL_BASE + 4096).unwrap(), 0);
+        assert_eq!(
+            m.load4(0, AccessKind::Global, LOCAL_BASE + 4096).unwrap(),
+            0
+        );
     }
 
     #[test]

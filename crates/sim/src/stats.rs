@@ -164,7 +164,11 @@ mod tests {
     #[test]
     fn windows_and_cycles_per_static_kernel() {
         let app = AppStats {
-            launches: vec![launch("a", 0, 10, 0.5), launch("b", 10, 30, 0.25), launch("a", 30, 40, 0.5)],
+            launches: vec![
+                launch("a", 0, 10, 0.5),
+                launch("b", 10, 30, 0.25),
+                launch("a", 30, 40, 0.5),
+            ],
         };
         assert_eq!(app.total_cycles(), 40);
         assert_eq!(app.cycles_of("a"), 20);

@@ -1,10 +1,10 @@
-//! Model-based property tests: the set-associative cache must behave like
-//! a simple reference model (a bounded map with per-set LRU), and fault
-//! flips must change exactly the targeted bit.
+//! Model-based tests: the set-associative cache must behave like a simple
+//! reference model (a bounded map with per-set LRU), and fault flips must
+//! change exactly the targeted bit. A seeded inline PRNG replaces the
+//! former `proptest` strategies so the suite runs hermetically offline.
 
 use gpufi_sim::mem::Cache;
-use gpufi_sim::{CacheConfig, TAG_BITS};
-use proptest::prelude::*;
+use gpufi_sim::{CacheConfig, FlipOutcome, TAG_BITS};
 
 const LINE: usize = 16;
 
@@ -16,9 +16,25 @@ fn cfg() -> CacheConfig {
     }
 }
 
+/// splitmix64 — tiny, seedable, deterministic.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
 /// Reference model: per-set vector of (line_addr, data, dirty) with LRU
 /// order (front = most recent).
-#[derive(Default)]
 struct Model {
     sets: Vec<Vec<(u64, Vec<u8>, bool)>>,
 }
@@ -75,67 +91,53 @@ impl Model {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Step {
-    Read(u64),
-    Write(u64, usize, u8, bool),
-    Fill(u64, u8, bool),
-    Invalidate(u64),
-}
-
-fn step() -> impl Strategy<Value = Step> {
-    let la = 0u64..32;
-    prop_oneof![
-        la.clone().prop_map(Step::Read),
-        (la.clone(), 0usize..LINE, any::<u8>(), any::<bool>())
-            .prop_map(|(a, o, v, d)| Step::Write(a, o, v, d)),
-        (la.clone(), any::<u8>(), any::<bool>()).prop_map(|(a, v, d)| Step::Fill(a, v, d)),
-        la.prop_map(Step::Invalidate),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The cache agrees with the reference model on hits, data, and dirty
-    /// writebacks, for arbitrary operation sequences.
-    #[test]
-    fn cache_matches_reference_model(steps in prop::collection::vec(step(), 1..120)) {
+/// The cache agrees with the reference model on hits, data, and dirty
+/// writebacks, for arbitrary operation sequences.
+#[test]
+fn cache_matches_reference_model() {
+    let mut rng = Prng(21);
+    for _ in 0..128 {
         let mut cache = Cache::new(cfg());
         let mut model = Model::new();
-        for s in steps {
-            match s {
-                Step::Read(la) => {
+        let steps = 1 + rng.below(119);
+        for _ in 0..steps {
+            let la = rng.below(32);
+            match rng.below(4) {
+                0 => {
                     let mut buf = vec![0u8; LINE];
                     let hit = cache.read(la, 0, &mut buf);
                     let expect = model.read(la);
-                    prop_assert_eq!(hit, expect.is_some(), "hit mismatch at {}", la);
+                    assert_eq!(hit, expect.is_some(), "hit mismatch at {la}");
                     if let Some(data) = expect {
-                        prop_assert_eq!(&buf, &data, "data mismatch at {}", la);
+                        assert_eq!(&buf, &data, "data mismatch at {la}");
                     }
                 }
-                Step::Write(la, offset, value, dirty) => {
+                1 => {
+                    let offset = rng.below(LINE as u64) as usize;
+                    let value = rng.next() as u8;
+                    let dirty = rng.below(2) == 1;
                     let hit = cache.write(la, offset as u32, &[value], dirty);
                     let expect = model.write(la, offset, &[value], dirty);
-                    prop_assert_eq!(hit, expect, "write-hit mismatch at {}", la);
+                    assert_eq!(hit, expect, "write-hit mismatch at {la}");
                 }
-                Step::Fill(la, fill_byte, dirty) => {
+                2 => {
+                    let fill_byte = rng.next() as u8;
+                    let dirty = rng.below(2) == 1;
                     let data = vec![fill_byte; LINE];
-                    // Pre-state: evicting an already-present line is a
-                    // refill; both sides handle it the same way because
-                    // fill always installs fresh.
                     let wb = cache.fill(la, &data, dirty);
                     let expect = model.fill(la, &data, dirty);
                     match (wb, expect) {
                         (None, None) => {}
                         (Some(w), Some((ea, ed))) => {
-                            prop_assert_eq!(w.line_addr, ea, "victim addr");
-                            prop_assert_eq!(w.data, ed, "victim data");
+                            assert_eq!(w.line_addr, ea, "victim addr");
+                            assert_eq!(w.data, ed, "victim data");
                         }
-                        (w, e) => prop_assert!(false, "writeback mismatch: {:?} vs {:?}", w, e.map(|x| x.0)),
+                        (w, e) => {
+                            panic!("writeback mismatch: {:?} vs {:?}", w, e.map(|x| x.0))
+                        }
                     }
                 }
-                Step::Invalidate(la) => {
+                _ => {
                     cache.invalidate(la);
                     let set = &mut model.sets[Model::set_of(la)];
                     set.retain(|(a, _, _)| *a != la);
@@ -143,15 +145,17 @@ proptest! {
             }
         }
     }
+}
 
-    /// Flipping a data bit changes exactly that bit of the stored line;
-    /// flipping it twice restores the original.
-    #[test]
-    fn data_flip_is_involutive_and_local(
-        la in 0u64..8,
-        bit in 0u64..(LINE as u64 * 8),
-        fill_byte in any::<u8>(),
-    ) {
+/// Flipping a data bit changes exactly that bit of the stored line;
+/// flipping it twice restores the original.
+#[test]
+fn data_flip_is_involutive_and_local() {
+    let mut rng = Prng(22);
+    for _ in 0..128 {
+        let la = rng.below(8);
+        let bit = rng.below(LINE as u64 * 8);
+        let fill_byte = rng.next() as u8;
         let mut cache = Cache::new(cfg());
         cache.fill(la, &[fill_byte; LINE], false);
         // The fill landed somewhere in la's set; find its flat line index
@@ -160,56 +164,58 @@ proptest! {
         let mut flipped_line = None;
         for line in 0..8u64 {
             let outcome = cache.flip_bit(line * bpl + u64::from(TAG_BITS) + bit);
-            if outcome == gpufi_sim::FlipOutcome::Data {
+            if outcome == FlipOutcome::Data {
                 flipped_line = Some(line);
                 break;
             }
         }
         let line = flipped_line.expect("one valid line exists");
         let mut buf = vec![0u8; LINE];
-        prop_assert!(cache.read(la, 0, &mut buf));
+        assert!(cache.read(la, 0, &mut buf));
         let byte = (bit / 8) as usize;
         for (i, b) in buf.iter().enumerate() {
             if i == byte {
-                prop_assert_eq!(*b, fill_byte ^ (1 << (bit % 8)), "targeted byte");
+                assert_eq!(*b, fill_byte ^ (1 << (bit % 8)), "targeted byte");
             } else {
-                prop_assert_eq!(*b, fill_byte, "untouched byte {}", i);
+                assert_eq!(*b, fill_byte, "untouched byte {i}");
             }
         }
         // Second flip restores.
         cache.flip_bit(line * bpl + u64::from(TAG_BITS) + bit);
-        prop_assert!(cache.read(la, 0, &mut buf));
-        prop_assert!(buf.iter().all(|b| *b == fill_byte));
+        assert!(cache.read(la, 0, &mut buf));
+        assert!(buf.iter().all(|b| *b == fill_byte));
     }
+}
 
-    /// A tag flip makes the old address miss and some aliased address hit,
-    /// preserving the data bytes.
-    #[test]
-    fn tag_flip_aliases_without_corrupting_data(
-        la in 0u64..8,
-        tag_bit in 0u64..16, // keep aliases in a sane range
-        fill_byte in any::<u8>(),
-    ) {
+/// A tag flip makes the old address miss and some aliased address hit,
+/// preserving the data bytes.
+#[test]
+fn tag_flip_aliases_without_corrupting_data() {
+    let mut rng = Prng(23);
+    for _ in 0..128 {
+        let la = rng.below(8);
+        let tag_bit = rng.below(16); // keep aliases in a sane range
+        let fill_byte = rng.next() as u8;
         let mut cache = Cache::new(cfg());
         cache.fill(la, &[fill_byte; LINE], false);
         let bpl = LINE as u64 * 8 + u64::from(TAG_BITS);
         let mut ok = false;
         for line in 0..8u64 {
-            if cache.flip_bit(line * bpl + tag_bit) == gpufi_sim::FlipOutcome::Tag {
+            if cache.flip_bit(line * bpl + tag_bit) == FlipOutcome::Tag {
                 ok = true;
                 break;
             }
         }
-        prop_assert!(ok);
-        prop_assert!(!cache.probe(la), "old address must miss");
+        assert!(ok);
+        assert!(!cache.probe(la), "old address must miss");
         // The alias keeps the set (tag flips don't move lines across sets):
         // line_addr' = (tag ^ (1<<b)) * sets + set.
         let set = la % 4;
         let tag = la / 4;
         let alias = (tag ^ (1 << tag_bit)) * 4 + set;
-        prop_assert!(cache.probe(alias), "alias {} must hit", alias);
+        assert!(cache.probe(alias), "alias {alias} must hit");
         let mut buf = vec![0u8; LINE];
         cache.read(alias, 0, &mut buf);
-        prop_assert!(buf.iter().all(|b| *b == fill_byte), "data preserved");
+        assert!(buf.iter().all(|b| *b == fill_byte), "data preserved");
     }
 }

@@ -2,9 +2,7 @@
 //! traps and fault injection observable through the public API.
 
 use gpufi_isa::Module;
-use gpufi_sim::{
-    FaultTarget, Gpu, GpuConfig, InjectionPlan, LaunchDims, Scope, Trap,
-};
+use gpufi_sim::{FaultTarget, Gpu, GpuConfig, InjectionPlan, LaunchDims, Scope, Trap};
 
 fn small_gpu() -> Gpu {
     let mut cfg = GpuConfig::rtx2060();
@@ -41,7 +39,11 @@ fn simple_map_kernel() {
     let y = gpu.malloc(n * 4).unwrap();
     gpu.write_u32s(x, &(0..n).collect::<Vec<_>>()).unwrap();
     let stats = gpu
-        .launch(m.kernel("double").unwrap(), LaunchDims::new(2, 32), &[x, y, n])
+        .launch(
+            m.kernel("double").unwrap(),
+            LaunchDims::new(2, 32),
+            &[x, y, n],
+        )
         .unwrap();
     assert!(stats.cycles() > 0);
     assert!(stats.instructions > 0);
@@ -79,8 +81,12 @@ join:
     .unwrap();
     let mut gpu = small_gpu();
     let out_buf = gpu.malloc(32 * 4).unwrap();
-    gpu.launch(m.kernel("diverge").unwrap(), LaunchDims::new(1, 32), &[out_buf])
-        .unwrap();
+    gpu.launch(
+        m.kernel("diverge").unwrap(),
+        LaunchDims::new(1, 32),
+        &[out_buf],
+    )
+    .unwrap();
     let out = gpu.read_u32s(out_buf, 32).unwrap();
     for (i, v) in out.iter().enumerate() {
         let expect = if i % 2 == 0 { 111 } else { 112 };
@@ -116,8 +122,12 @@ done:
     .unwrap();
     let mut gpu = small_gpu();
     let out_buf = gpu.malloc(32 * 4).unwrap();
-    gpu.launch(m.kernel("looped").unwrap(), LaunchDims::new(1, 32), &[out_buf])
-        .unwrap();
+    gpu.launch(
+        m.kernel("looped").unwrap(),
+        LaunchDims::new(1, 32),
+        &[out_buf],
+    )
+    .unwrap();
     let out = gpu.read_u32s(out_buf, 32).unwrap();
     for (i, v) in out.iter().enumerate() {
         assert_eq!(*v, 5 * i as u32, "lane {i}");
@@ -166,8 +176,12 @@ skip:
     let x = gpu.malloc(n * 4).unwrap();
     let out_buf = gpu.malloc(4).unwrap();
     gpu.write_u32s(x, &(1..=n).collect::<Vec<_>>()).unwrap();
-    gpu.launch(m.kernel("reduce").unwrap(), LaunchDims::new(1, 64), &[x, out_buf])
-        .unwrap();
+    gpu.launch(
+        m.kernel("reduce").unwrap(),
+        LaunchDims::new(1, 64),
+        &[x, out_buf],
+    )
+    .unwrap();
     let out = gpu.read_u32s(out_buf, 1).unwrap();
     assert_eq!(out[0], n * (n + 1) / 2);
 }
@@ -197,8 +211,12 @@ fn local_memory_private_per_thread() {
     .unwrap();
     let mut gpu = small_gpu();
     let out_buf = gpu.malloc(64 * 4).unwrap();
-    gpu.launch(m.kernel("locals").unwrap(), LaunchDims::new(2, 32), &[out_buf])
-        .unwrap();
+    gpu.launch(
+        m.kernel("locals").unwrap(),
+        LaunchDims::new(2, 32),
+        &[out_buf],
+    )
+    .unwrap();
     let out = gpu.read_u32s(out_buf, 64).unwrap();
     for (i, v) in out.iter().enumerate() {
         assert_eq!(*v, 1000 + i as u32, "thread {i}");
@@ -229,20 +247,15 @@ fn texture_path_reads_memory() {
     gpu.write_u32s(x, &(0..32).collect::<Vec<_>>()).unwrap();
     gpu.launch(m.kernel("tex").unwrap(), LaunchDims::new(1, 32), &[x, y])
         .unwrap();
-    assert_eq!(
-        gpu.read_u32s(y, 32).unwrap(),
-        (7..39).collect::<Vec<u32>>()
-    );
+    assert_eq!(gpu.read_u32s(y, 32).unwrap(), (7..39).collect::<Vec<u32>>());
 }
 
 /// Null-page dereferences trap; other unbacked addresses are demand-paged
 /// zeros (matching GPGPU-Sim's functional memory).
 #[test]
 fn null_page_traps_but_wild_loads_read_zero() {
-    let m = Module::assemble(
-        ".kernel null\n.params 0\n MOV R1, 16\n LDG R2, [R1]\n EXIT\n",
-    )
-    .unwrap();
+    let m =
+        Module::assemble(".kernel null\n.params 0\n MOV R1, 16\n LDG R2, [R1]\n EXIT\n").unwrap();
     let mut gpu = small_gpu();
     let err = gpu
         .launch(m.kernel("null").unwrap(), LaunchDims::new(1, 32), &[])
@@ -265,10 +278,8 @@ fn null_page_traps_but_wild_loads_read_zero() {
 /// Misaligned accesses trap.
 #[test]
 fn misaligned_store_traps() {
-    let m = Module::assemble(
-        ".kernel mis\n.params 1\n IADD R1, R0, 2\n STG [R1], R0\n EXIT\n",
-    )
-    .unwrap();
+    let m = Module::assemble(".kernel mis\n.params 1\n IADD R1, R0, 2\n STG [R1], R0\n EXIT\n")
+        .unwrap();
     let mut gpu = small_gpu();
     let buf = gpu.malloc(16).unwrap();
     let err = gpu
@@ -294,13 +305,19 @@ fn watchdog_fires() {
 fn multi_launch_windows() {
     let m = Module::assemble(".kernel a\n NOP\n EXIT\n.kernel b\n NOP\n NOP\n EXIT\n").unwrap();
     let mut gpu = small_gpu();
-    gpu.launch(m.kernel("a").unwrap(), LaunchDims::new(1, 32), &[]).unwrap();
-    gpu.launch(m.kernel("b").unwrap(), LaunchDims::new(1, 32), &[]).unwrap();
-    gpu.launch(m.kernel("a").unwrap(), LaunchDims::new(1, 32), &[]).unwrap();
+    gpu.launch(m.kernel("a").unwrap(), LaunchDims::new(1, 32), &[])
+        .unwrap();
+    gpu.launch(m.kernel("b").unwrap(), LaunchDims::new(1, 32), &[])
+        .unwrap();
+    gpu.launch(m.kernel("a").unwrap(), LaunchDims::new(1, 32), &[])
+        .unwrap();
     let stats = gpu.stats();
     assert_eq!(stats.launches.len(), 3);
     assert_eq!(stats.windows_of("a").len(), 2);
-    assert_eq!(stats.static_kernels(), vec!["a".to_string(), "b".to_string()]);
+    assert_eq!(
+        stats.static_kernels(),
+        vec!["a".to_string(), "b".to_string()]
+    );
     // Windows are disjoint and ordered.
     let w = &stats.launches;
     assert!(w[0].end_cycle <= w[1].start_cycle);
@@ -419,7 +436,10 @@ pad1: IADD R6, R6, 1
     // Corrupting a pointer by bit 25 (32 MB) almost certainly leaves the
     // allocation: expect a crash; tolerate SDC if the flip aliased.
     if let Err(t) = res {
-        assert!(matches!(t, Trap::InvalidAddress { .. } | Trap::Misaligned { .. }));
+        assert!(matches!(
+            t,
+            Trap::InvalidAddress { .. } | Trap::Misaligned { .. }
+        ));
     }
 }
 
@@ -433,7 +453,8 @@ fn late_fault_never_fires() {
         1_000_000,
         FaultTarget::L2 { bits: vec![0] },
     ));
-    gpu.launch(m.kernel("a").unwrap(), LaunchDims::new(1, 32), &[]).unwrap();
+    gpu.launch(m.kernel("a").unwrap(), LaunchDims::new(1, 32), &[])
+        .unwrap();
     assert!(gpu.injection_records().is_empty());
 }
 
@@ -459,7 +480,8 @@ pad2: IADD R4, R4, 1
     .unwrap();
     let mut gpu = small_gpu();
     let buf = gpu.malloc(32 * 4).unwrap();
-    gpu.launch(m.kernel("touch").unwrap(), LaunchDims::new(1, 32), &[buf]).unwrap();
+    gpu.launch(m.kernel("touch").unwrap(), LaunchDims::new(1, 32), &[buf])
+        .unwrap();
     let golden_cycles = gpu.stats().total_cycles();
 
     // Re-run with L2 data faults injected mid-run over many bits to make a
@@ -472,7 +494,8 @@ pad2: IADD R4, R4, 1
         FaultTarget::L2 { bits },
     ));
     gpu.set_watchdog(golden_cycles * 2);
-    gpu.launch(m.kernel("touch").unwrap(), LaunchDims::new(1, 32), &[buf]).unwrap();
+    gpu.launch(m.kernel("touch").unwrap(), LaunchDims::new(1, 32), &[buf])
+        .unwrap();
     let rec = &gpu.injection_records()[0];
     assert_eq!(rec.structure, "L2 cache");
     // At least the record exists; corruption depends on line placement.
@@ -516,8 +539,12 @@ fn titan_runs_without_l1d() {
     let x = gpu.malloc(32 * 4).unwrap();
     let y = gpu.malloc(32 * 4).unwrap();
     gpu.write_u32s(x, &(100..132).collect::<Vec<_>>()).unwrap();
-    gpu.launch(m.kernel("copy").unwrap(), LaunchDims::new(1, 32), &[x, y]).unwrap();
-    assert_eq!(gpu.read_u32s(y, 32).unwrap(), (100..132).collect::<Vec<_>>());
+    gpu.launch(m.kernel("copy").unwrap(), LaunchDims::new(1, 32), &[x, y])
+        .unwrap();
+    assert_eq!(
+        gpu.read_u32s(y, 32).unwrap(),
+        (100..132).collect::<Vec<_>>()
+    );
 }
 
 /// Identical configuration ⇒ bit-identical results and cycle counts
@@ -549,7 +576,8 @@ fn execution_is_deterministic() {
         let x = gpu.malloc(256 * 4).unwrap();
         let y = gpu.malloc(256 * 4).unwrap();
         gpu.write_u32s(x, &(0..256).collect::<Vec<_>>()).unwrap();
-        gpu.launch(m.kernel("k").unwrap(), LaunchDims::new(8, 32), &[x, y]).unwrap();
+        gpu.launch(m.kernel("k").unwrap(), LaunchDims::new(8, 32), &[x, y])
+            .unwrap();
         (gpu.read_u32s(y, 256).unwrap(), gpu.stats().total_cycles())
     };
     let (o1, c1) = run();
@@ -599,7 +627,8 @@ fn constant_cache_loads_and_faults() {
     gpu.write_const(0, &vals).unwrap();
     let out = gpu.malloc(128).unwrap();
     gpu.write_u32s(out, &[9]).unwrap();
-    gpu.launch(m2.kernel("far").unwrap(), LaunchDims::new(1, 1), &[out]).unwrap();
+    gpu.launch(m2.kernel("far").unwrap(), LaunchDims::new(1, 1), &[out])
+        .unwrap();
     assert_eq!(gpu.read_u32s(out, 1).unwrap()[0], 0);
 }
 
@@ -626,7 +655,8 @@ cl: LDC  R3, [R2]
     let mut gpu = small_gpu();
     gpu.write_const(0, &[0xAA; 128]).unwrap();
     let out = gpu.malloc(128).unwrap();
-    gpu.launch(m.kernel("cspin").unwrap(), LaunchDims::new(1, 32), &[out]).unwrap();
+    gpu.launch(m.kernel("cspin").unwrap(), LaunchDims::new(1, 32), &[out])
+        .unwrap();
     let golden_cycles = gpu.stats().total_cycles();
 
     let mut gpu = small_gpu();
@@ -634,13 +664,20 @@ cl: LDC  R3, [R2]
     let out = gpu.malloc(128).unwrap();
     // Flip data bits of the first lines of SM0's constant cache mid-run.
     let bpl = 64 * 8 + u64::from(gpufi_sim::TAG_BITS);
-    let bits: Vec<u64> = (0..8u64).map(|l| l * bpl + u64::from(gpufi_sim::TAG_BITS)).collect();
+    let bits: Vec<u64> = (0..8u64)
+        .map(|l| l * bpl + u64::from(gpufi_sim::TAG_BITS))
+        .collect();
     gpu.arm_faults(InjectionPlan::single(
         golden_cycles / 2,
-        FaultTarget::L1Const { core_lot: 0, replicate: 4, bits },
+        FaultTarget::L1Const {
+            core_lot: 0,
+            replicate: 4,
+            bits,
+        },
     ));
     gpu.set_watchdog(golden_cycles * 2);
-    gpu.launch(m.kernel("cspin").unwrap(), LaunchDims::new(1, 32), &[out]).unwrap();
+    gpu.launch(m.kernel("cspin").unwrap(), LaunchDims::new(1, 32), &[out])
+        .unwrap();
     let rec = &gpu.injection_records()[0];
     assert_eq!(rec.structure, "L1 constant cache");
     assert!(rec.applied, "the hot constant line must be valid");

@@ -80,8 +80,12 @@ fn integer_arithmetic() {
     check("IADD R6, R4, R5", &a, &b, |x, y| x.wrapping_add(y));
     check("ISUB R6, R4, R5", &a, &b, |x, y| x.wrapping_sub(y));
     check("IMUL R6, R4, R5", &a, &b, |x, y| x.wrapping_mul(y));
-    check("IMIN R6, R4, R5", &a, &b, |x, y| ((x as i32).min(y as i32)) as u32);
-    check("IMAX R6, R4, R5", &a, &b, |x, y| ((x as i32).max(y as i32)) as u32);
+    check("IMIN R6, R4, R5", &a, &b, |x, y| {
+        ((x as i32).min(y as i32)) as u32
+    });
+    check("IMAX R6, R4, R5", &a, &b, |x, y| {
+        ((x as i32).max(y as i32)) as u32
+    });
     check("IMAD R6, R4, R5, R4", &a, &b, |x, y| {
         x.wrapping_mul(y).wrapping_add(x)
     });
@@ -98,7 +102,9 @@ fn bitwise_and_shifts() {
     check("NOT R6, R4", &a, &b, |x, _| !x);
     check("SHL R6, R4, R5", &a, &b, |x, y| x << (y & 31));
     check("SHR R6, R4, R5", &a, &b, |x, y| x >> (y & 31));
-    check("SAR R6, R4, R5", &a, &b, |x, y| ((x as i32) >> (y & 31)) as u32);
+    check("SAR R6, R4, R5", &a, &b, |x, y| {
+        ((x as i32) >> (y & 31)) as u32
+    });
     check("SHL R6, R4, 3", &a, &b, |x, _| x << 3);
 }
 

@@ -189,7 +189,11 @@ impl Workload for Bfs {
         // iteration counts sane).
         for _ in 0..N {
             gpu.write_u32s(d_stop, &[0])?;
-            gpu.launch(k1, dims, &[d_off, d_edges, d_frontier, d_visited, d_cost, d_next, N])?;
+            gpu.launch(
+                k1,
+                dims,
+                &[d_off, d_edges, d_frontier, d_visited, d_cost, d_next, N],
+            )?;
             gpu.launch(k2, dims, &[d_frontier, d_visited, d_next, d_stop, N])?;
             if gpu.read_u32s(d_stop, 1)?[0] == 0 {
                 break;

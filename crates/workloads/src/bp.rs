@@ -204,7 +204,11 @@ impl Workload for Backprop {
         gpu.write_f32s(d_delta, &delta)?;
 
         let adj = self.module.kernel("adjust_weights").expect("kernel exists");
-        gpu.launch(adj, LaunchDims::new(HID, BLOCK), &[d_in, d_w, d_delta, IN, HID])?;
+        gpu.launch(
+            adj,
+            LaunchDims::new(HID, BLOCK),
+            &[d_in, d_w, d_delta, IN, HID],
+        )?;
 
         let mut out = f32s_to_bytes(&gpu.read_f32s(d_h, HID as usize)?);
         out.extend(f32s_to_bytes(&gpu.read_f32s(d_w, (IN * HID) as usize)?));

@@ -169,7 +169,11 @@ impl Workload for KMeans {
         let kernel = self.module.kernel("kmeans_assign").expect("kernel exists");
         let mut membership = Vec::new();
         for it in 0..ITERS {
-            gpu.launch(kernel, LaunchDims::new(N / BLOCK, BLOCK), &[d_p, d_c, d_m, N, K])?;
+            gpu.launch(
+                kernel,
+                LaunchDims::new(N / BLOCK, BLOCK),
+                &[d_p, d_c, d_m, N, K],
+            )?;
             membership = gpu.read_u32s(d_m, N as usize)?;
             if it + 1 < ITERS {
                 // Host-side refit, as in Rodinia.

@@ -382,7 +382,11 @@ mod tests {
                     } else {
                         0.0
                     };
-                    let u = if m <= j { f64::from(lu[m * N + j]) } else { 0.0 };
+                    let u = if m <= j {
+                        f64::from(lu[m * N + j])
+                    } else {
+                        0.0
+                    };
                     s += l * u;
                 }
                 let expect = f64::from(a[i * N + j]);

@@ -115,7 +115,10 @@ impl Workload for NeedlemanWunsch {
         let bytes = (PITCH * PITCH * 4) as u32;
         let d_score = gpu.malloc(bytes)?;
         let d_ref = gpu.malloc(bytes)?;
-        gpu.write_u32s(d_score, &score.iter().map(|&v| v as u32).collect::<Vec<_>>())?;
+        gpu.write_u32s(
+            d_score,
+            &score.iter().map(|&v| v as u32).collect::<Vec<_>>(),
+        )?;
         gpu.write_u32s(d_ref, &refm.iter().map(|&v| v as u32).collect::<Vec<_>>())?;
         let kernel = self.module.kernel("nw_diagonal").expect("kernel exists");
         for d in 2..=(2 * N) as u32 {

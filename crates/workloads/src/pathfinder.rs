@@ -125,7 +125,10 @@ impl Workload for PathFinder {
         let mut d_next = gpu.malloc(COLS * 4)?;
         gpu.write_u32s(d_data, &data)?;
         gpu.write_u32s(d_prev, &data[..COLS as usize])?;
-        let kernel = self.module.kernel("pathfinder_step").expect("kernel exists");
+        let kernel = self
+            .module
+            .kernel("pathfinder_step")
+            .expect("kernel exists");
         for row in 1..ROWS as u32 {
             let row_ptr = d_data + row * COLS * 4;
             gpu.launch(

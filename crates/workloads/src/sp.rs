@@ -88,9 +88,7 @@ impl ScalarProd {
         (0..self.blocks as usize)
             .map(|blk| {
                 let lo = blk * BLOCK as usize;
-                let mut s: Vec<f32> = (0..BLOCK as usize)
-                    .map(|t| a[lo + t] * b[lo + t])
-                    .collect();
+                let mut s: Vec<f32> = (0..BLOCK as usize).map(|t| a[lo + t] * b[lo + t]).collect();
                 let mut stride = (BLOCK / 2) as usize;
                 while stride > 0 {
                     for t in 0..stride {

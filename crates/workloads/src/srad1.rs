@@ -225,12 +225,8 @@ impl Srad1 {
 
     fn cpu_step(j: &mut [f32], q0sqr: f32) {
         let mut c = vec![0f32; N];
-        let (mut dn, mut ds, mut dw, mut de) = (
-            vec![0f32; N],
-            vec![0f32; N],
-            vec![0f32; N],
-            vec![0f32; N],
-        );
+        let (mut dn, mut ds, mut dw, mut de) =
+            (vec![0f32; N], vec![0f32; N], vec![0f32; N], vec![0f32; N]);
         for y in 0..W {
             for x in 0..W {
                 let i = y * W + x;

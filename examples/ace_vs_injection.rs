@@ -54,13 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .failure_ratio();
 
         let ratio = if fr > 0.0 { ace / fr } else { f64::INFINITY };
-        println!(
-            "{:<8} {:>10.4} {:>14.4} {:>8.2}",
-            w.name(),
-            ace,
-            fr,
-            ratio
-        );
+        println!("{:<8} {:>10.4} {:>14.4} {:>8.2}", w.name(), ace, fr, ratio);
         total += 1;
         if ace >= fr {
             overestimates += 1;

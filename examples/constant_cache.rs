@@ -131,9 +131,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .zip(golden.output.chunks_exact(4))
         .filter(|(a, b)| a != b)
         .count();
-    println!(
-        "targeted  corrupted outputs: {corrupted} of {N} (threads on the faulted SM)"
-    );
+    println!("targeted  corrupted outputs: {corrupted} of {N} (threads on the faulted SM)");
     let _ = line_bits;
     Ok(())
 }

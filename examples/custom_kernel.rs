@@ -86,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expect: Vec<u32> = (0..1024u32)
         .map(|i| {
             let v = i * 3 + 1;
-            if i % 64 == 0 { v } else { v + ((i - 1) * 3 + 1) }
+            if i % 64 == 0 {
+                v
+            } else {
+                v + ((i - 1) * 3 + 1)
+            }
         })
         .collect();
     let got: Vec<u32> = golden
@@ -98,7 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("host reference check: PASSED");
 
     // Campaign over the CTA's shared-memory staging buffer.
-    for structure in [Structure::SharedMemory, Structure::RegisterFile, Structure::L2] {
+    for structure in [
+        Structure::SharedMemory,
+        Structure::RegisterFile,
+        Structure::L2,
+    ] {
         let cfg = CampaignConfig::new(CampaignSpec::new(structure), 150, 9);
         let r = run_campaign(&workload, &card, &cfg, &golden)?;
         println!(

@@ -45,11 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (name, fit, bits) in &rows {
         let mbit = *bits as f64 / 1e6;
-        let share = if analysis.fit > 0.0 { fit / analysis.fit } else { 0.0 };
+        let share = if analysis.fit > 0.0 {
+            fit / analysis.fit
+        } else {
+            0.0
+        };
         let per_mbit = if mbit > 0.0 { fit / mbit } else { 0.0 };
         println!(
             "{:<18} {:>12.2} {:>10.4} {:>9.1}% {:>16.5}",
-            name, mbit, fit, 100.0 * share, per_mbit
+            name,
+            mbit,
+            fit,
+            100.0 * share,
+            per_mbit
         );
     }
 
@@ -57,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "\n=> protecting the {} first removes {:.1}% of this workload's FIT",
             best,
-            if analysis.fit > 0.0 { 100.0 * fit / analysis.fit } else { 0.0 }
+            if analysis.fit > 0.0 {
+                100.0 * fit / analysis.fit
+            } else {
+                0.0
+            }
         );
     }
     println!(

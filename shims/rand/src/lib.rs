@@ -1,0 +1,206 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen::<u64>()` and
+//! `Rng::gen_range` over half-open `u32`/`u64` ranges.
+//!
+//! The generator is xoshiro256** seeded through a splitmix64 expansion —
+//! statistically solid, deterministic across platforms, and dependency
+//! free. Bounded draws use Lemire's multiply-then-reject method, so they
+//! are exactly uniform. Streams are *not* bit-compatible with upstream
+//! `rand`; the workspace only relies on same-seed reproducibility, never
+//! on specific values.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Concrete generators.
+pub mod rngs {
+    /// xoshiro256** seeded via splitmix64 — the workspace's standard RNG.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Generators that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut st);
+        }
+        // splitmix64 cannot emit four zero words from one stream, but keep
+        // the all-zero guard anyway: xoshiro's state must never be zero.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna (public domain reference).
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Exactly-uniform draw in `[0, bound)` via Lemire's method.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut x = rng.next_u64();
+    let mut m = u128::from(x) * u128::from(bound);
+    let mut lo = m as u64;
+    if lo < bound {
+        let threshold = bound.wrapping_neg() % bound;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(bound);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Ranges samplable by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + bounded_u64(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u32> for Range<u32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = u64::from(self.end) - u64::from(self.start);
+        self.start + bounded_u64(rng, span) as u32
+    }
+}
+
+/// The user-facing sampling interface (`gen`, `gen_range`).
+pub trait Rng: RngCore + Sized {
+    /// Draws one value uniformly over `T`'s whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w: u32 = r.gen_range(0u32..3);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0u64..5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::seed_from_u64(0);
+        let v: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types as a
+//! forward-compatibility marker but never serializes anything at runtime.
+//! This shim provides the two names in both namespaces — the no-op derive
+//! macros (re-exported from the local `serde_derive` shim) and marker
+//! traits with blanket impls — so `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` both compile without touching
+//! the network.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; every type trivially satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; every type trivially satisfies it.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

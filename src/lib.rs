@@ -53,14 +53,15 @@ pub use gpufi_workloads as workloads;
 /// The names an injection study typically needs, in one import.
 pub mod prelude {
     pub use gpufi_core::{
-        analyze, analyze_with_golden, classify, profile, run_campaign, AnalysisConfig,
-        AppAnalysis, CampaignConfig, CampaignResult, GoldenProfile, Workload, WorkloadError,
+        analyze, analyze_with_golden, classify, profile, run_campaign, AnalysisConfig, AppAnalysis,
+        CampaignConfig, CampaignResult, CampaignStats, GoldenProfile, RunRecord, Workload,
+        WorkloadError,
     };
     pub use gpufi_faults::{CampaignSpec, MaskGenerator, MultiBitMode, Structure};
     pub use gpufi_isa::Module;
     pub use gpufi_metrics::{
-        avf_kernel, chip_fit, df_reg, df_smem, margin_of_error, raw_fit_per_bit, sample_size,
-        wavf, FaultEffect, KernelAvf, StructureResult, Tally,
+        avf_kernel, chip_fit, df_reg, df_smem, margin_of_error, raw_fit_per_bit, sample_size, wavf,
+        FaultEffect, KernelAvf, StructureResult, Tally,
     };
     pub use gpufi_sim::{
         Dim3, FaultTarget, Gpu, GpuConfig, InjectionPlan, LaunchDims, Scope, Trap,

@@ -1,0 +1,113 @@
+//! Validation of the fault-lifetime early-exit engine: cutting a run short
+//! once every fault's lifetime has ended must never change what the
+//! campaign concludes, only how long it takes.
+
+use gpufi::prelude::*;
+
+/// Early exit and full simulation must classify every run identically —
+/// same effect, same cycle count, same applied flag — across ≥200 runs of
+/// two workloads.  Only the `early_exit` marker may differ.
+#[test]
+fn early_exit_matches_full_simulation() {
+    let card = GpuConfig::rtx2060();
+    let workloads: [Box<dyn Workload>; 2] =
+        [Box::new(VectorAdd::new(256)), Box::new(ScalarProd::new(8))];
+    for w in &workloads {
+        let golden = profile(w.as_ref(), &card).unwrap();
+        let spec = CampaignSpec::new(Structure::RegisterFile);
+        let fast_cfg = CampaignConfig::new(spec.clone(), 200, 17);
+        let full_cfg = CampaignConfig::new(spec, 200, 17).no_early_exit();
+        let fast = run_campaign(w.as_ref(), &card, &fast_cfg, &golden).unwrap();
+        let full = run_campaign(w.as_ref(), &card, &full_cfg, &golden).unwrap();
+        assert_eq!(fast.tally, full.tally, "{}: tallies diverge", w.name());
+        for (i, (a, b)) in fast.records.iter().zip(&full.records).enumerate() {
+            assert_eq!(a.effect, b.effect, "{} run {i}: effect", w.name());
+            assert_eq!(a.cycles, b.cycles, "{} run {i}: cycles", w.name());
+            assert_eq!(a.applied, b.applied, "{} run {i}: applied", w.name());
+        }
+        // The validation mode never early-exits; the engine should cut at
+        // least some expired-fault runs short.
+        assert_eq!(full.stats.early_exits, 0);
+        assert!(
+            fast.stats.early_exits > 0,
+            "{}: no run early-exited in 200",
+            w.name()
+        );
+        // Every early exit is a Masked classification by construction.
+        for r in fast.records.iter().filter(|r| r.early_exit) {
+            assert_eq!(r.effect, FaultEffect::Masked);
+            assert_eq!(r.cycles, golden.total_cycles());
+        }
+    }
+}
+
+/// A whole-application campaign (`kernel: None`, multi-kernel benchmark)
+/// is deterministic across worker-thread counts under the work-stealing
+/// scheduler.
+#[test]
+fn whole_app_campaign_is_deterministic_across_thread_counts() {
+    let w = Srad1::default();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(&w, &card).unwrap();
+    let spec = CampaignSpec::new(Structure::RegisterFile);
+    let serial = run_campaign(
+        &w,
+        &card,
+        &CampaignConfig::new(spec.clone(), 8, 5).with_threads(1),
+        &golden,
+    )
+    .unwrap();
+    let parallel = run_campaign(
+        &w,
+        &card,
+        &CampaignConfig::new(spec, 8, 5).with_threads(4),
+        &golden,
+    )
+    .unwrap();
+    assert_eq!(serial.records, parallel.records);
+    assert_eq!(serial.tally, parallel.tally);
+}
+
+/// Seed 0 must be a first-class campaign seed: the old per-run seed mix
+/// collapsed `seed * C ^ run` to the bare run index at seed 0, making
+/// seeds 0 and 1 draw overlapping fault masks.
+#[test]
+fn seed_zero_is_a_distinct_campaign() {
+    let w = VectorAdd::new(256);
+    let card = GpuConfig::rtx2060();
+    let golden = profile(&w, &card).unwrap();
+    let spec = CampaignSpec::new(Structure::RegisterFile);
+    let zero = run_campaign(
+        &w,
+        &card,
+        &CampaignConfig::new(spec.clone(), 20, 0),
+        &golden,
+    )
+    .unwrap();
+    let one = run_campaign(&w, &card, &CampaignConfig::new(spec, 20, 1), &golden).unwrap();
+    assert_ne!(zero.records, one.records, "seed 0 must differ from seed 1");
+}
+
+/// Campaign statistics reflect what actually ran.
+#[test]
+fn campaign_stats_are_populated() {
+    let w = VectorAdd::new(256);
+    let card = GpuConfig::rtx2060();
+    let golden = profile(&w, &card).unwrap();
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 30, 3);
+    let r = run_campaign(&w, &card, &cfg, &golden).unwrap();
+    assert!(r.stats.wall_ms > 0.0);
+    assert!(r.stats.runs_per_sec > 0.0);
+    assert!(r.stats.threads >= 1);
+    assert_eq!(
+        r.stats.applied,
+        r.records.iter().filter(|x| x.applied).count()
+    );
+    assert_eq!(
+        r.stats.early_exits,
+        r.records.iter().filter(|x| x.early_exit).count()
+    );
+    let n = r.records.len() as f64;
+    assert!((r.stats.applied_rate - r.stats.applied as f64 / n).abs() < 1e-12);
+    assert!((r.stats.early_exit_rate - r.stats.early_exits as f64 / n).abs() < 1e-12);
+}

@@ -9,7 +9,9 @@ fn rf_campaign(bench: &str, runs: usize, seed: u64) -> Tally {
     let card = GpuConfig::rtx2060();
     let golden = profile(w.as_ref(), &card).unwrap();
     let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, seed);
-    run_campaign(w.as_ref(), &card, &cfg, &golden).unwrap().tally
+    run_campaign(w.as_ref(), &card, &cfg, &golden)
+        .unwrap()
+        .tally
 }
 
 /// Fig. 1 shape: SDC dominates the failures of a high-AVF benchmark, and
@@ -17,7 +19,10 @@ fn rf_campaign(bench: &str, runs: usize, seed: u64) -> Tally {
 #[test]
 fn sdc_dominates_register_file_failures() {
     let t = rf_campaign("SRAD2", 60, 101);
-    assert!(t.failures() > 0, "SRAD2 RF campaign must observe failures: {t}");
+    assert!(
+        t.failures() > 0,
+        "SRAD2 RF campaign must observe failures: {t}"
+    );
     assert!(
         t.sdc >= t.crash,
         "SDC must dominate crashes (paper Fig. 1): {t}"

@@ -46,7 +46,13 @@ fn different_seeds_differ() {
     let card = GpuConfig::rtx2060();
     let golden = profile(&w, &card).unwrap();
     let spec = CampaignSpec::new(Structure::RegisterFile);
-    let a = run_campaign(&w, &card, &CampaignConfig::new(spec.clone(), 12, 1), &golden).unwrap();
+    let a = run_campaign(
+        &w,
+        &card,
+        &CampaignConfig::new(spec.clone(), 12, 1),
+        &golden,
+    )
+    .unwrap();
     let b = run_campaign(&w, &card, &CampaignConfig::new(spec, 12, 2), &golden).unwrap();
     assert_ne!(a.records, b.records, "seeds must drive the campaign");
 }
@@ -94,7 +100,11 @@ fn analysis_invariants_hold() {
     let card = GpuConfig::rtx2060();
     let cfg = AnalysisConfig::new(6, 11);
     let analysis = analyze(&w, &card, &cfg).unwrap();
-    assert!((0.0..=1.0).contains(&analysis.wavf), "wavf {}", analysis.wavf);
+    assert!(
+        (0.0..=1.0).contains(&analysis.wavf),
+        "wavf {}",
+        analysis.wavf
+    );
     assert!((0.0..=1.0).contains(&analysis.occupancy));
     assert!(analysis.fit >= 0.0);
     assert_eq!(analysis.structures.len(), 5);
@@ -105,7 +115,11 @@ fn analysis_invariants_hold() {
     );
     // Per-structure derated rates are probabilities.
     for s in &analysis.structures {
-        assert!((0.0..=1.0).contains(&s.rates.failure_rate()), "{:?}", s.rates);
+        assert!(
+            (0.0..=1.0).contains(&s.rates.failure_rate()),
+            "{:?}",
+            s.rates
+        );
     }
 }
 
@@ -114,7 +128,9 @@ fn warp_scope_campaigns_run() {
     let w = VectorAdd::new(256);
     let card = GpuConfig::rtx2060();
     let golden = profile(&w, &card).unwrap();
-    let spec = CampaignSpec::new(Structure::RegisterFile).warp_scope().bits(2);
+    let spec = CampaignSpec::new(Structure::RegisterFile)
+        .warp_scope()
+        .bits(2);
     let r = run_campaign(&w, &card, &CampaignConfig::new(spec, 10, 4), &golden).unwrap();
     assert_eq!(r.tally.total(), 10);
     // Warp-scope faults hit 32 threads; they should fail at least as often
