@@ -120,7 +120,9 @@ fn bench_early_exit_speedup() {
     let card = GpuConfig::rtx2060();
     let golden = profile(&ge, &card).unwrap();
     let runs = 300;
-    let fast = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, 11);
+    // Checkpoints off in both modes: this comparison isolates early exit.
+    let fast =
+        CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, 11).no_checkpoints();
     let full = fast.clone().no_early_exit();
 
     let t_full = time("campaign_300_ge_regfile_full_sim", 3, || {
@@ -151,6 +153,78 @@ fn bench_early_exit_speedup() {
     println!("speedup (wall): {:.2}x", t_full / t_fast);
 }
 
+/// Headline: checkpoint-and-fork versus cold starts (the PR 1 engine) on a
+/// late-injection-heavy campaign — injections restricted to the last third
+/// of the golden window, where forking skips the most golden prefix.  Both
+/// modes keep taint early exit on; the delta is purely the forking.
+/// Results land in `BENCH_campaign.json` at the workspace root.
+fn bench_checkpoint_speedup() {
+    let ge = Gaussian::default();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(&ge, &card).unwrap();
+    let total = golden.total_cycles();
+    let (win_lo, win_hi) = (total * 2 / 3, total);
+    let runs = 300;
+    let forked = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, 11)
+        .with_cycle_window(win_lo, win_hi);
+    let cold = forked.clone().no_checkpoints();
+
+    let t_cold = time("campaign_300_ge_late_third_cold_start", 3, || {
+        run_campaign(&ge, &card, &cold, &golden).unwrap()
+    });
+    let t_forked = time("campaign_300_ge_late_third_checkpointed", 3, || {
+        run_campaign(&ge, &card, &forked, &golden).unwrap()
+    });
+
+    let r_forked = run_campaign(&ge, &card, &forked, &golden).unwrap();
+    let r_cold = run_campaign(&ge, &card, &cold, &golden).unwrap();
+    assert_eq!(
+        r_forked.tally, r_cold.tally,
+        "checkpoint forking must not change classifications"
+    );
+    for (i, (a, b)) in r_forked.records.iter().zip(&r_cold.records).enumerate() {
+        assert_eq!(a.effect, b.effect, "run {i}: effect");
+        assert_eq!(a.cycles, b.cycles, "run {i}: cycles");
+        assert_eq!(a.applied, b.applied, "run {i}: applied");
+    }
+    let speedup = t_cold / t_forked;
+    let s = &r_forked.stats;
+    println!(
+        "checkpoint engine: {:.1} runs/s, {} snapshots ({:.1} MiB), \
+         {:.1}% runs forked, {:.0} mean cycles skipped",
+        s.runs_per_sec,
+        s.checkpoints,
+        s.checkpoint_bytes as f64 / (1024.0 * 1024.0),
+        100.0 * s.restores as f64 / runs as f64,
+        s.mean_skipped_cycles,
+    );
+    println!("cold-start engine: {:.1} runs/s", r_cold.stats.runs_per_sec);
+    println!("speedup (wall): {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"campaign_300_ge_late_third\",\n  \"workload\": \"{}\",\n  \
+         \"runs\": {runs},\n  \"cycle_window\": [{win_lo}, {win_hi}],\n  \
+         \"golden_cycles\": {total},\n  \"iters\": 3,\n  \
+         \"cold_runs_per_sec\": {:.2},\n  \"checkpoint_runs_per_sec\": {:.2},\n  \
+         \"speedup\": {speedup:.3},\n  \"checkpoints\": {},\n  \
+         \"checkpoint_bytes\": {},\n  \"restore_rate\": {:.3},\n  \
+         \"mean_skipped_cycles\": {:.1},\n  \"early_exit_rate\": {:.3},\n  \
+         \"threads\": {}\n}}\n",
+        ge.name(),
+        r_cold.stats.runs_per_sec,
+        s.runs_per_sec,
+        s.checkpoints,
+        s.checkpoint_bytes,
+        s.restores as f64 / runs as f64,
+        s.mean_skipped_cycles,
+        s.early_exit_rate,
+        s.threads,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, json).expect("write BENCH_campaign.json");
+    println!("results written to BENCH_campaign.json");
+}
+
 fn main() {
     bench_assembler();
     bench_cache();
@@ -158,4 +232,5 @@ fn main() {
     bench_workload_golden();
     bench_injection_campaign();
     bench_early_exit_speedup();
+    bench_checkpoint_speedup();
 }

@@ -37,7 +37,8 @@ usage:
   gpufi profile  --bench <NAME> [--card <CARD> | --config <FILE>]
   gpufi campaign --bench <NAME> --structure <S> [--card <CARD>] [--runs N]
                  [--bits K] [--kernel <K>] [--scope thread|warp] [--spread]
-                 [--seed S] [--threads T] [--no-early-exit] [--csv FILE]
+                 [--seed S] [--threads T] [--no-early-exit] [--no-checkpoints]
+                 [--checkpoint-interval C] [--csv FILE]
   gpufi analyze  --bench <NAME> [--card <CARD>] [--runs N] [--bits K] [--seed S]
 
 cards:      rtx2060 (default) | gv100 | titan, or --config <FILE> with a
@@ -45,8 +46,11 @@ cards:      rtx2060 (default) | gv100 | titan, or --config <FILE> with a
 structures: rf | local | shared | l1d | l1t | l1c | l2
 
 campaigns abort each run as soon as every injected fault's lifetime has
-provably ended (classified Masked at the golden cycle count);
---no-early-exit forces full simulation of every run (validation mode)";
+provably ended (classified Masked at the golden cycle count), and fork
+each run from a golden-run checkpoint at its first injection cycle;
+--no-early-exit forces full simulation of every run and --no-checkpoints
+forces cold starts from cycle 0 (validation modes);
+--checkpoint-interval sets the snapshot stride in cycles (0 = auto)";
 
 /// Minimal `--flag value` parser over the argument list.
 struct Args<'a> {
@@ -197,6 +201,13 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     if args.flag("--no-early-exit") {
         cfg = cfg.no_early_exit();
     }
+    if args.flag("--no-checkpoints") {
+        cfg = cfg.no_checkpoints();
+    }
+    let ckpt_interval: u64 = args.parse("--checkpoint-interval", 0)?;
+    if ckpt_interval > 0 {
+        cfg = cfg.with_checkpoint_interval(ckpt_interval);
+    }
     if let Some(kernel) = args.value("--kernel") {
         cfg = cfg.for_kernel(kernel);
     }
@@ -235,6 +246,13 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
         100.0 * s.applied_rate,
         s.early_exits,
         100.0 * s.early_exit_rate
+    );
+    println!(
+        "  checkpoints: {} ({:.1} MiB)   restores: {}   mean cycles skipped: {:.0}",
+        s.checkpoints,
+        s.checkpoint_bytes as f64 / (1024.0 * 1024.0),
+        s.restores,
+        s.mean_skipped_cycles
     );
     if let Some(path) = args.value("--csv") {
         let csv = gpufi_core::campaign_csv(&result);

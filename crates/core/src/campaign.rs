@@ -5,13 +5,22 @@ use crate::profile::GoldenProfile;
 use crate::workload::{Workload, WorkloadError};
 use gpufi_faults::{CampaignSpec, DrawError, MaskGenerator};
 use gpufi_metrics::{FaultEffect, Tally};
-use gpufi_sim::{Gpu, GpuConfig, KernelWindow, Trap};
+use gpufi_sim::{CheckpointStore, Gpu, GpuConfig, InjectionPlan, KernelWindow, Trap};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Default memory budget for the checkpoint store (the recorder doubles
+/// its stride rather than exceed this).
+pub const DEFAULT_CHECKPOINT_BUDGET: usize = 256 * 1024 * 1024;
+
+/// Auto-sizing target: with `checkpoint_interval == 0` the stride is the
+/// golden cycle count divided by this, so a full-length store holds about
+/// this many snapshots (fewer once the budget bites).
+const AUTO_CHECKPOINT_TARGET: u64 = 24;
 
 /// Configuration of one injection campaign.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,6 +40,21 @@ pub struct CampaignConfig {
     /// Disable to force full simulation of every run — the validation mode
     /// behind `--no-early-exit`.
     pub early_exit: bool,
+    /// Fork each run from the nearest golden-run checkpoint at or before
+    /// its first injection cycle instead of cold-starting at cycle 0.
+    /// Disable to force cold starts — the validation mode behind
+    /// `--no-checkpoints`.
+    pub checkpoints: bool,
+    /// Checkpoint stride in cycles; `0` auto-sizes from the golden cycle
+    /// count and the memory budget.
+    pub checkpoint_interval: u64,
+    /// Memory budget for the checkpoint store, in bytes; the recorder
+    /// drops every other snapshot and doubles its stride rather than
+    /// exceed it.
+    pub checkpoint_budget: usize,
+    /// Restrict injection cycles to `[start, end)` (intersected with the
+    /// kernel windows); `None` samples the whole golden run.
+    pub cycle_window: Option<(u64, u64)>,
 }
 
 impl CampaignConfig {
@@ -43,6 +67,10 @@ impl CampaignConfig {
             kernel: None,
             threads: 0,
             early_exit: true,
+            checkpoints: true,
+            checkpoint_interval: 0,
+            checkpoint_budget: DEFAULT_CHECKPOINT_BUDGET,
+            cycle_window: None,
         }
     }
 
@@ -61,6 +89,24 @@ impl CampaignConfig {
     /// Disables fault-lifetime early exit (full-simulation validation mode).
     pub fn no_early_exit(mut self) -> Self {
         self.early_exit = false;
+        self
+    }
+
+    /// Disables checkpoint forking (cold-start validation mode).
+    pub fn no_checkpoints(mut self) -> Self {
+        self.checkpoints = false;
+        self
+    }
+
+    /// Sets the checkpoint stride in cycles (`0` = auto-size).
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Restricts injection cycles to `[start, end)`.
+    pub fn with_cycle_window(mut self, start: u64, end: u64) -> Self {
+        self.cycle_window = Some((start, end));
         self
     }
 
@@ -86,6 +132,9 @@ pub struct RunRecord {
     /// Whether the run was cut short because every fault's lifetime ended
     /// (always classified **Masked** with the golden cycle count).
     pub early_exit: bool,
+    /// Golden-run cycles skipped by forking from a checkpoint instead of
+    /// cold-starting (`0` = cold start).
+    pub ckpt_skipped_cycles: u64,
 }
 
 /// Wall-clock throughput and fault-behaviour statistics of one campaign.
@@ -105,6 +154,14 @@ pub struct CampaignStats {
     pub early_exits: usize,
     /// `early_exits / runs`.
     pub early_exit_rate: f64,
+    /// Snapshots held in the checkpoint store (0 = checkpoints disabled).
+    pub checkpoints: usize,
+    /// Approximate resident bytes of the checkpoint store.
+    pub checkpoint_bytes: usize,
+    /// Runs that forked from a checkpoint instead of cold-starting.
+    pub restores: usize,
+    /// Mean golden-run cycles skipped per run by checkpoint forking.
+    pub mean_skipped_cycles: f64,
 }
 
 /// The aggregated result of a campaign.
@@ -171,50 +228,125 @@ fn mix_seed(seed: u64, run_idx: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Executes one injection run and classifies it.
-fn one_run(
-    workload: &dyn Workload,
-    card: &GpuConfig,
-    cfg: &CampaignConfig,
-    golden: &GoldenProfile,
-    run_idx: u64,
-) -> Result<RunRecord, CampaignError> {
-    // Derive a per-run generator so results are independent of the thread
-    // interleaving.
-    let mut gen = MaskGenerator::new(mix_seed(cfg.seed, run_idx));
+/// One pre-drawn injection run: its fault plan and the cycle of its
+/// earliest fault (the fork point bound).
+#[derive(Debug, Clone)]
+struct RunPlan {
+    plan: InjectionPlan,
+    first_cycle: u64,
+}
 
-    // Pick the window set and the fault space of the kernel it belongs to.
-    let windows: Vec<KernelWindow> = golden.windows(cfg.kernel.as_deref());
+/// Intersects kernel windows with an optional cycle range, dropping
+/// windows the range empties.
+fn clamp_windows(windows: Vec<KernelWindow>, range: Option<(u64, u64)>) -> Vec<KernelWindow> {
+    let Some((lo, hi)) = range else {
+        return windows;
+    };
+    windows
+        .into_iter()
+        .filter_map(|w| {
+            let start = w.start.max(lo);
+            let end = w.end.min(hi);
+            (start < end).then_some(KernelWindow {
+                kernel: w.kernel,
+                start,
+                end,
+            })
+        })
+        .collect()
+}
+
+/// Draws every run's injection plan up front.
+///
+/// The window set and the per-kernel fault-space lookups are campaign
+/// invariants — computing them here (once) instead of inside every run
+/// also moves all fallible work ahead of the worker threads, so the run
+/// loop itself cannot fail.
+fn draw_plans(cfg: &CampaignConfig, golden: &GoldenProfile) -> Result<Vec<RunPlan>, CampaignError> {
+    let windows: Vec<KernelWindow> =
+        clamp_windows(golden.windows(cfg.kernel.as_deref()), cfg.cycle_window);
     if windows.is_empty() {
         return Err(match &cfg.kernel {
             Some(k) => CampaignError::UnknownKernel(k.clone()),
             None => CampaignError::Draw(DrawError::EmptyWindows),
         });
     }
-    // For whole-application campaigns, the per-kernel fault space follows
-    // the drawn cycle's kernel; approximate by drawing the window first.
-    let (window, space) = match &cfg.kernel {
-        Some(k) => {
-            let space = golden
+    let kernel_space = match &cfg.kernel {
+        Some(k) => Some(
+            golden
                 .fault_spaces
                 .get(k)
-                .ok_or_else(|| CampaignError::UnknownKernel(k.clone()))?;
-            (windows, *space)
-        }
-        None => {
-            let w = pick_weighted(&mut gen, &windows)?;
-            let space = golden
-                .fault_spaces
-                .get(&w.kernel)
-                .ok_or_else(|| CampaignError::UnknownKernel(w.kernel.clone()))?;
-            (vec![w.clone()], *space)
-        }
+                .ok_or_else(|| CampaignError::UnknownKernel(k.clone()))?,
+        ),
+        None => None,
     };
 
-    let plan = gen.draw(&cfg.spec, &space, &window)?;
+    let mut plans = Vec::with_capacity(cfg.runs);
+    for run_idx in 0..cfg.runs as u64 {
+        // Derive a per-run generator so results are independent of both
+        // the thread interleaving and the execution order.
+        let mut gen = MaskGenerator::new(mix_seed(cfg.seed, run_idx));
+        // For whole-application campaigns, the per-kernel fault space
+        // follows the drawn cycle's kernel; approximate by drawing the
+        // window first.
+        let plan = match kernel_space {
+            Some(space) => gen.draw(&cfg.spec, space, &windows)?,
+            None => {
+                let w = pick_weighted(&mut gen, &windows)?;
+                let space = golden
+                    .fault_spaces
+                    .get(&w.kernel)
+                    .ok_or_else(|| CampaignError::UnknownKernel(w.kernel.clone()))?;
+                gen.draw(&cfg.spec, space, std::slice::from_ref(w))?
+            }
+        };
+        let first_cycle = plan.faults.iter().map(|f| f.cycle).min().unwrap_or(0);
+        plans.push(RunPlan { plan, first_cycle });
+    }
+    Ok(plans)
+}
 
+/// Re-runs the golden execution once with the checkpoint recorder armed
+/// and publishes the store for the workers.  Returns `None` (cold starts
+/// for everyone) if the recording pass fails — it should not, since
+/// profiling already succeeded.
+fn record_store(
+    workload: &dyn Workload,
+    card: &GpuConfig,
+    cfg: &CampaignConfig,
+    golden: &GoldenProfile,
+) -> Option<Arc<CheckpointStore>> {
+    let interval = match cfg.checkpoint_interval {
+        0 => (golden.total_cycles() / AUTO_CHECKPOINT_TARGET).max(1),
+        n => n,
+    };
     let mut gpu = Gpu::new(card.clone());
-    gpu.arm_faults(plan);
+    gpu.record_checkpoints(interval, cfg.checkpoint_budget);
+    workload.run(&mut gpu).ok()?;
+    Some(Arc::new(gpu.finish_checkpoint_recording()))
+}
+
+/// Executes one pre-drawn injection run and classifies it.
+fn one_run(
+    workload: &dyn Workload,
+    card: &GpuConfig,
+    cfg: &CampaignConfig,
+    golden: &GoldenProfile,
+    run: &RunPlan,
+    store: Option<&Arc<CheckpointStore>>,
+) -> RunRecord {
+    let mut gpu = Gpu::new(card.clone());
+    // Fork from the nearest checkpoint at or before the first injection
+    // cycle — state up to that cycle is bit-identical to the golden run's,
+    // so the head of the run need not be re-simulated.
+    let mut ckpt_skipped_cycles = 0;
+    if let Some(store) = store {
+        if let Some(idx) = store.nearest_at_or_before(run.first_cycle) {
+            gpu.resume_from(store, idx);
+            ckpt_skipped_cycles = store.snapshot_cycle(idx);
+        }
+    }
+    gpu.arm_faults(run.plan.clone());
     gpu.set_watchdog(golden.total_cycles() * 2);
     gpu.set_early_exit(cfg.early_exit);
     let result = workload.run(&mut gpu);
@@ -223,21 +355,23 @@ fn one_run(
         // Every fault's lifetime ended with the machine state equal to the
         // golden run's, so the remaining execution is the golden execution:
         // Masked, at the golden cycle count.
-        return Ok(RunRecord {
+        return RunRecord {
             effect: FaultEffect::Masked,
             cycles: golden.total_cycles(),
             applied,
             early_exit: true,
-        });
+            ckpt_skipped_cycles,
+        };
     }
     let cycles = gpu.stats().total_cycles().max(gpu.cycle());
     let effect = classify(&result, cycles, golden);
-    Ok(RunRecord {
+    RunRecord {
         effect,
         cycles,
         applied,
         early_exit: false,
-    })
+        ckpt_skipped_cycles,
+    }
 }
 
 /// Picks one window with probability proportional to its length.
@@ -269,11 +403,18 @@ fn pick_weighted<'a>(
 /// Runs a full campaign: `cfg.runs` independent injection runs of
 /// `workload` on `card`, classified against `golden`.
 ///
-/// Runs execute on `cfg.threads` worker threads pulling run indices from a
-/// shared counter (work stealing), so one slow Timeout run cannot idle the
-/// remaining workers the way static sharding did.  The result is identical
-/// regardless of thread count because every run derives its own RNG from
-/// the campaign seed and the run index.
+/// Every run's fault plan is drawn up front (so draw errors surface before
+/// any simulation), then — unless `cfg.checkpoints` is off — one extra
+/// golden pass records a [`CheckpointStore`] and each run forks from the
+/// nearest snapshot at or before its first injection cycle, simulating only
+/// `[nearest_checkpoint, fault_death)` once taint early exit also fires.
+///
+/// Runs execute on `cfg.threads` worker threads pulling from a shared
+/// counter (work stealing) over the runs *sorted by first injection cycle*,
+/// so neighbouring runs fork from the same snapshot while it is hot in
+/// cache.  The result is identical regardless of thread count and execution
+/// order because every run derives its own RNG from the campaign seed and
+/// the run index, and records are placed by original run index.
 ///
 /// # Errors
 ///
@@ -286,38 +427,43 @@ pub fn run_campaign(
     golden: &GoldenProfile,
 ) -> Result<CampaignResult, CampaignError> {
     let start = Instant::now();
+    let plans = draw_plans(cfg, golden)?;
+    let store = if cfg.checkpoints && !plans.is_empty() {
+        record_store(workload, card, cfg, golden)
+    } else {
+        None
+    };
     let threads = cfg.effective_threads().clamp(1, cfg.runs.max(1));
-    let mut records: Vec<Option<RunRecord>> = vec![None; cfg.runs];
 
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by_key(|&i| plans[i].first_cycle);
+
+    let mut records: Vec<Option<RunRecord>> = vec![None; cfg.runs];
     if threads <= 1 {
-        for (i, slot) in records.iter_mut().enumerate() {
-            *slot = Some(one_run(workload, card, cfg, golden, i as u64)?);
+        for &i in &order {
+            records[i] = Some(one_run(
+                workload,
+                card,
+                cfg,
+                golden,
+                &plans[i],
+                store.as_ref(),
+            ));
         }
     } else {
         let next = AtomicUsize::new(0);
-        let stop = AtomicBool::new(false);
-        let first_err: Mutex<Option<CampaignError>> = Mutex::new(None);
         let done: Vec<Vec<(usize, RunRecord)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= cfg.runs {
-                                break;
-                            }
-                            match one_run(workload, card, cfg, golden, i as u64) {
-                                Ok(rec) => local.push((i, rec)),
-                                Err(e) => {
-                                    stop.store(true, Ordering::Relaxed);
-                                    first_err.lock().expect("first-error slot").get_or_insert(e);
-                                    break;
-                                }
-                            }
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = order.get(k) else { break };
+                            local.push((
+                                i,
+                                one_run(workload, card, cfg, golden, &plans[i], store.as_ref()),
+                            ));
                         }
                         local
                     })
@@ -328,9 +474,6 @@ pub fn run_campaign(
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         });
-        if let Some(e) = first_err.into_inner().expect("first-error slot") {
-            return Err(e);
-        }
         for (i, rec) in done.into_iter().flatten() {
             records[i] = Some(rec);
         }
@@ -344,6 +487,8 @@ pub fn run_campaign(
     let wall = start.elapsed().as_secs_f64();
     let applied = records.iter().filter(|r| r.applied).count();
     let early_exits = records.iter().filter(|r| r.early_exit).count();
+    let restores = records.iter().filter(|r| r.ckpt_skipped_cycles > 0).count();
+    let skipped: u64 = records.iter().map(|r| r.ckpt_skipped_cycles).sum();
     let n = records.len();
     let stats = CampaignStats {
         wall_ms: wall * 1e3,
@@ -358,6 +503,14 @@ pub fn run_campaign(
         early_exits,
         early_exit_rate: if n > 0 {
             early_exits as f64 / n as f64
+        } else {
+            0.0
+        },
+        checkpoints: store.as_ref().map_or(0, |s| s.len()),
+        checkpoint_bytes: store.as_ref().map_or(0, |s| s.resident_bytes()),
+        restores,
+        mean_skipped_cycles: if n > 0 {
+            skipped as f64 / n as f64
         } else {
             0.0
         },

@@ -70,6 +70,7 @@ pub use analysis::{
 };
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignError, CampaignResult, CampaignStats, RunRecord,
+    DEFAULT_CHECKPOINT_BUDGET,
 };
 pub use classify::classify;
 pub use profile::{profile, GoldenProfile};

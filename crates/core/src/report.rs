@@ -20,18 +20,19 @@ fn field(s: &str) -> String {
 
 /// Renders a campaign as CSV: one header, one row per run.
 ///
-/// Columns: `run,effect,cycles,applied,early_exit`.
+/// Columns: `run,effect,cycles,applied,early_exit,ckpt_skipped_cycles`.
 pub fn campaign_csv(result: &CampaignResult) -> String {
-    let mut out = String::from("run,effect,cycles,applied,early_exit\n");
+    let mut out = String::from("run,effect,cycles,applied,early_exit,ckpt_skipped_cycles\n");
     for (i, r) in result.records.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{},{},{},{},{}",
+            "{},{},{},{},{},{}",
             i,
             r.effect.name(),
             r.cycles,
             r.applied,
-            r.early_exit
+            r.early_exit,
+            r.ckpt_skipped_cycles
         );
     }
     out
@@ -115,12 +116,14 @@ mod tests {
                     cycles: 100,
                     applied: false,
                     early_exit: true,
+                    ckpt_skipped_cycles: 40,
                 },
                 RunRecord {
                     effect: FaultEffect::Sdc,
                     cycles: 100,
                     applied: true,
                     early_exit: false,
+                    ckpt_skipped_cycles: 0,
                 },
             ],
             stats: crate::campaign::CampaignStats::default(),
@@ -131,7 +134,12 @@ mod tests {
     fn per_run_csv_has_one_row_per_run() {
         let csv = campaign_csv(&sample_campaign());
         assert_eq!(csv.lines().count(), 3);
-        assert!(csv.lines().nth(2).unwrap().starts_with("1,SDC,100,true"));
+        assert!(csv
+            .lines()
+            .nth(2)
+            .unwrap()
+            .starts_with("1,SDC,100,true,false,0"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",40"));
     }
 
     #[test]

@@ -147,7 +147,9 @@ pub struct WarpHandle {
 }
 
 /// A streaming multiprocessor.
-#[derive(Debug)]
+/// `Clone` is the checkpoint mechanism: every field is cloned wholesale so
+/// a snapshot can never silently omit state (see `crate::snapshot`).
+#[derive(Debug, Clone)]
 pub struct SimtCore {
     id: usize,
     max_threads: u32,
@@ -191,6 +193,32 @@ impl SimtCore {
             ace_reg_cycles: 0,
             escaped: false,
         }
+    }
+
+    /// Approximate heap footprint of the resident CTAs (register files,
+    /// shared memory, SIMT stacks), for checkpoint-store budgeting.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .ctas
+                .iter()
+                .map(|cta| {
+                    std::mem::size_of::<Cta>()
+                        + cta.smem.len()
+                        + cta.smem_taints.len() * 8
+                        + cta
+                            .warps
+                            .iter()
+                            .map(|w| {
+                                std::mem::size_of::<Warp>()
+                                    + w.regs.len() * 4
+                                    + w.touch.len() * 8
+                                    + w.tainted_regs.len() * 8
+                                    + w.stack.len() * std::mem::size_of::<Frame>()
+                            })
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
     }
 
     /// Unobserved fault-flipped state on this core: tainted register slots

@@ -7,8 +7,11 @@ use crate::error::{LaunchError, Trap};
 use crate::fault::{FaultSpace, FaultTarget, InjectionPlan, InjectionRecord, PlannedFault, Scope};
 use crate::grid::LaunchDims;
 use crate::mem::{FlipOutcome, MemSystem};
+use crate::snapshot::{CheckpointStore, HostOp, LaunchProgress, Recorder, Replay, Snapshot};
 use crate::stats::{AppStats, LaunchStats};
 use gpufi_isa::Kernel;
+use std::cell::Cell;
+use std::sync::Arc;
 
 /// A simulated CUDA-capable GPU.
 ///
@@ -30,6 +33,10 @@ pub struct Gpu {
     records: Vec<InjectionRecord>,
     stats: AppStats,
     early_exit: bool,
+    // Checkpoint recording state (golden recording run only).
+    recorder: Option<Recorder>,
+    // Journal-replay state (forked injection runs only).
+    replay: Option<Replay>,
 }
 
 impl Gpu {
@@ -50,6 +57,8 @@ impl Gpu {
             records: Vec::new(),
             stats: AppStats::default(),
             early_exit: false,
+            recorder: None,
+            replay: None,
         }
     }
 
@@ -76,14 +85,52 @@ impl Gpu {
     // ------------------------------------------------------------------
     // Host API
     // ------------------------------------------------------------------
+    //
+    // Each primitive call below participates in checkpoint-and-fork: while
+    // *recording* it journals its result, and while *replaying* a forked
+    // run's prefix it returns the journaled result without touching device
+    // state (the restored snapshot already reflects every journaled op).
+    // Convenience wrappers (`write_u32s`, `read_f32s`, …) call these
+    // primitives, so each host action is journaled exactly once.
+
+    /// While replaying a fork's journaled host-op prefix, yields the next
+    /// recorded op (advancing the cursor); `None` once execution is live.
+    fn replay_next(&self) -> Option<&HostOp> {
+        let rep = self.replay.as_ref()?;
+        let i = rep.cursor.get();
+        if i >= rep.resume_at {
+            return None;
+        }
+        rep.cursor.set(i + 1);
+        Some(&rep.store.journal[i])
+    }
 
     /// Allocates zeroed device memory and returns its device address.
     ///
     /// # Errors
     ///
     /// Returns [`LaunchError::OutOfMemory`] past the simulated capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a forked run's host calls diverge from the recorded
+    /// golden run before its first fault fires — a workload determinism
+    /// violation, not an injection effect.
     pub fn malloc(&mut self, bytes: u32) -> Result<u32, LaunchError> {
-        self.mem.alloc(bytes)
+        if let Some(op) = self.replay_next() {
+            match op {
+                HostOp::Malloc { bytes: b, ptr } if *b == bytes => return Ok(*ptr),
+                other => panic!(
+                    "checkpoint replay mismatch: journal has {other:?}, \
+                     workload called malloc({bytes})"
+                ),
+            }
+        }
+        let ptr = self.mem.alloc(bytes)?;
+        if let Some(rec) = &self.recorder {
+            rec.journal.borrow_mut().push(HostOp::Malloc { bytes, ptr });
+        }
+        Ok(ptr)
     }
 
     /// Copies bytes host → device.
@@ -91,17 +138,71 @@ impl Gpu {
     /// # Errors
     ///
     /// Returns [`LaunchError::BadDevicePointer`] for unmapped ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a forked run's host calls diverge from the recorded
+    /// golden run (see [`Gpu::malloc`]).
     pub fn memcpy_h2d(&mut self, ptr: u32, data: &[u8]) -> Result<(), LaunchError> {
-        self.mem.host_write(ptr, data)
+        if let Some(op) = self.replay_next() {
+            match op {
+                HostOp::H2d { ptr: p, len } if *p == ptr && *len == data.len() => return Ok(()),
+                other => panic!(
+                    "checkpoint replay mismatch: journal has {other:?}, \
+                     workload called memcpy_h2d({ptr}, {} bytes)",
+                    data.len()
+                ),
+            }
+        }
+        self.mem.host_write(ptr, data)?;
+        if let Some(rec) = &self.recorder {
+            rec.journal.borrow_mut().push(HostOp::H2d {
+                ptr,
+                len: data.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Copies bytes device → host (coherently through the L2).
     ///
+    /// During fork replay this returns the bytes the *recording* run read,
+    /// not the restored memory contents: the in-flight launch may already
+    /// have overwritten the range by the snapshot cycle, and host control
+    /// flow (e.g. BFS's stop-flag loop) branches on these bytes.  Both
+    /// runs are fault-free over the replayed prefix, so the journaled
+    /// bytes are exactly what a cold run would have read.
+    ///
     /// # Errors
     ///
     /// Returns [`LaunchError::BadDevicePointer`] for unmapped ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a forked run's host calls diverge from the recorded
+    /// golden run (see [`Gpu::malloc`]).
     pub fn memcpy_d2h(&self, ptr: u32, out: &mut [u8]) -> Result<(), LaunchError> {
-        self.mem.host_read(ptr, out)
+        if let Some(op) = self.replay_next() {
+            match op {
+                HostOp::D2h { ptr: p, data } if *p == ptr && data.len() == out.len() => {
+                    out.copy_from_slice(data);
+                    return Ok(());
+                }
+                other => panic!(
+                    "checkpoint replay mismatch: journal has {other:?}, \
+                     workload called memcpy_d2h({ptr}, {} bytes)",
+                    out.len()
+                ),
+            }
+        }
+        self.mem.host_read(ptr, out)?;
+        if let Some(rec) = &self.recorder {
+            rec.journal.borrow_mut().push(HostOp::D2h {
+                ptr,
+                data: out.to_vec(),
+            });
+        }
+        Ok(())
     }
 
     /// Convenience: uploads a `u32` slice.
@@ -156,8 +257,32 @@ impl Gpu {
     /// # Errors
     ///
     /// Returns [`LaunchError::OutOfMemory`] past the constant capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a forked run's host calls diverge from the recorded
+    /// golden run (see [`Gpu::malloc`]).
     pub fn write_const(&mut self, offset: u32, data: &[u8]) -> Result<(), LaunchError> {
-        self.mem.const_write(offset, data)
+        if let Some(op) = self.replay_next() {
+            match op {
+                HostOp::ConstWrite { offset: o, len } if *o == offset && *len == data.len() => {
+                    return Ok(())
+                }
+                other => panic!(
+                    "checkpoint replay mismatch: journal has {other:?}, \
+                     workload called write_const({offset}, {} bytes)",
+                    data.len()
+                ),
+            }
+        }
+        self.mem.const_write(offset, data)?;
+        if let Some(rec) = &self.recorder {
+            rec.journal.borrow_mut().push(HostOp::ConstWrite {
+                offset,
+                len: data.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Convenience: uploads an `f32` slice into the constant bank.
@@ -228,6 +353,93 @@ impl Gpu {
     }
 
     // ------------------------------------------------------------------
+    // Checkpoint-and-fork
+    // ------------------------------------------------------------------
+
+    /// Captures the complete architectural + microarchitectural device
+    /// state: memory system (global/local/constant segments, every cache's
+    /// tag and data arrays, timing queues), every SIMT core (register
+    /// files, predicates, SIMT stacks, scheduler and barrier state, CTA
+    /// residency), the application cycle and the statistics counters.
+    ///
+    /// Use between launches; the campaign's recorder
+    /// ([`Gpu::record_checkpoints`]) additionally captures *mid-launch*
+    /// snapshots that [`Gpu::resume_from`] can fork from.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cycle: self.cycle,
+            mem: self.mem.clone(),
+            cores: self.cores.clone(),
+            stats: self.stats.clone(),
+            progress: None,
+            host_ops_done: 0,
+        }
+    }
+
+    /// Restores machine state from a snapshot.  The injection-run fields —
+    /// armed faults, watchdog, early-exit mode, injection records — are
+    /// deliberately untouched: they belong to the run doing the
+    /// restoring, not to the recorded execution.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        self.mem = snap.mem.clone();
+        self.cores = snap.cores.clone();
+        self.cycle = snap.cycle;
+        self.stats = snap.stats.clone();
+    }
+
+    /// Starts checkpoint recording: every host API call is journaled, and
+    /// the launch cycle loop captures a full [`Snapshot`] each time the
+    /// application cycle crosses the next `interval` boundary.  Whenever
+    /// the snapshot set would exceed `budget_bytes`, every other snapshot
+    /// is dropped and the stride doubles, so the store stays within budget
+    /// for any golden-run length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn record_checkpoints(&mut self, interval: u64, budget_bytes: usize) {
+        self.recorder = Some(Recorder::new(interval, budget_bytes));
+    }
+
+    /// Stops checkpoint recording and returns the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Gpu::record_checkpoints`] was never called.
+    pub fn finish_checkpoint_recording(&mut self) -> CheckpointStore {
+        self.recorder
+            .take()
+            .expect("checkpoint recording not started")
+            .into_store()
+    }
+
+    /// Forks this GPU from snapshot `idx` of a recorded store: restores
+    /// the machine state and arms journal replay, so the next
+    /// `Workload::run` invocation fast-forwards through the
+    /// already-executed host prefix (journaled results, no device effects)
+    /// and resumes the in-flight launch's cycle loop at the snapshot
+    /// cycle.
+    ///
+    /// Sound only when every armed fault fires at or after the snapshot
+    /// cycle — the campaign picks
+    /// [`CheckpointStore::nearest_at_or_before`] the first injection
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn resume_from(&mut self, store: &Arc<CheckpointStore>, idx: usize) {
+        let snap = &store.snapshots[idx];
+        self.restore(snap);
+        self.replay = Some(Replay {
+            store: Arc::clone(store),
+            cursor: Cell::new(0),
+            resume_at: snap.host_ops_done,
+            snapshot: idx,
+        });
+    }
+
+    // ------------------------------------------------------------------
     // Kernel launch
     // ------------------------------------------------------------------
 
@@ -251,6 +463,26 @@ impl Gpu {
         dims: LaunchDims,
         args: &[u32],
     ) -> Result<LaunchStats, Trap> {
+        // Fork replay, case 1: a launch the journal says completed before
+        // the snapshot.  Its effects are already in the restored state —
+        // return the recorded stats without executing anything.
+        if let Some(rep) = &self.replay {
+            let i = rep.cursor.get();
+            if i < rep.resume_at {
+                rep.cursor.set(i + 1);
+                match &rep.store.journal[i] {
+                    HostOp::Launch { kernel: k, stats } if k == kernel.name() => {
+                        return Ok(stats.clone());
+                    }
+                    other => panic!(
+                        "checkpoint replay mismatch: journal has {other:?}, \
+                         workload launched `{}`",
+                        kernel.name()
+                    ),
+                }
+            }
+        }
+
         let tpc = dims.threads_per_cta();
         assert!(
             (1..=1024).contains(&tpc) && tpc <= self.cfg.max_threads_per_sm,
@@ -284,42 +516,84 @@ impl Gpu {
             kernel.name()
         );
 
-        self.mem
-            .reset_local(dims.total_threads(), kernel.lmem_bytes())
-            .expect("local-memory segment exceeds the simulated capacity");
-        for c in &mut self.cores {
-            c.configure_kernel(limit);
-        }
+        // Fork replay, case 2: the in-flight launch the snapshot was taken
+        // inside.  Consume the replay state (execution goes live from
+        // here) and pick the cycle loop up exactly where the recording's
+        // snapshot left it — the restored cores/memory already hold the
+        // mid-launch state, so kernel setup (local-memory reset, core
+        // configuration, the initial CTA fill) must be skipped.
+        let resumed: Option<LaunchProgress> = self.replay.take().map(|rep| {
+            let p = rep.store.snapshots[rep.snapshot]
+                .progress
+                .clone()
+                .expect("campaign checkpoints are mid-launch snapshots");
+            assert_eq!(
+                p.kernel,
+                kernel.name(),
+                "resumed launch does not match the recorded in-flight kernel"
+            );
+            p
+        });
 
         let ctx = KernelCtx { kernel, dims, args };
         let total_ctas = dims.grid.count();
         let mut next_cta = 0u64;
-        'fill: loop {
-            let mut placed = false;
+        if resumed.is_none() {
+            self.mem
+                .reset_local(dims.total_threads(), kernel.lmem_bytes())
+                .expect("local-memory segment exceeds the simulated capacity");
             for c in &mut self.cores {
-                if next_cta >= total_ctas {
-                    break 'fill;
-                }
-                if c.can_accept_cta(&ctx) {
-                    c.launch_cta(&ctx, next_cta, self.cycle);
-                    next_cta += 1;
-                    placed = true;
-                }
+                c.configure_kernel(limit);
             }
-            if !placed {
-                break;
+
+            'fill: loop {
+                let mut placed = false;
+                for c in &mut self.cores {
+                    if next_cta >= total_ctas {
+                        break 'fill;
+                    }
+                    if c.can_accept_cta(&ctx) {
+                        c.launch_cta(&ctx, next_cta, self.cycle);
+                        next_cta += 1;
+                        placed = true;
+                    }
+                }
+                if !placed {
+                    break;
+                }
             }
         }
 
-        let start_cycle = self.cycle;
-        let instr0: u64 = self.cores.iter().map(|c| c.instructions).sum();
-        let ace0: u64 = self.cores.iter().map(|c| c.ace_reg_cycles).sum();
-        let mut thread_cycles = 0u64;
-        let l1d0 = self.mem.l1d_stats();
-        let l1t0 = self.mem.l1t_stats();
-        let l20 = self.mem.l2_stats();
         let max_warps = f64::from(self.cfg.max_warps_per_sm());
-        let (mut occ_int, mut thr_int, mut cta_int, mut t_int) = (0.0f64, 0.0f64, 0.0f64, 0u64);
+        let start_cycle;
+        let instr0: u64;
+        let ace0: u64;
+        let mut thread_cycles;
+        let (l1d0, l1t0, l20);
+        let (mut occ_int, mut thr_int, mut cta_int, mut t_int);
+        match &resumed {
+            Some(p) => {
+                next_cta = p.next_cta;
+                start_cycle = p.start_cycle;
+                instr0 = p.instr0;
+                ace0 = p.ace0;
+                thread_cycles = p.thread_cycles;
+                (l1d0, l1t0, l20) = (p.l1d0, p.l1t0, p.l20);
+                (occ_int, thr_int, cta_int, t_int) = (p.occ_int, p.thr_int, p.cta_int, p.t_int);
+            }
+            None => {
+                start_cycle = self.cycle;
+                instr0 = self.cores.iter().map(|c| c.instructions).sum();
+                ace0 = self.cores.iter().map(|c| c.ace_reg_cycles).sum();
+                thread_cycles = 0u64;
+                (l1d0, l1t0, l20) = (
+                    self.mem.l1d_stats(),
+                    self.mem.l1t_stats(),
+                    self.mem.l2_stats(),
+                );
+                (occ_int, thr_int, cta_int, t_int) = (0.0f64, 0.0f64, 0.0f64, 0u64);
+            }
+        }
 
         // Latched once a flip is observed: the run can no longer early-exit,
         // so stop scanning taint state.
@@ -331,6 +605,51 @@ impl Gpu {
         const EE_STRIDE: u32 = 32;
         let mut ee_tick = 0u32;
         let outcome: Result<(), Trap> = 'run: loop {
+            // Checkpoint capture (recording run only), at the top of the
+            // loop *before* fault firing: a fork resuming here sees the
+            // same pending-fault semantics a cold run reaching this cycle
+            // would (a fault planned at exactly this cycle fires now in
+            // both).  Every iteration advances the cycle, so each
+            // top-of-loop cycle value is captured at most once.
+            if self
+                .recorder
+                .as_ref()
+                .is_some_and(|r| self.cycle >= r.next_at)
+            {
+                let snap = Snapshot {
+                    cycle: self.cycle,
+                    mem: self.mem.clone(),
+                    cores: self.cores.clone(),
+                    stats: self.stats.clone(),
+                    progress: Some(LaunchProgress {
+                        kernel: kernel.name().to_string(),
+                        next_cta,
+                        start_cycle,
+                        instr0,
+                        ace0,
+                        thread_cycles,
+                        l1d0,
+                        l1t0,
+                        l20,
+                        occ_int,
+                        thr_int,
+                        cta_int,
+                        t_int,
+                    }),
+                    host_ops_done: self
+                        .recorder
+                        .as_ref()
+                        .expect("recorder checked above")
+                        .journal
+                        .borrow()
+                        .len(),
+                };
+                self.recorder
+                    .as_mut()
+                    .expect("recorder checked above")
+                    .push(snap);
+            }
+
             // Fire due faults.
             while self.next_fault < self.faults.len()
                 && self.faults[self.next_fault].cycle <= self.cycle
@@ -468,6 +787,12 @@ impl Gpu {
             l2_stats: self.mem.l2_stats().since(&l20),
         };
         self.stats.launches.push(stats.clone());
+        if let Some(rec) = &self.recorder {
+            rec.journal.borrow_mut().push(HostOp::Launch {
+                kernel: kernel.name().to_string(),
+                stats: stats.clone(),
+            });
+        }
         Ok(stats)
     }
 

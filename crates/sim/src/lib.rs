@@ -57,6 +57,7 @@ mod fault;
 mod gpu;
 mod grid;
 pub mod mem;
+mod snapshot;
 mod stats;
 
 pub use crate::core::{KernelCtx, SimtCore, WarpHandle};
@@ -67,4 +68,5 @@ pub use fault::{FaultSpace, FaultTarget, InjectionPlan, InjectionRecord, Planned
 pub use gpu::Gpu;
 pub use grid::{Dim3, LaunchDims};
 pub use mem::{AccessKind, CacheStats, FlipOutcome, MemSystem, GLOBAL_BASE, LOCAL_BASE};
+pub use snapshot::{CheckpointStore, Snapshot};
 pub use stats::{AppStats, KernelWindow, LaunchStats};

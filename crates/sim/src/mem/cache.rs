@@ -13,7 +13,38 @@
 
 use crate::config::{CacheConfig, TAG_BITS};
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A set-through-`&self` boolean latch for "tainted state was observed"
+/// events.
+///
+/// Host-coherence reads are `&self`, so the latch needs interior
+/// mutability; checkpoint snapshots are shared read-only across campaign
+/// worker threads, so it must also be `Sync` — which rules out `Cell`.
+/// A relaxed `AtomicBool` gives both (each `Gpu` is only ever driven by
+/// one thread, so no ordering is required).
+#[derive(Debug, Default)]
+pub(crate) struct EscapeLatch(AtomicBool);
+
+impl EscapeLatch {
+    pub(crate) fn new(v: bool) -> Self {
+        EscapeLatch(AtomicBool::new(v))
+    }
+
+    pub(crate) fn get(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set(&self, v: bool) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+impl Clone for EscapeLatch {
+    fn clone(&self) -> Self {
+        EscapeLatch::new(self.get())
+    }
+}
 
 /// One cache line: valid/dirty state, tag, LRU stamp, and the data bytes.
 ///
@@ -106,9 +137,9 @@ pub struct Cache {
     // Latched when fault-flipped state becomes observable: a read (or host
     // peek) hits a tainted line, a tainted dirty victim is written back to
     // the next level, or a tag flip lands on a valid line (tag flips change
-    // hit/miss timing immediately).  `Cell` because the host-coherence read
-    // path is `&self`.
-    escaped: Cell<bool>,
+    // hit/miss timing immediately).  A latch because the host-coherence
+    // read path is `&self`.
+    escaped: EscapeLatch,
 }
 
 impl Cache {
@@ -130,13 +161,22 @@ impl Cache {
             tick: 0,
             stats: CacheStats::default(),
             taints: 0,
-            escaped: Cell::new(false),
+            escaped: EscapeLatch::new(false),
         }
     }
 
     /// Lines currently holding unobserved fault-flipped data.
     pub fn taint_count(&self) -> u32 {
         self.taints
+    }
+
+    /// Approximate heap footprint of the tag and data arrays, for
+    /// checkpoint-store budgeting.
+    pub fn resident_bytes(&self) -> usize {
+        self.lines
+            .iter()
+            .map(|l| std::mem::size_of::<Line>() + l.data.len())
+            .sum()
     }
 
     /// Whether fault-flipped state has become observable (see the field

@@ -17,10 +17,9 @@
 //! (and therefore injected tag faults) perturbs execution time — the source
 //! of the paper's **Performance** fault-effect class.
 
-use super::cache::{Cache, CacheStats, FlipOutcome};
+use super::cache::{Cache, CacheStats, EscapeLatch, FlipOutcome};
 use crate::config::{GpuConfig, LatencyConfig};
 use crate::error::{LaunchError, Trap};
-use std::cell::Cell;
 
 /// First byte address of the global (device-malloc) segment.
 pub const GLOBAL_BASE: u32 = 0x1000;
@@ -48,7 +47,10 @@ pub enum AccessKind {
 
 /// The chip-level memory system: backing segments, banked L2, per-SM L1s,
 /// and the timing queues.
-#[derive(Debug)]
+///
+/// `Clone` is the checkpoint mechanism: every field is cloned wholesale so
+/// a snapshot can never silently omit state (see `crate::snapshot`).
+#[derive(Debug, Clone)]
 pub struct MemSystem {
     line_bytes: u32,
     lat: LatencyConfig,
@@ -66,8 +68,8 @@ pub struct MemSystem {
     // indices flipped by injection but not yet read back through a fill.
     local_taints: Vec<u64>,
     // Latched when tainted local-backing bytes are read (fills are `&self`
-    // on some paths, hence the Cell).
-    escaped: Cell<bool>,
+    // on some paths, hence the latch).
+    escaped: EscapeLatch,
 }
 
 /// Capacity of the constant bank (CUDA's `__constant__` space is 64 KB).
@@ -115,8 +117,27 @@ impl MemSystem {
             bank_busy: vec![0; cfg.num_l2_banks as usize],
             dram_busy: vec![0; cfg.num_l2_banks as usize],
             local_taints: Vec::new(),
-            escaped: Cell::new(false),
+            escaped: EscapeLatch::new(false),
         }
+    }
+
+    /// Approximate heap footprint of the backing segments, caches and
+    /// timing queues — what one checkpoint of this memory system costs.
+    pub fn resident_bytes(&self) -> usize {
+        let caches: usize = self
+            .l1d
+            .iter()
+            .flatten()
+            .chain(self.l1t.iter())
+            .chain(self.l1c.iter())
+            .chain(self.l2.iter())
+            .map(Cache::resident_bytes)
+            .sum();
+        self.global.len()
+            + self.local.len()
+            + self.constant.len()
+            + caches
+            + (self.bank_busy.len() + self.dram_busy.len() + self.local_taints.len()) * 8
     }
 
     /// Unobserved fault-flipped state across the whole memory system:

@@ -64,7 +64,8 @@ pub mod prelude {
         FaultEffect, KernelAvf, StructureResult, Tally,
     };
     pub use gpufi_sim::{
-        Dim3, FaultTarget, Gpu, GpuConfig, InjectionPlan, LaunchDims, Scope, Trap,
+        CheckpointStore, Dim3, FaultTarget, Gpu, GpuConfig, InjectionPlan, LaunchDims, Scope,
+        Snapshot, Trap,
     };
     pub use gpufi_workloads::{
         by_name, paper_suite, Backprop, Bfs, Gaussian, HotSpot, KMeans, Lud, NeedlemanWunsch,

@@ -1,0 +1,124 @@
+//! Validation of checkpoint-and-fork execution: forking each injection run
+//! from a golden-run snapshot must never change what the campaign
+//! concludes, only how long it takes.
+
+use gpufi::prelude::*;
+use gpufi::sim::Gpu;
+
+/// Checkpoint forking and cold starts must classify every run identically —
+/// same effect, same cycle count, same applied flag — with taint early exit
+/// both on and off, across workloads that cover single-kernel,
+/// host-control-flow (BFS's stop-flag loop reads device memory between
+/// launches) and multi-kernel whole-application (`kernel: None`) campaigns.
+/// Only the `ckpt_skipped_cycles` marker may differ.
+#[test]
+fn checkpoint_matches_full_simulation() {
+    let card = GpuConfig::rtx2060();
+    let workloads: [(Box<dyn Workload>, usize); 3] = [
+        (Box::new(VectorAdd::new(256)), 120),
+        (Box::new(Bfs::new()), 24),
+        (Box::new(Srad1::default()), 16),
+    ];
+    for (w, runs) in &workloads {
+        let golden = profile(w.as_ref(), &card).unwrap();
+        let spec = CampaignSpec::new(Structure::RegisterFile);
+        for early_exit in [true, false] {
+            let mut forked_cfg = CampaignConfig::new(spec.clone(), *runs, 17);
+            let mut cold_cfg = CampaignConfig::new(spec.clone(), *runs, 17).no_checkpoints();
+            if !early_exit {
+                forked_cfg = forked_cfg.no_early_exit();
+                cold_cfg = cold_cfg.no_early_exit();
+            }
+            let forked = run_campaign(w.as_ref(), &card, &forked_cfg, &golden).unwrap();
+            let cold = run_campaign(w.as_ref(), &card, &cold_cfg, &golden).unwrap();
+            let tag = format!("{} (early_exit={early_exit})", w.name());
+            assert_eq!(forked.tally, cold.tally, "{tag}: tallies diverge");
+            for (i, (a, b)) in forked.records.iter().zip(&cold.records).enumerate() {
+                assert_eq!(a.effect, b.effect, "{tag} run {i}: effect");
+                assert_eq!(a.cycles, b.cycles, "{tag} run {i}: cycles");
+                assert_eq!(a.applied, b.applied, "{tag} run {i}: applied");
+                assert_eq!(a.early_exit, b.early_exit, "{tag} run {i}: early_exit");
+                assert_eq!(b.ckpt_skipped_cycles, 0, "{tag} run {i}: cold forked");
+            }
+            assert_eq!(cold.stats.checkpoints, 0, "{tag}: cold mode took snapshots");
+            assert_eq!(cold.stats.restores, 0, "{tag}: cold mode restored");
+            assert!(
+                forked.stats.checkpoints > 0,
+                "{tag}: no snapshots were recorded"
+            );
+            assert!(
+                forked.stats.restores > 0,
+                "{tag}: no run forked from a checkpoint in {runs}"
+            );
+        }
+    }
+}
+
+/// Recording snapshots must not perturb the golden execution, and resuming
+/// from *any* snapshot — at several strides — must finish with the golden
+/// output, cycle count and statistics.
+#[test]
+fn snapshot_fidelity_across_strides() {
+    let card = GpuConfig::rtx2060();
+    let workloads: [Box<dyn Workload>; 2] = [Box::new(VectorAdd::new(256)), Box::new(Bfs::new())];
+    for w in &workloads {
+        let golden = profile(w.as_ref(), &card).unwrap();
+        let total = golden.total_cycles();
+        for div in [3, 7, 16] {
+            let interval = (total / div).max(1);
+            let mut rec = Gpu::new(card.clone());
+            rec.record_checkpoints(interval, 1 << 30);
+            let out = w.run(&mut rec).unwrap();
+            assert_eq!(
+                out,
+                golden.output,
+                "{} stride {interval}: recording perturbed the output",
+                w.name()
+            );
+            assert_eq!(
+                rec.stats(),
+                &golden.app,
+                "{} stride {interval}: recording perturbed the statistics",
+                w.name()
+            );
+            let store = std::sync::Arc::new(rec.finish_checkpoint_recording());
+            assert!(!store.is_empty(), "{} stride {interval}", w.name());
+            for idx in 0..store.len() {
+                let mut gpu = Gpu::new(card.clone());
+                gpu.resume_from(&store, idx);
+                let out = w.run(&mut gpu).unwrap();
+                let tag = format!(
+                    "{} stride {interval} snapshot {idx} (cycle {})",
+                    w.name(),
+                    store.snapshot_cycle(idx)
+                );
+                assert_eq!(out, golden.output, "{tag}: output diverged");
+                assert_eq!(gpu.stats(), &golden.app, "{tag}: statistics diverged");
+                assert_eq!(gpu.cycle(), total, "{tag}: cycle count diverged");
+            }
+        }
+    }
+}
+
+/// `Gpu::snapshot` / `Gpu::restore` round-trip between launches: restoring
+/// a snapshot into a fresh device and running the workload again matches
+/// running it twice back-to-back on one device.
+#[test]
+fn explicit_snapshot_restore_roundtrip() {
+    let card = GpuConfig::rtx2060();
+    let w = VectorAdd::new(256);
+
+    let mut twice = Gpu::new(card.clone());
+    w.run(&mut twice).unwrap();
+    let snap = twice.snapshot();
+    let out_twice = w.run(&mut twice).unwrap();
+
+    let mut restored = Gpu::new(card.clone());
+    restored.restore(&snap);
+    assert_eq!(restored.cycle(), snap.cycle());
+    let out_restored = w.run(&mut restored).unwrap();
+
+    assert_eq!(out_restored, out_twice);
+    assert_eq!(restored.stats(), twice.stats());
+    assert_eq!(restored.cycle(), twice.cycle());
+}
