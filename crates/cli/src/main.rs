@@ -38,8 +38,9 @@ usage:
   gpufi campaign --bench <NAME> --structure <S> [--card <CARD>] [--runs N]
                  [--bits K] [--kernel <K>] [--scope thread|warp] [--spread]
                  [--seed S] [--threads T] [--no-early-exit] [--no-checkpoints]
-                 [--checkpoint-interval C] [--csv FILE]
+                 [--checkpoint-interval C] [--oracle-check] [--csv FILE]
   gpufi analyze  --bench <NAME> [--card <CARD>] [--runs N] [--bits K] [--seed S]
+  gpufi fuzz     [--kernels N] [--seed S]
 
 cards:      rtx2060 (default) | gv100 | titan, or --config <FILE> with a
             gpgpusim.config-style `key = value` chip description
@@ -50,7 +51,11 @@ provably ended (classified Masked at the golden cycle count), and fork
 each run from a golden-run checkpoint at its first injection cycle;
 --no-early-exit forces full simulation of every run and --no-checkpoints
 forces cold starts from cycle 0 (validation modes);
---checkpoint-interval sets the snapshot stride in cycles (0 = auto)";
+--checkpoint-interval sets the snapshot stride in cycles (0 = auto);
+--oracle-check runs the golden pass in lockstep with the functional
+reference interpreter and fully simulates every run early exit would
+classify Masked, confirming the oracle-predicted final state;
+fuzz runs N random SASS-lite kernels through both engines (sim == oracle)";
 
 /// Minimal `--flag value` parser over the argument list.
 struct Args<'a> {
@@ -77,6 +82,27 @@ impl<'a> Args<'a> {
                 .parse()
                 .map_err(|_| format!("bad value for {flag}: `{v}`")),
         }
+    }
+
+    /// Rejects any argument that is not a known `--flag value` pair or a
+    /// known boolean `--flag` — a typo like `--run 50` must fail loudly
+    /// instead of silently running 120 default runs.
+    fn reject_unknown(&self, value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.argv.len() {
+            let a = self.argv[i].as_str();
+            if value_flags.contains(&a) {
+                if self.argv.get(i + 1).is_none() {
+                    return Err(format!("{a} needs a value"));
+                }
+                i += 2;
+            } else if bool_flags.contains(&a) {
+                i += 1;
+            } else {
+                return Err(format!("unknown flag `{a}`"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -122,6 +148,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "profile" => cmd_profile(&args),
         "campaign" => cmd_campaign(&args),
         "analyze" => cmd_analyze(&args),
+        "fuzz" => cmd_fuzz(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -136,6 +163,7 @@ fn workload_of(args: &Args<'_>) -> Result<Box<dyn gpufi_core::Workload>, String>
 }
 
 fn cmd_profile(args: &Args<'_>) -> Result<(), String> {
+    args.reject_unknown(&["--bench", "--card", "--config"], &[])?;
     let workload = workload_of(args)?;
     let card = card_of(args)?;
     let golden = profile(workload.as_ref(), &card).map_err(|e| e.to_string())?;
@@ -178,6 +206,28 @@ fn cmd_profile(args: &Args<'_>) -> Result<(), String> {
 }
 
 fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
+    args.reject_unknown(
+        &[
+            "--bench",
+            "--card",
+            "--config",
+            "--structure",
+            "--runs",
+            "--seed",
+            "--bits",
+            "--threads",
+            "--scope",
+            "--kernel",
+            "--checkpoint-interval",
+            "--csv",
+        ],
+        &[
+            "--spread",
+            "--no-early-exit",
+            "--no-checkpoints",
+            "--oracle-check",
+        ],
+    )?;
     let workload = workload_of(args)?;
     let card = card_of(args)?;
     let structure = structure_of(args.value("--structure").ok_or("--structure is required")?)?;
@@ -207,6 +257,9 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     let ckpt_interval: u64 = args.parse("--checkpoint-interval", 0)?;
     if ckpt_interval > 0 {
         cfg = cfg.with_checkpoint_interval(ckpt_interval);
+    }
+    if args.flag("--oracle-check") {
+        cfg = cfg.with_oracle_check();
     }
     if let Some(kernel) = args.value("--kernel") {
         cfg = cfg.for_kernel(kernel);
@@ -254,6 +307,19 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
         s.restores,
         s.mean_skipped_cycles
     );
+    if s.oracle_checked > 0 {
+        println!(
+            "  oracle: {} runs checked, {} early-exit verdicts verified, {} mismatches",
+            s.oracle_checked, s.oracle_verified, s.oracle_mismatches
+        );
+        if s.oracle_mismatches > 0 {
+            return Err(format!(
+                "{} run(s) the early-exit engine would classify Masked did not \
+                 end in the oracle-predicted state",
+                s.oracle_mismatches
+            ));
+        }
+    }
     if let Some(path) = args.value("--csv") {
         let csv = gpufi_core::campaign_csv(&result);
         std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -262,7 +328,41 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     Ok(())
 }
 
+/// Differential fuzzing from the command line: N seeded random SASS-lite
+/// kernels, each executed on both the cycle-level simulator and the
+/// functional reference interpreter; the first divergence aborts with the
+/// full report and the generated kernel source.
+fn cmd_fuzz(args: &Args<'_>) -> Result<(), String> {
+    args.reject_unknown(&["--kernels", "--seed"], &[])?;
+    let count: u32 = args.parse("--kernels", 100)?;
+    let seed: u64 = args.parse("--seed", 1)?;
+    for i in 0..count {
+        let case = gpufi_sim::oracle::fuzz::gen_case(seed.wrapping_add(u64::from(i)));
+        if let Err(report) = gpufi_sim::oracle::fuzz::run_case(&case) {
+            return Err(format!(
+                "seed {} diverged after {i} clean kernels:\n{report}\nsource:\n{}",
+                case.seed, case.source
+            ));
+        }
+    }
+    println!("fuzz: {count} random kernels from seed {seed}, sim == oracle on every one");
+    Ok(())
+}
+
 fn cmd_analyze(args: &Args<'_>) -> Result<(), String> {
+    args.reject_unknown(
+        &[
+            "--bench",
+            "--card",
+            "--config",
+            "--runs",
+            "--seed",
+            "--bits",
+            "--threads",
+            "--csv",
+        ],
+        &[],
+    )?;
     let workload = workload_of(args)?;
     let card = card_of(args)?;
     let runs: usize = args.parse("--runs", 60)?;
@@ -356,5 +456,65 @@ mod tests {
             run(&args(&["campaign", "--bench", "VA"])).is_err(),
             "missing --structure"
         );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        // A typo like `--run` must not silently fall back to the default.
+        let err = run(&args(&[
+            "campaign",
+            "--bench",
+            "VA",
+            "--structure",
+            "rf",
+            "--run",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown flag `--run`"), "{err}");
+        let err = run(&args(&["profile", "--bench", "VA", "--oracle-check"])).unwrap_err();
+        assert!(err.contains("unknown flag `--oracle-check`"), "{err}");
+        let err = run(&args(&["fuzz", "--bench", "VA"])).unwrap_err();
+        assert!(err.contains("unknown flag `--bench`"), "{err}");
+        // A value flag at the end of the line is missing its value.
+        let err = run(&args(&["fuzz", "--kernels"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn runs_defaults_when_absent() {
+        let argv = args(&["--bench", "VA"]);
+        let a = Args { argv: &argv };
+        assert_eq!(a.parse("--runs", 120usize).unwrap(), 120);
+        let argv = args(&["--bench", "VA", "--runs", "37"]);
+        let a = Args { argv: &argv };
+        assert_eq!(a.parse("--runs", 120usize).unwrap(), 37);
+        let argv = args(&["--runs", "not-a-number"]);
+        let a = Args { argv: &argv };
+        assert!(a.parse::<usize>("--runs", 120).is_err());
+    }
+
+    #[test]
+    fn config_takes_precedence_over_card() {
+        // When both are given, --config wins: the unreadable file errors
+        // even though the --card preset is valid.
+        let argv = args(&["--config", "/nonexistent/x.config", "--card", "titan"]);
+        let a = Args { argv: &argv };
+        assert!(card_of(&a).unwrap_err().contains("cannot read"));
+        // A readable config file resolves to its own chip, not the preset.
+        let dir = std::env::temp_dir().join("gpufi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("precedence.config");
+        std::fs::write(&path, "base = rtx2060\nname = Config File Chip\n").unwrap();
+        let path_s = path.to_str().unwrap().to_string();
+        let argv = args(&["--config", path_s.as_str(), "--card", "titan"]);
+        let a = Args { argv: &argv };
+        assert_eq!(card_of(&a).unwrap().name, "Config File Chip");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fuzz_smoke_runs_clean() {
+        assert!(run(&args(&["fuzz", "--kernels", "5", "--seed", "99"])).is_ok());
     }
 }

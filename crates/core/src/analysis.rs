@@ -224,6 +224,9 @@ pub fn analyze_with_golden(
                 // construction.
                 Err(CampaignError::Draw(_)) => per_kernel.push((ki, 0.0, Tally::default())),
                 Err(CampaignError::UnknownKernel(_)) => unreachable!("kernels from golden"),
+                Err(e @ CampaignError::OracleDivergence(_)) => {
+                    unreachable!("analysis campaigns never set oracle_check: {e}")
+                }
             }
         }
 

@@ -55,6 +55,16 @@ pub struct CampaignConfig {
     /// Restrict injection cycles to `[start, end)` (intersected with the
     /// kernel windows); `None` samples the whole golden run.
     pub cycle_window: Option<(u64, u64)>,
+    /// Differential-oracle validation mode (`--oracle-check`): the golden
+    /// run executes in lockstep with the functional reference interpreter
+    /// (any divergence aborts the campaign), and every injection run that
+    /// fault-lifetime early exit *would* classify as Masked is instead
+    /// simulated to completion and its final global-memory image compared
+    /// against the oracle's prediction.  Forces full simulation (implies
+    /// `--no-early-exit` semantics for the run loop) while keeping run
+    /// records identical to the optimized engine's.
+    #[serde(default)]
+    pub oracle_check: bool,
 }
 
 impl CampaignConfig {
@@ -71,6 +81,7 @@ impl CampaignConfig {
             checkpoint_interval: 0,
             checkpoint_budget: DEFAULT_CHECKPOINT_BUDGET,
             cycle_window: None,
+            oracle_check: false,
         }
     }
 
@@ -95,6 +106,13 @@ impl CampaignConfig {
     /// Disables checkpoint forking (cold-start validation mode).
     pub fn no_checkpoints(mut self) -> Self {
         self.checkpoints = false;
+        self
+    }
+
+    /// Enables differential-oracle validation (see
+    /// [`CampaignConfig::oracle_check`]).
+    pub fn with_oracle_check(mut self) -> Self {
+        self.oracle_check = true;
         self
     }
 
@@ -162,6 +180,18 @@ pub struct CampaignStats {
     pub restores: usize,
     /// Mean golden-run cycles skipped per run by checkpoint forking.
     pub mean_skipped_cycles: f64,
+    /// Runs executed under the differential oracle (`--oracle-check`).
+    #[serde(default)]
+    pub oracle_checked: usize,
+    /// Oracle-checked runs that early exit would have cut short, fully
+    /// simulated and confirmed to end in the oracle-predicted state.
+    #[serde(default)]
+    pub oracle_verified: usize,
+    /// Oracle-checked runs where the early-exit verdict was *wrong*: the
+    /// fully simulated run did not end Masked at the golden cycle count
+    /// with the oracle's global-memory image.  Must be zero.
+    #[serde(default)]
+    pub oracle_mismatches: usize,
 }
 
 /// The aggregated result of a campaign.
@@ -197,6 +227,9 @@ pub enum CampaignError {
     Draw(DrawError),
     /// The targeted kernel never executed in the golden run.
     UnknownKernel(String),
+    /// The lockstep golden run diverged from the reference interpreter —
+    /// the simulator itself (not an injection) is functionally wrong.
+    OracleDivergence(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -204,6 +237,7 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::Draw(e) => write!(f, "cannot draw fault: {e}"),
             CampaignError::UnknownKernel(k) => write!(f, "kernel `{k}` not in golden profile"),
+            CampaignError::OracleDivergence(d) => write!(f, "oracle check failed: {d}"),
         }
     }
 }
@@ -326,6 +360,37 @@ fn record_store(
     Some(Arc::new(gpu.finish_checkpoint_recording()))
 }
 
+/// Runs the workload once with the differential oracle attached,
+/// verifying the simulator's golden execution instruction-semantics-level
+/// against the functional reference interpreter, and returns the oracle's
+/// final global-memory image (the state every Masked run must land on).
+fn oracle_golden_image(
+    workload: &dyn Workload,
+    card: &GpuConfig,
+) -> Result<Vec<u8>, CampaignError> {
+    let mut gpu = Gpu::new(card.clone());
+    gpu.attach_oracle();
+    let result = workload.run(&mut gpu);
+    if let Some(d) = gpu.oracle_divergence() {
+        return Err(CampaignError::OracleDivergence(d.to_string()));
+    }
+    result
+        .map_err(|e| CampaignError::OracleDivergence(format!("lockstep golden run failed: {e}")))?;
+    Ok(gpu.oracle_global_image().expect("oracle attached above"))
+}
+
+/// `one_run`'s oracle verdict (all `false` outside `--oracle-check`).
+#[derive(Debug, Clone, Copy, Default)]
+struct OracleVerdict {
+    /// The run executed under the early-exit probe.
+    checked: bool,
+    /// Early exit would have fired and the full simulation confirmed it:
+    /// Masked, golden cycle count, oracle-predicted memory image.
+    verified: bool,
+    /// Early exit would have fired but the full simulation disagreed.
+    mismatch: bool,
+}
+
 /// Executes one pre-drawn injection run and classifies it.
 fn one_run(
     workload: &dyn Workload,
@@ -334,7 +399,8 @@ fn one_run(
     golden: &GoldenProfile,
     run: &RunPlan,
     store: Option<&Arc<CheckpointStore>>,
-) -> RunRecord {
+    oracle_img: Option<&[u8]>,
+) -> (RunRecord, OracleVerdict) {
     let mut gpu = Gpu::new(card.clone());
     // Fork from the nearest checkpoint at or before the first injection
     // cycle — state up to that cycle is bit-identical to the golden run's,
@@ -348,30 +414,72 @@ fn one_run(
     }
     gpu.arm_faults(run.plan.clone());
     gpu.set_watchdog(golden.total_cycles() * 2);
-    gpu.set_early_exit(cfg.early_exit);
+    // Oracle check replaces the early-exit abort with a probe: the exit
+    // predicate is still evaluated, but the run completes so its final
+    // state can be compared against the oracle's prediction.
+    gpu.set_early_exit(cfg.early_exit && oracle_img.is_none());
+    gpu.set_early_exit_probe(oracle_img.is_some());
     let result = workload.run(&mut gpu);
     let applied = gpu.injection_records().iter().any(|r| r.applied);
     if matches!(&result, Err(WorkloadError::Trap(Trap::FaultsExpired))) {
         // Every fault's lifetime ended with the machine state equal to the
         // golden run's, so the remaining execution is the golden execution:
         // Masked, at the golden cycle count.
-        return RunRecord {
+        let rec = RunRecord {
             effect: FaultEffect::Masked,
             cycles: golden.total_cycles(),
             applied,
             early_exit: true,
             ckpt_skipped_cycles,
         };
+        return (rec, OracleVerdict::default());
     }
     let cycles = gpu.stats().total_cycles().max(gpu.cycle());
     let effect = classify(&result, cycles, golden);
-    RunRecord {
+    if let Some(img) = oracle_img {
+        let mut verdict = OracleVerdict {
+            checked: true,
+            ..OracleVerdict::default()
+        };
+        if gpu.would_early_exit() {
+            // Early exit would have recorded Masked at the golden cycle
+            // count; the fully simulated run must agree *and* its memory
+            // must match the reference interpreter bit for bit.
+            let confirmed = effect == FaultEffect::Masked
+                && cycles == golden.total_cycles()
+                && gpu.mem().global_image() == img;
+            if confirmed {
+                verdict.verified = true;
+                // Record exactly what the optimized engine records, so the
+                // two campaigns' CSVs are directly diffable.
+                let rec = RunRecord {
+                    effect: FaultEffect::Masked,
+                    cycles: golden.total_cycles(),
+                    applied,
+                    early_exit: true,
+                    ckpt_skipped_cycles,
+                };
+                return (rec, verdict);
+            }
+            verdict.mismatch = true;
+        }
+        let rec = RunRecord {
+            effect,
+            cycles,
+            applied,
+            early_exit: false,
+            ckpt_skipped_cycles,
+        };
+        return (rec, verdict);
+    }
+    let rec = RunRecord {
         effect,
         cycles,
         applied,
         early_exit: false,
         ckpt_skipped_cycles,
-    }
+    };
+    (rec, OracleVerdict::default())
 }
 
 /// Picks one window with probability proportional to its length.
@@ -428,6 +536,14 @@ pub fn run_campaign(
 ) -> Result<CampaignResult, CampaignError> {
     let start = Instant::now();
     let plans = draw_plans(cfg, golden)?;
+    // Oracle validation first: a functionally wrong golden run poisons
+    // every classification, so fail before any injection work.
+    let oracle_img: Option<Arc<Vec<u8>>> = if cfg.oracle_check {
+        Some(Arc::new(oracle_golden_image(workload, card)?))
+    } else {
+        None
+    };
+    let img_ref: Option<&[u8]> = oracle_img.as_deref().map(Vec::as_slice);
     let store = if cfg.checkpoints && !plans.is_empty() {
         record_store(workload, card, cfg, golden)
     } else {
@@ -438,7 +554,7 @@ pub fn run_campaign(
     let mut order: Vec<usize> = (0..plans.len()).collect();
     order.sort_by_key(|&i| plans[i].first_cycle);
 
-    let mut records: Vec<Option<RunRecord>> = vec![None; cfg.runs];
+    let mut records: Vec<Option<(RunRecord, OracleVerdict)>> = vec![None; cfg.runs];
     if threads <= 1 {
         for &i in &order {
             records[i] = Some(one_run(
@@ -448,11 +564,12 @@ pub fn run_campaign(
                 golden,
                 &plans[i],
                 store.as_ref(),
+                img_ref,
             ));
         }
     } else {
         let next = AtomicUsize::new(0);
-        let done: Vec<Vec<(usize, RunRecord)>> = std::thread::scope(|scope| {
+        let done: Vec<Vec<(usize, (RunRecord, OracleVerdict))>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
@@ -462,7 +579,15 @@ pub fn run_campaign(
                             let Some(&i) = order.get(k) else { break };
                             local.push((
                                 i,
-                                one_run(workload, card, cfg, golden, &plans[i], store.as_ref()),
+                                one_run(
+                                    workload,
+                                    card,
+                                    cfg,
+                                    golden,
+                                    &plans[i],
+                                    store.as_ref(),
+                                    img_ref,
+                                ),
                             ));
                         }
                         local
@@ -479,10 +604,10 @@ pub fn run_campaign(
         }
     }
 
-    let records: Vec<RunRecord> = records
+    let (records, verdicts): (Vec<RunRecord>, Vec<OracleVerdict>) = records
         .into_iter()
         .map(|r| r.expect("all runs filled"))
-        .collect();
+        .unzip();
     let tally: Tally = records.iter().map(|r| r.effect).collect();
     let wall = start.elapsed().as_secs_f64();
     let applied = records.iter().filter(|r| r.applied).count();
@@ -514,6 +639,9 @@ pub fn run_campaign(
         } else {
             0.0
         },
+        oracle_checked: verdicts.iter().filter(|v| v.checked).count(),
+        oracle_verified: verdicts.iter().filter(|v| v.verified).count(),
+        oracle_mismatches: verdicts.iter().filter(|v| v.mismatch).count(),
     };
     Ok(CampaignResult {
         spec: cfg.spec.clone(),

@@ -74,5 +74,5 @@ pub use campaign::{
 };
 pub use classify::classify;
 pub use profile::{profile, GoldenProfile};
-pub use report::{analysis_csv, campaign_csv, campaign_summary_csv};
+pub use report::{analysis_csv, campaign_csv, campaign_summary_csv, CAMPAIGN_CSV_HEADER};
 pub use workload::{Workload, WorkloadError};

@@ -18,11 +18,18 @@ fn field(s: &str) -> String {
     }
 }
 
+/// The per-run campaign CSV header.  This schema is **append-only**:
+/// automation diffs validation campaigns against optimized ones with
+/// `cut -d, -f1-4`, so the existing columns must never be renamed,
+/// reordered or removed — new columns go at the end.
+pub const CAMPAIGN_CSV_HEADER: &str = "run,effect,cycles,applied,early_exit,ckpt_skipped_cycles";
+
 /// Renders a campaign as CSV: one header, one row per run.
 ///
-/// Columns: `run,effect,cycles,applied,early_exit,ckpt_skipped_cycles`.
+/// Columns: [`CAMPAIGN_CSV_HEADER`].
 pub fn campaign_csv(result: &CampaignResult) -> String {
-    let mut out = String::from("run,effect,cycles,applied,early_exit,ckpt_skipped_cycles\n");
+    let mut out = String::from(CAMPAIGN_CSV_HEADER);
+    out.push('\n');
     for (i, r) in result.records.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -127,6 +134,31 @@ mod tests {
                 },
             ],
             stats: crate::campaign::CampaignStats::default(),
+        }
+    }
+
+    /// Pins the per-run CSV schema verbatim.  If this test fails you are
+    /// changing a published, append-only schema: CI and downstream
+    /// tooling slice columns positionally (`cut -d, -f1-4`), so existing
+    /// columns must keep their name and position — append new ones
+    /// instead, and update this literal.
+    #[test]
+    fn campaign_csv_header_is_pinned() {
+        assert_eq!(
+            CAMPAIGN_CSV_HEADER,
+            "run,effect,cycles,applied,early_exit,ckpt_skipped_cycles"
+        );
+        let csv = campaign_csv(&sample_campaign());
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, CAMPAIGN_CSV_HEADER);
+        // The first four columns carry the effect comparison every
+        // validation mode relies on.
+        let first4: Vec<&str> = header.split(',').take(4).collect();
+        assert_eq!(first4, ["run", "effect", "cycles", "applied"]);
+        // Every data row has exactly as many fields as the header.
+        let width = header.split(',').count();
+        for row in csv.lines().skip(1) {
+            assert_eq!(row.split(',').count(), width, "row `{row}`");
         }
     }
 

@@ -58,6 +58,7 @@ mod instr;
 mod kernel;
 mod op;
 mod reg;
+pub mod semantics;
 
 pub use asm::assemble;
 pub use error::AsmError;

@@ -4,8 +4,14 @@
 //! IEEE-754 single precision.  Integer arithmetic wraps (like the hardware),
 //! float division by zero produces ±inf / NaN (GPUs do not trap on float
 //! exceptions), and `F2I` saturates like CUDA's `cvt.rzi.s32.f32`.
+//!
+//! These functions are the *single* definition of SASS-lite data-path
+//! semantics: both the cycle-level simulator and the functional reference
+//! oracle evaluate every ALU instruction through them, so a sim-vs-oracle
+//! divergence can never be explained by two diverging arithmetic
+//! implementations — only by control flow, scheduling or memory modelling.
 
-use gpufi_isa::{BitOp, FloatOp, FloatUnOp, IntOp};
+use crate::op::{BitOp, FloatOp, FloatUnOp, IntOp};
 
 /// Evaluates a two-operand integer operation.
 pub fn int_op(op: IntOp, a: u32, b: u32) -> u32 {

@@ -10,12 +10,12 @@
 //! instruction's latency (ALU class or computed memory completion time)
 //! elapses — the standard stall-warp timing model.
 
-mod exec;
-
 use crate::config::{GpuConfig, SchedulerPolicy};
 use crate::error::Trap;
 use crate::grid::LaunchDims;
 use crate::mem::{AccessKind, MemSystem, LOCAL_BASE};
+use crate::oracle::ThreadState;
+use gpufi_isa::semantics as exec;
 use gpufi_isa::{Instr, Kernel, MemSpace, Op, OpClass, Operand, Pred, Reg, SpecialReg};
 
 /// Warp width; SASS-lite fixes this at 32 like every modelled generation.
@@ -171,6 +171,11 @@ pub struct SimtCore {
     /// Latched when a fault-flipped register or shared-memory value was
     /// read by an executing instruction.
     escaped: bool,
+    /// When set, `exit_lanes` records each exiting thread's architectural
+    /// state (registers, predicates) for the differential oracle.
+    capture_exits: bool,
+    /// Exit-state log of the current launch (drained by the oracle hook).
+    exit_log: Vec<ThreadState>,
 }
 
 impl SimtCore {
@@ -192,7 +197,21 @@ impl SimtCore {
             instructions: 0,
             ace_reg_cycles: 0,
             escaped: false,
+            capture_exits: false,
+            exit_log: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) per-thread exit-state capture for the
+    /// differential oracle's lockstep register comparison.
+    pub fn set_exit_capture(&mut self, on: bool) {
+        self.capture_exits = on;
+        self.exit_log.clear();
+    }
+
+    /// Drains the exit-state log accumulated since the last drain.
+    pub fn take_exit_log(&mut self) -> Vec<ThreadState> {
+        std::mem::take(&mut self.exit_log)
     }
 
     /// Approximate heap footprint of the resident CTAs (register files,
@@ -750,6 +769,23 @@ impl SimtCore {
     /// Terminates `mask` lanes of a warp, unwinding the SIMT stack when the
     /// current path empties.
     fn exit_lanes(&mut self, slot: usize, widx: usize, mask: u32, next_pc: &mut u32, now: u64) {
+        if self.capture_exits && mask != 0 {
+            let cta_linear = self.ctas[slot].linear;
+            let warp = &self.ctas[slot].warps[widx];
+            let num_regs = warp.regs.len() / LANES;
+            let mut captured = Vec::new();
+            for lane in 0..LANES {
+                if mask & (1 << lane) != 0 {
+                    captured.push(ThreadState {
+                        cta: cta_linear,
+                        tid: warp.widx * LANES as u32 + lane as u32,
+                        regs: (0..num_regs).map(|r| warp.regs[r * LANES + lane]).collect(),
+                        preds: warp.preds[lane],
+                    });
+                }
+            }
+            self.exit_log.extend(captured);
+        }
         let cta = &mut self.ctas[slot];
         let warp = &mut cta.warps[widx];
         warp.live &= !mask;

@@ -7,10 +7,11 @@ use crate::error::{LaunchError, Trap};
 use crate::fault::{FaultSpace, FaultTarget, InjectionPlan, InjectionRecord, PlannedFault, Scope};
 use crate::grid::LaunchDims;
 use crate::mem::{FlipOutcome, MemSystem};
+use crate::oracle::{DivergenceReport, OracleMirror, ThreadState};
 use crate::snapshot::{CheckpointStore, HostOp, LaunchProgress, Recorder, Replay, Snapshot};
 use crate::stats::{AppStats, LaunchStats};
 use gpufi_isa::Kernel;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 /// A simulated CUDA-capable GPU.
@@ -37,6 +38,12 @@ pub struct Gpu {
     recorder: Option<Recorder>,
     // Journal-replay state (forked injection runs only).
     replay: Option<Replay>,
+    // Lockstep differential oracle (RefCell: `memcpy_d2h` takes `&self`).
+    oracle: Option<RefCell<OracleMirror>>,
+    // Early-exit *probe*: evaluate the fault-lifetime exit predicate
+    // without acting on it, latching `ee_would_exit`.
+    ee_probe: bool,
+    ee_would_exit: bool,
 }
 
 impl Gpu {
@@ -59,7 +66,41 @@ impl Gpu {
             early_exit: false,
             recorder: None,
             replay: None,
+            oracle: None,
+            ee_probe: false,
+            ee_would_exit: false,
         }
+    }
+
+    /// Attaches the lockstep differential oracle: from now on every host
+    /// API call is mirrored into a functional reference machine and every
+    /// launch's final architectural state is diffed against it.  The first
+    /// divergence is latched ([`Gpu::oracle_divergence`]).
+    ///
+    /// Attach on a fresh GPU, before any allocation, and do not combine
+    /// with checkpoint forking ([`Gpu::resume_from`]) — a forked run
+    /// skips the journaled host prefix the mirror would need to observe.
+    pub fn attach_oracle(&mut self) {
+        self.oracle = Some(RefCell::new(OracleMirror::new(self.cfg.l2.line_bytes)));
+        for c in &mut self.cores {
+            c.set_exit_capture(true);
+        }
+    }
+
+    /// The first sim-vs-oracle divergence latched by an attached oracle,
+    /// if any ([`Gpu::attach_oracle`]).
+    pub fn oracle_divergence(&self) -> Option<DivergenceReport> {
+        self.oracle
+            .as_ref()
+            .and_then(|o| o.borrow().divergence().cloned())
+    }
+
+    /// The attached oracle's final global-memory image (the reference
+    /// prediction a Masked injection run must land on).
+    pub fn oracle_global_image(&self) -> Option<Vec<u8>> {
+        self.oracle
+            .as_ref()
+            .map(|o| o.borrow().global_image().to_vec())
     }
 
     /// The chip configuration.
@@ -127,6 +168,9 @@ impl Gpu {
             }
         }
         let ptr = self.mem.alloc(bytes)?;
+        if let Some(orc) = &self.oracle {
+            orc.borrow_mut().on_malloc(bytes, ptr);
+        }
         if let Some(rec) = &self.recorder {
             rec.journal.borrow_mut().push(HostOp::Malloc { bytes, ptr });
         }
@@ -155,6 +199,9 @@ impl Gpu {
             }
         }
         self.mem.host_write(ptr, data)?;
+        if let Some(orc) = &self.oracle {
+            orc.borrow_mut().on_h2d(ptr, data);
+        }
         if let Some(rec) = &self.recorder {
             rec.journal.borrow_mut().push(HostOp::H2d {
                 ptr,
@@ -196,6 +243,9 @@ impl Gpu {
             }
         }
         self.mem.host_read(ptr, out)?;
+        if let Some(orc) = &self.oracle {
+            orc.borrow_mut().on_d2h(ptr, out);
+        }
         if let Some(rec) = &self.recorder {
             rec.journal.borrow_mut().push(HostOp::D2h {
                 ptr,
@@ -276,6 +326,9 @@ impl Gpu {
             }
         }
         self.mem.const_write(offset, data)?;
+        if let Some(orc) = &self.oracle {
+            orc.borrow_mut().on_const_write(offset, data);
+        }
         if let Some(rec) = &self.recorder {
             rec.journal.borrow_mut().push(HostOp::ConstWrite {
                 offset,
@@ -307,6 +360,7 @@ impl Gpu {
         self.faults = faults;
         self.next_fault = 0;
         self.records.clear();
+        self.ee_would_exit = false;
     }
 
     /// What happened to each armed fault so far.
@@ -326,6 +380,24 @@ impl Gpu {
     /// equals the golden execution.
     pub fn set_early_exit(&mut self, on: bool) {
         self.early_exit = on;
+    }
+
+    /// Enables the early-exit *probe*: the fault-lifetime exit predicate
+    /// is evaluated exactly as under [`Gpu::set_early_exit`], but instead
+    /// of aborting, the launch runs to completion and
+    /// [`Gpu::would_early_exit`] reports whether it would have fired.
+    /// The `--oracle-check` campaign mode uses this to prove that every
+    /// run the early-exit optimization would classify as Masked really
+    /// does end in the oracle-predicted state.
+    pub fn set_early_exit_probe(&mut self, on: bool) {
+        self.ee_probe = on;
+    }
+
+    /// Whether the armed faults' lifetimes all ended without escaping —
+    /// i.e. early exit would have classified this run as Masked
+    /// ([`Gpu::set_early_exit_probe`]).
+    pub fn would_early_exit(&self) -> bool {
+        self.ee_would_exit
     }
 
     /// Unobserved fault-flipped state across cores and the memory system.
@@ -663,7 +735,7 @@ impl Gpu {
             // Fault-lifetime early exit: every planned fault has fired and
             // no flipped bit survives unobserved — the machine state equals
             // the golden run's, so the remaining execution is determined.
-            if self.early_exit
+            if (self.early_exit || self.ee_probe)
                 && !ee_dead
                 && !self.faults.is_empty()
                 && self.next_fault == self.faults.len()
@@ -673,7 +745,13 @@ impl Gpu {
                     if self.taint_escaped() {
                         ee_dead = true;
                     } else if self.taint_count() == 0 {
-                        break 'run Err(Trap::FaultsExpired);
+                        if self.early_exit {
+                            break 'run Err(Trap::FaultsExpired);
+                        }
+                        // Probe mode: latch the verdict, keep executing so
+                        // the final state can be checked against it.
+                        self.ee_would_exit = true;
+                        ee_dead = true;
                     }
                 }
                 ee_tick -= 1;
@@ -766,6 +844,18 @@ impl Gpu {
 
         // L1s are invalidated between launches on real GPUs.
         self.mem.flush_l1s();
+
+        // Lockstep oracle: diff the launch's final architectural state
+        // against the reference interpreter (drains the cores' exit logs
+        // even on a trap, so a later launch starts clean).
+        if let Some(orc) = &self.oracle {
+            let mut exited: Vec<ThreadState> = Vec::new();
+            for c in &mut self.cores {
+                exited.extend(c.take_exit_log());
+            }
+            orc.borrow_mut()
+                .on_launch(kernel, dims, args, outcome.err(), &self.mem, &exited);
+        }
 
         outcome?;
         let t = t_int.max(1) as f64;

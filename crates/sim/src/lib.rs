@@ -57,6 +57,7 @@ mod fault;
 mod gpu;
 mod grid;
 pub mod mem;
+pub mod oracle;
 mod snapshot;
 mod stats;
 
@@ -68,5 +69,6 @@ pub use fault::{FaultSpace, FaultTarget, InjectionPlan, InjectionRecord, Planned
 pub use gpu::Gpu;
 pub use grid::{Dim3, LaunchDims};
 pub use mem::{AccessKind, CacheStats, FlipOutcome, MemSystem, GLOBAL_BASE, LOCAL_BASE};
+pub use oracle::{Divergence, DivergenceReport, OracleMirror, ThreadState};
 pub use snapshot::{CheckpointStore, Snapshot};
 pub use stats::{AppStats, KernelWindow, LaunchStats};

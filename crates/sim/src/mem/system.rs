@@ -349,6 +349,21 @@ impl MemSystem {
         }
     }
 
+    /// Bytes currently allocated in the global segment.
+    pub fn global_len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// A coherent byte-for-byte image of the whole allocated global
+    /// segment, read through the L2 (dirty cached lines included) without
+    /// perturbing cache statistics.  This is the memory half of the
+    /// architectural state the differential oracle diffs.
+    pub fn global_image(&self) -> Vec<u8> {
+        (0..self.global.len() as u32)
+            .map(|i| self.coherent_byte(GLOBAL_BASE + i))
+            .collect()
+    }
+
     /// Peeks 4 bytes coherently (through L2) without perturbing cache
     /// statistics — used by golden-output capture.
     pub fn peek4(&self, addr: u32) -> Option<u32> {

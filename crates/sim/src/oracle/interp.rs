@@ -1,0 +1,536 @@
+//! The functional reference interpreter.
+//!
+//! Executes a kernel launch **thread by thread** with no timing, caches,
+//! warp scheduler or reconvergence-stack machinery — only architectural
+//! semantics: registers, predicates, shared/local/global/constant memory,
+//! and barrier-phase ordering.  Every ALU operation is evaluated through
+//! [`gpufi_isa::semantics`], the same functions the cycle-level simulator
+//! uses, so a sim-vs-oracle divergence always points at control flow,
+//! scheduling or memory modelling — never at two arithmetic
+//! implementations drifting apart.
+//!
+//! The per-thread control-flow rules mirror the simulator's SIMT-stack
+//! semantics exactly, collapsed to a single thread:
+//!
+//! * `SSY target` pushes `target` on the thread's reconvergence stack
+//!   **regardless of the guard** (the simulator pushes for the whole warp
+//!   without consulting the execution mask);
+//! * `SYNC` pops and jumps to `target + 1`, or falls through on an empty
+//!   stack — also regardless of the guard;
+//! * `BRA` is taken iff the guard passes;
+//! * `BAR` arrives at the barrier regardless of the guard (the simulator's
+//!   barrier arm never consults the execution mask);
+//! * `EXIT` retires the thread iff the guard passes.
+//!
+//! Threads of a CTA run sequentially in ascending thread id, each until it
+//! blocks at a barrier, exits or traps; when no thread can run and some
+//! wait at a barrier, the barrier releases and the next phase starts.
+//! This is equivalent to any SIMT interleaving for race-free programs
+//! (shared-memory communication fenced by `BAR`), which is the contract
+//! the workloads and the fuzzer uphold.
+
+use crate::error::Trap;
+use crate::grid::LaunchDims;
+use crate::mem::{GLOBAL_BASE, LOCAL_BASE};
+use gpufi_isa::semantics as exec;
+use gpufi_isa::{Kernel, MemSpace, Op, Operand, Pred, Reg, SpecialReg};
+
+use super::ThreadState;
+
+/// Total interpreted instructions per launch before the oracle declares a
+/// (presumed) hang.  Far above any workload's dynamic instruction count;
+/// guards the oracle against non-terminating generated programs.
+const STEP_BUDGET: u64 = 200_000_000;
+
+/// The oracle's functional memory: flat byte images of the global, local
+/// and constant segments, with the same allocator layout, demand-paging
+/// and trap rules as the simulator's [`crate::mem::MemSystem`] — minus the
+/// caches.
+///
+/// One deliberate deviation: the simulator lets a store to an *unbacked*
+/// (never-allocated) line live transiently in the L2 until eviction drops
+/// it; the oracle drops such stores immediately.  Fault-free, well-formed
+/// programs never touch unbacked memory, so the two agree everywhere the
+/// oracle is used as a reference.
+#[derive(Debug, Clone)]
+pub struct FuncMem {
+    line_bytes: u32,
+    global: Vec<u8>,
+    constant: Vec<u8>,
+    local: Vec<u8>,
+}
+
+/// Simulated global-segment capacity (mirrors the simulator's cap).
+const GLOBAL_CAP: u32 = 256 * 1024 * 1024;
+
+/// CUDA constant-bank capacity.
+const CONST_CAP: usize = 64 * 1024;
+
+impl FuncMem {
+    /// An empty functional memory using the given cache-line granularity
+    /// for allocation padding (allocations must land at the same addresses
+    /// the simulator hands out).
+    pub fn new(line_bytes: u32) -> Self {
+        FuncMem {
+            line_bytes,
+            global: Vec::new(),
+            constant: Vec::new(),
+            local: Vec::new(),
+        }
+    }
+
+    /// Allocates zeroed global memory with the simulator's exact layout:
+    /// line-padded bump allocation from [`GLOBAL_BASE`].
+    pub fn alloc(&mut self, bytes: u32) -> Option<u32> {
+        let align = self.line_bytes as usize;
+        let padded = (bytes as usize).div_ceil(align) * align;
+        if self.global.len() + padded > GLOBAL_CAP as usize {
+            return None;
+        }
+        let ptr = GLOBAL_BASE + self.global.len() as u32;
+        self.global.resize(self.global.len() + padded, 0);
+        Some(ptr)
+    }
+
+    /// Host → device copy; `false` when the range is not mapped.
+    pub fn host_write(&mut self, addr: u32, data: &[u8]) -> bool {
+        if !self.host_range_ok(addr, data.len()) {
+            return false;
+        }
+        let o = (addr - GLOBAL_BASE) as usize;
+        self.global[o..o + data.len()].copy_from_slice(data);
+        true
+    }
+
+    /// Device → host copy; `None` when the range is not mapped.
+    pub fn host_read(&self, addr: u32, len: usize) -> Option<Vec<u8>> {
+        if !self.host_range_ok(addr, len) {
+            return None;
+        }
+        let o = (addr - GLOBAL_BASE) as usize;
+        Some(self.global[o..o + len].to_vec())
+    }
+
+    /// Writes into the constant bank; `false` past the 64 KB capacity.
+    pub fn const_write(&mut self, offset: u32, data: &[u8]) -> bool {
+        let end = offset as usize + data.len();
+        if end > CONST_CAP {
+            return false;
+        }
+        if end > self.constant.len() {
+            self.constant.resize(end, 0);
+        }
+        self.constant[offset as usize..end].copy_from_slice(data);
+        true
+    }
+
+    /// The full allocated global segment (padding included), the memory
+    /// half of the architectural state the divergence checker diffs.
+    pub fn global_image(&self) -> &[u8] {
+        &self.global
+    }
+
+    fn host_range_ok(&self, addr: u32, len: usize) -> bool {
+        let end = u64::from(addr) + len as u64;
+        addr >= GLOBAL_BASE && end <= u64::from(GLOBAL_BASE) + self.global.len() as u64
+    }
+
+    /// (Re)creates the zeroed local-memory segment for a launch.
+    fn reset_local(&mut self, total_threads: u64, lmem_bytes: u32) {
+        let need = total_threads * u64::from(lmem_bytes);
+        let padded = need.div_ceil(u64::from(self.line_bytes)) * u64::from(self.line_bytes);
+        self.local.clear();
+        self.local.resize(padded as usize, 0);
+    }
+
+    /// The simulator's access validation: only misalignment and the null
+    /// page trap; everything else is demand-paged.
+    fn check_access(addr: u32) -> Result<(), Trap> {
+        if !addr.is_multiple_of(4) {
+            return Err(Trap::Misaligned { addr });
+        }
+        if addr < GLOBAL_BASE {
+            return Err(Trap::InvalidAddress { addr });
+        }
+        Ok(())
+    }
+
+    fn seg_byte(&self, addr: u32) -> u8 {
+        if addr >= LOCAL_BASE {
+            let o = (addr - LOCAL_BASE) as usize;
+            self.local.get(o).copied().unwrap_or(0)
+        } else {
+            let o = (addr - GLOBAL_BASE) as usize;
+            self.global.get(o).copied().unwrap_or(0)
+        }
+    }
+
+    /// Device load: demand-paged (unbacked regions read zeros).
+    fn load4(&self, addr: u32) -> Result<u32, Trap> {
+        Self::check_access(addr)?;
+        Ok(u32::from_le_bytes([
+            self.seg_byte(addr),
+            self.seg_byte(addr + 1),
+            self.seg_byte(addr + 2),
+            self.seg_byte(addr + 3),
+        ]))
+    }
+
+    /// Device store: writes to unbacked regions vanish.
+    fn store4(&mut self, addr: u32, v: u32) -> Result<(), Trap> {
+        Self::check_access(addr)?;
+        let (seg, o) = if addr >= LOCAL_BASE {
+            (&mut self.local, (addr - LOCAL_BASE) as usize)
+        } else {
+            (&mut self.global, (addr - GLOBAL_BASE) as usize)
+        };
+        if o + 4 <= seg.len() {
+            seg[o..o + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    /// Constant load: 0-based bank addresses, zeros past the written
+    /// extent.
+    fn load4_const(&self, addr: u32) -> Result<u32, Trap> {
+        if !addr.is_multiple_of(4) {
+            return Err(Trap::Misaligned { addr });
+        }
+        let byte = |i: usize| self.constant.get(addr as usize + i).copied().unwrap_or(0);
+        Ok(u32::from_le_bytes([byte(0), byte(1), byte(2), byte(3)]))
+    }
+}
+
+/// Where a reference thread stands in its CTA's barrier-phase schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    AtBarrier,
+    Exited,
+}
+
+/// One reference thread: program counter, registers, predicates and the
+/// per-thread reconvergence stack (SSY targets only — `Pending` frames are
+/// warp mechanics invisible to single-thread semantics).
+#[derive(Debug)]
+struct OThread {
+    pc: u32,
+    regs: Vec<u32>,
+    preds: u8,
+    stack: Vec<u32>,
+    status: Status,
+}
+
+impl OThread {
+    fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r.index() as usize] = v;
+    }
+
+    fn operand(&self, op: Operand) -> u32 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn pred(&self, p: Pred) -> bool {
+        self.preds & (1 << p.index()) != 0
+    }
+
+    fn set_pred(&mut self, p: Pred, v: bool) {
+        if v {
+            self.preds |= 1 << p.index();
+        } else {
+            self.preds &= !(1 << p.index());
+        }
+    }
+}
+
+/// Runs a full kernel launch through the reference interpreter against
+/// `mem`, returning the exit-time architectural state of every thread
+/// (ordered by CTA, then thread id).
+///
+/// # Errors
+///
+/// Returns the first [`Trap`] any thread raises, or [`Trap::Watchdog`]
+/// when the launch exceeds the interpretation step budget.
+pub fn run_reference(
+    mem: &mut FuncMem,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    args: &[u32],
+) -> Result<Vec<ThreadState>, Trap> {
+    let tpc = dims.threads_per_cta();
+    let num_regs = usize::from(kernel.num_regs().max(kernel.num_params())).max(1);
+    mem.reset_local(dims.total_threads(), kernel.lmem_bytes());
+
+    let mut out = Vec::with_capacity(dims.total_threads() as usize);
+    let mut steps = 0u64;
+    for cta in 0..dims.grid.count() {
+        let mut smem = vec![0u8; kernel.smem_bytes() as usize];
+        let mut threads: Vec<OThread> = (0..tpc)
+            .map(|_| {
+                let mut regs = vec![0u32; num_regs];
+                regs[..args.len()].copy_from_slice(args);
+                OThread {
+                    pc: 0,
+                    regs,
+                    preds: 0,
+                    stack: Vec::new(),
+                    status: Status::Running,
+                }
+            })
+            .collect();
+
+        loop {
+            for tid in 0..tpc {
+                while threads[tid as usize].status == Status::Running {
+                    steps += 1;
+                    if steps > STEP_BUDGET {
+                        return Err(Trap::Watchdog);
+                    }
+                    step(
+                        mem,
+                        kernel,
+                        dims,
+                        cta,
+                        tid,
+                        &mut threads[tid as usize],
+                        &mut smem,
+                    )?;
+                }
+            }
+            if threads.iter().all(|t| t.status == Status::Exited) {
+                break;
+            }
+            // Barrier release: no thread can run, some wait — next phase.
+            for t in &mut threads {
+                if t.status == Status::AtBarrier {
+                    t.status = Status::Running;
+                }
+            }
+        }
+
+        for (tid, t) in threads.into_iter().enumerate() {
+            out.push(ThreadState {
+                cta,
+                tid: tid as u32,
+                regs: t.regs,
+                preds: t.preds,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Executes one instruction of one reference thread.
+#[allow(clippy::too_many_lines)]
+fn step(
+    mem: &mut FuncMem,
+    kernel: &Kernel,
+    dims: LaunchDims,
+    cta: u64,
+    tid: u32,
+    t: &mut OThread,
+    smem: &mut [u8],
+) -> Result<(), Trap> {
+    let pc = t.pc;
+    let instr = *kernel
+        .instrs()
+        .get(pc as usize)
+        .ok_or(Trap::InvalidPc { pc })?;
+    let pass = match instr.guard {
+        None => true,
+        Some(g) => t.pred(g.pred) != g.negate,
+    };
+    let mut next_pc = pc + 1;
+
+    match instr.op {
+        // SSY / SYNC / BAR act regardless of the guard, like the warp-level
+        // simulator (see the module docs); a store to the read-only
+        // constant space likewise traps before any guard is consulted.
+        Op::Ssy { target } => t.stack.push(target),
+        Op::Sync => {
+            if let Some(target) = t.stack.pop() {
+                next_pc = target + 1;
+            }
+        }
+        Op::Bar => {
+            t.status = Status::AtBarrier;
+        }
+        Op::St {
+            space: MemSpace::Const,
+            ..
+        } => return Err(Trap::InvalidAddress { addr: 0 }),
+
+        _ if !pass => {}
+
+        Op::Mov { d, src } => {
+            let v = t.operand(src);
+            t.set_reg(d, v);
+        }
+        Op::S2r { d, sr } => {
+            let tid3 = dims.block.index_at(u64::from(tid));
+            let cta3 = dims.grid.index_at(cta);
+            let v = match sr {
+                SpecialReg::TidX => tid3.x,
+                SpecialReg::TidY => tid3.y,
+                SpecialReg::TidZ => tid3.z,
+                SpecialReg::CtaIdX => cta3.x,
+                SpecialReg::CtaIdY => cta3.y,
+                SpecialReg::CtaIdZ => cta3.z,
+                SpecialReg::NTidX => dims.block.x,
+                SpecialReg::NTidY => dims.block.y,
+                SpecialReg::NTidZ => dims.block.z,
+                SpecialReg::NCtaIdX => dims.grid.x,
+                SpecialReg::NCtaIdY => dims.grid.y,
+                SpecialReg::NCtaIdZ => dims.grid.z,
+                SpecialReg::LaneId => tid % 32,
+                SpecialReg::WarpId => tid / 32,
+            };
+            t.set_reg(d, v);
+        }
+        Op::IArith { op, d, a, b } => {
+            let v = exec::int_op(op, t.reg(a), t.operand(b));
+            t.set_reg(d, v);
+        }
+        Op::IMad { d, a, b, c } => {
+            let v = exec::imad(t.reg(a), t.operand(b), t.reg(c));
+            t.set_reg(d, v);
+        }
+        Op::Bit { op, d, a, b } => {
+            let v = exec::bit_op(op, t.reg(a), t.operand(b));
+            t.set_reg(d, v);
+        }
+        Op::Not { d, a } => {
+            let v = !t.reg(a);
+            t.set_reg(d, v);
+        }
+        Op::FArith { op, d, a, b } => {
+            let v = exec::float_op(op, t.reg(a), t.operand(b));
+            t.set_reg(d, v);
+        }
+        Op::FFma { d, a, b, c } => {
+            let v = exec::ffma(t.reg(a), t.operand(b), t.reg(c));
+            t.set_reg(d, v);
+        }
+        Op::FUnary { op, d, a } => {
+            let v = exec::float_un(op, t.reg(a));
+            t.set_reg(d, v);
+        }
+        Op::I2f { d, a } => {
+            let v = exec::i2f(t.reg(a));
+            t.set_reg(d, v);
+        }
+        Op::F2i { d, a } => {
+            let v = exec::f2i(t.reg(a));
+            t.set_reg(d, v);
+        }
+        Op::ISetp { cmp, p, a, b } => {
+            let v = cmp.eval_i32(t.reg(a) as i32, t.operand(b) as i32);
+            t.set_pred(p, v);
+        }
+        Op::FSetp { cmp, p, a, b } => {
+            let v = cmp.eval_f32(f32::from_bits(t.reg(a)), f32::from_bits(t.operand(b)));
+            t.set_pred(p, v);
+        }
+        Op::Sel { d, a, b, p } => {
+            let v = if t.pred(p) { t.reg(a) } else { t.operand(b) };
+            t.set_reg(d, v);
+        }
+        Op::Nop => {}
+        Op::Bra { target } => next_pc = target,
+        Op::Exit => t.status = Status::Exited,
+        Op::Ld {
+            space,
+            d,
+            addr,
+            offset,
+        } => {
+            let a = t.reg(addr).wrapping_add(offset as u32);
+            let v = match space {
+                MemSpace::Shared => load_shared(smem, a)?,
+                MemSpace::Const => mem.load4_const(a)?,
+                MemSpace::Local => mem.load4(local_eff(kernel, dims, cta, tid, a)?)?,
+                MemSpace::Global | MemSpace::Texture => mem.load4(a)?,
+            };
+            t.set_reg(d, v);
+        }
+        Op::St {
+            space,
+            addr,
+            offset,
+            v,
+        } => {
+            let a = t.reg(addr).wrapping_add(offset as u32);
+            let val = t.reg(v);
+            match space {
+                MemSpace::Shared => store_shared(smem, a, val)?,
+                MemSpace::Local => mem.store4(local_eff(kernel, dims, cta, tid, a)?, val)?,
+                MemSpace::Global => mem.store4(a, val)?,
+                MemSpace::Texture => {
+                    // The texture path is read-only; validation order
+                    // matches the simulator (alignment first).
+                    FuncMem::check_access(a)?;
+                    return Err(Trap::InvalidAddress { addr: a });
+                }
+                MemSpace::Const => unreachable!("handled before the guard"),
+            }
+        }
+    }
+
+    if t.status == Status::Running || t.status == Status::AtBarrier {
+        t.pc = next_pc;
+    }
+    Ok(())
+}
+
+/// Resolves a per-thread local-memory address to its backing-segment
+/// address, with the simulator's validation order: alignment, then the
+/// per-thread local-memory bound.
+fn local_eff(
+    kernel: &Kernel,
+    dims: LaunchDims,
+    cta: u64,
+    tid: u32,
+    base: u32,
+) -> Result<u32, Trap> {
+    let lmem = kernel.lmem_bytes();
+    if !base.is_multiple_of(4) {
+        return Err(Trap::Misaligned { addr: base });
+    }
+    if u64::from(base) + 4 > u64::from(lmem) {
+        return Err(Trap::LmemOutOfBounds { offset: base });
+    }
+    let tid_global = cta * u64::from(dims.threads_per_cta()) + u64::from(tid);
+    Ok(LOCAL_BASE.wrapping_add(((tid_global * u64::from(lmem)) as u32).wrapping_add(base)))
+}
+
+fn load_shared(smem: &[u8], a: u32) -> Result<u32, Trap> {
+    check_shared(smem, a)?;
+    let o = a as usize;
+    Ok(u32::from_le_bytes(
+        smem[o..o + 4].try_into().expect("4-byte slice"),
+    ))
+}
+
+fn store_shared(smem: &mut [u8], a: u32, v: u32) -> Result<(), Trap> {
+    check_shared(smem, a)?;
+    let o = a as usize;
+    smem[o..o + 4].copy_from_slice(&v.to_le_bytes());
+    Ok(())
+}
+
+fn check_shared(smem: &[u8], a: u32) -> Result<(), Trap> {
+    if !a.is_multiple_of(4) {
+        return Err(Trap::Misaligned { addr: a });
+    }
+    if u64::from(a) + 4 > smem.len() as u64 {
+        return Err(Trap::SmemOutOfBounds { offset: a });
+    }
+    Ok(())
+}

@@ -1,0 +1,529 @@
+//! # Differential-execution oracle
+//!
+//! Everything the campaign measures rests on the cycle-level simulator's
+//! golden run being functionally correct — and the optimized campaign
+//! engines (taint early exit, checkpoint-and-fork) add new ways to
+//! silently corrupt that baseline.  This module provides an independent
+//! check, in the spirit of gpuFI-4's golden-vs-faulty comparison applied
+//! to the simulator itself:
+//!
+//! * [`interp`] — a functional reference interpreter that executes a
+//!   launch thread-by-thread with architectural semantics only;
+//! * [`OracleMirror`] — a lockstep shadow attached to a [`crate::Gpu`]
+//!   ([`crate::Gpu::attach_oracle`]): every host-API call is mirrored into
+//!   the reference machine and every launch is diffed against it, latching
+//!   the first [`Divergence`] (structure, address/register, thread) with a
+//!   minimal repro dump;
+//! * [`fuzz`] — a seeded random-kernel generator asserting sim ≡ oracle
+//!   over arbitrary well-formed SASS-lite programs.
+
+use crate::error::Trap;
+use crate::grid::LaunchDims;
+use crate::mem::{MemSystem, GLOBAL_BASE};
+use gpufi_isa::Kernel;
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub mod fuzz;
+pub mod interp;
+
+pub use interp::{run_reference, FuncMem};
+
+/// Exit-time architectural state of one thread: the registers and
+/// predicates it held when its `EXIT` retired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadState {
+    /// Linear CTA index within the grid.
+    pub cta: u64,
+    /// Linear thread id within the CTA.
+    pub tid: u32,
+    /// Register values `R0..` at exit.
+    pub regs: Vec<u32>,
+    /// Predicate bits `P0..` at exit (bit `p` of the byte).
+    pub preds: u8,
+}
+
+/// The first point where the cycle-level simulator and the reference
+/// interpreter disagree: which structure, at which address or register,
+/// in which thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// `malloc` returned different device addresses (allocator drift).
+    HostAlloc {
+        /// Requested size.
+        bytes: u32,
+        /// Simulator's pointer.
+        sim: u32,
+        /// Oracle's pointer (`None` when the oracle ran out of memory).
+        oracle: Option<u32>,
+    },
+    /// The oracle rejected a host-side range the simulator accepted.
+    HostRange {
+        /// Which host operation.
+        op: &'static str,
+        /// Offending device address.
+        addr: u32,
+    },
+    /// A `memcpy_d2h` readout byte differs.
+    Output {
+        /// Device byte address.
+        addr: u32,
+        /// Simulator's byte.
+        sim: u8,
+        /// Oracle's byte.
+        oracle: u8,
+    },
+    /// A global-memory byte differs after a launch.
+    GlobalMem {
+        /// Device byte address.
+        addr: u32,
+        /// Simulator's byte.
+        sim: u8,
+        /// Oracle's byte.
+        oracle: u8,
+    },
+    /// A register differs at thread exit.
+    Register {
+        /// Linear CTA index.
+        cta: u64,
+        /// Thread id within the CTA.
+        tid: u32,
+        /// Register index.
+        reg: u32,
+        /// Simulator's value.
+        sim: u32,
+        /// Oracle's value.
+        oracle: u32,
+    },
+    /// The predicate byte differs at thread exit.
+    Pred {
+        /// Linear CTA index.
+        cta: u64,
+        /// Thread id within the CTA.
+        tid: u32,
+        /// Simulator's predicate bits.
+        sim: u8,
+        /// Oracle's predicate bits.
+        oracle: u8,
+    },
+    /// One side retired a thread the other did not.
+    MissingThread {
+        /// Linear CTA index.
+        cta: u64,
+        /// Thread id within the CTA.
+        tid: u32,
+        /// Which side is missing the thread (`"sim"` or `"oracle"`).
+        missing_in: &'static str,
+    },
+    /// One side trapped and the other did not.
+    TrapMismatch {
+        /// Simulator's trap, if any.
+        sim: Option<Trap>,
+        /// Oracle's trap, if any.
+        oracle: Option<Trap>,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::HostAlloc { bytes, sim, oracle } => write!(
+                f,
+                "host allocator: malloc({bytes}) -> sim 0x{sim:08x}, oracle {}",
+                match oracle {
+                    Some(p) => format!("0x{p:08x}"),
+                    None => "out-of-memory".to_string(),
+                }
+            ),
+            Divergence::HostRange { op, addr } => write!(
+                f,
+                "host range: oracle rejected {op} at 0x{addr:08x} the simulator accepted"
+            ),
+            Divergence::Output { addr, sim, oracle } => write!(
+                f,
+                "output (memcpy_d2h): byte at 0x{addr:08x} sim=0x{sim:02x} oracle=0x{oracle:02x}"
+            ),
+            Divergence::GlobalMem { addr, sim, oracle } => write!(
+                f,
+                "global memory: byte at 0x{addr:08x} sim=0x{sim:02x} oracle=0x{oracle:02x}"
+            ),
+            Divergence::Register {
+                cta,
+                tid,
+                reg,
+                sim,
+                oracle,
+            } => write!(
+                f,
+                "register file: R{reg} of thread {tid} (CTA {cta}) \
+                 sim=0x{sim:08x} oracle=0x{oracle:08x}"
+            ),
+            Divergence::Pred {
+                cta,
+                tid,
+                sim,
+                oracle,
+            } => write!(
+                f,
+                "predicates: thread {tid} (CTA {cta}) sim=0b{sim:08b} oracle=0b{oracle:08b}"
+            ),
+            Divergence::MissingThread {
+                cta,
+                tid,
+                missing_in,
+            } => write!(
+                f,
+                "thread retirement: thread {tid} (CTA {cta}) never exited in the {missing_in}"
+            ),
+            Divergence::TrapMismatch { sim, oracle } => write!(
+                f,
+                "trap: sim={} oracle={}",
+                trap_str(*sim),
+                trap_str(*oracle)
+            ),
+        }
+    }
+}
+
+fn trap_str(t: Option<Trap>) -> String {
+    match t {
+        Some(t) => t.to_string(),
+        None => "completed".to_string(),
+    }
+}
+
+/// A latched divergence plus enough context to reproduce it: the kernel's
+/// disassembly, the launch geometry and the argument values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceReport {
+    /// What diverged, and where.
+    pub divergence: Divergence,
+    /// Human-readable location: which launch / host op.
+    pub context: String,
+    /// Minimal repro: kernel disassembly + dims + args (launches only).
+    pub repro: Option<String>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sim-vs-oracle divergence in {}", self.divergence)?;
+        write!(f, "  at {}", self.context)?;
+        if let Some(repro) = &self.repro {
+            write!(f, "\n  repro:\n{repro}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DivergenceReport {}
+
+/// The lockstep shadow machine.
+///
+/// Attached to a [`crate::Gpu`] via [`crate::Gpu::attach_oracle`], it
+/// replays every host-API call against a [`FuncMem`] and runs every
+/// launch through [`run_reference`], diffing the final architectural
+/// state (global memory, exit-time registers and predicates, host
+/// readouts) after each step.  The **first** divergence is latched with a
+/// repro dump; once latched, checking stops (the shadow state is no
+/// longer meaningful).
+#[derive(Debug)]
+pub struct OracleMirror {
+    mem: FuncMem,
+    launches: u64,
+    last_kernel: String,
+    divergence: Option<DivergenceReport>,
+    /// Both sides trapped: states legitimately differ (partial execution
+    /// is schedule-dependent), so later comparisons are meaningless.
+    trapped: bool,
+}
+
+impl OracleMirror {
+    /// A fresh mirror for a chip with the given allocation granularity.
+    pub fn new(line_bytes: u32) -> Self {
+        OracleMirror {
+            mem: FuncMem::new(line_bytes),
+            launches: 0,
+            last_kernel: String::new(),
+            divergence: None,
+            trapped: false,
+        }
+    }
+
+    /// The latched first divergence, if any.
+    pub fn divergence(&self) -> Option<&DivergenceReport> {
+        self.divergence.as_ref()
+    }
+
+    /// The oracle's final global-memory image.
+    pub fn global_image(&self) -> &[u8] {
+        self.mem.global_image()
+    }
+
+    fn active(&self) -> bool {
+        self.divergence.is_none() && !self.trapped
+    }
+
+    fn latch(&mut self, divergence: Divergence, context: String, repro: Option<String>) {
+        if self.divergence.is_none() {
+            self.divergence = Some(DivergenceReport {
+                divergence,
+                context,
+                repro,
+            });
+        }
+    }
+
+    fn host_context(&self, what: &str) -> String {
+        format!(
+            "{what} after {} launch(es), last kernel `{}`",
+            self.launches, self.last_kernel
+        )
+    }
+
+    /// Mirrors a successful `malloc`.
+    pub fn on_malloc(&mut self, bytes: u32, sim_ptr: u32) {
+        if !self.active() {
+            return;
+        }
+        let oracle = self.mem.alloc(bytes);
+        if oracle != Some(sim_ptr) {
+            let ctx = self.host_context("malloc");
+            self.latch(
+                Divergence::HostAlloc {
+                    bytes,
+                    sim: sim_ptr,
+                    oracle,
+                },
+                ctx,
+                None,
+            );
+        }
+    }
+
+    /// Mirrors a successful `memcpy_h2d`.
+    pub fn on_h2d(&mut self, addr: u32, data: &[u8]) {
+        if !self.active() {
+            return;
+        }
+        if !self.mem.host_write(addr, data) {
+            let ctx = self.host_context("memcpy_h2d");
+            self.latch(
+                Divergence::HostRange {
+                    op: "memcpy_h2d",
+                    addr,
+                },
+                ctx,
+                None,
+            );
+        }
+    }
+
+    /// Mirrors a successful `write_const`.
+    pub fn on_const_write(&mut self, offset: u32, data: &[u8]) {
+        if !self.active() {
+            return;
+        }
+        if !self.mem.const_write(offset, data) {
+            let ctx = self.host_context("write_const");
+            self.latch(
+                Divergence::HostRange {
+                    op: "write_const",
+                    addr: offset,
+                },
+                ctx,
+                None,
+            );
+        }
+    }
+
+    /// Checks a successful `memcpy_d2h` readout against the oracle's
+    /// memory, byte for byte.
+    pub fn on_d2h(&mut self, addr: u32, sim_out: &[u8]) {
+        if !self.active() {
+            return;
+        }
+        let Some(oracle_out) = self.mem.host_read(addr, sim_out.len()) else {
+            let ctx = self.host_context("memcpy_d2h");
+            self.latch(
+                Divergence::HostRange {
+                    op: "memcpy_d2h",
+                    addr,
+                },
+                ctx,
+                None,
+            );
+            return;
+        };
+        for (i, (&s, &o)) in sim_out.iter().zip(&oracle_out).enumerate() {
+            if s != o {
+                let ctx = self.host_context("memcpy_d2h");
+                self.latch(
+                    Divergence::Output {
+                        addr: addr + i as u32,
+                        sim: s,
+                        oracle: o,
+                    },
+                    ctx,
+                    None,
+                );
+                return;
+            }
+        }
+    }
+
+    /// Runs the reference interpreter over a finished launch and diffs the
+    /// final architectural state: trap outcome, the whole global segment,
+    /// then each thread's exit-time registers and predicates.
+    pub fn on_launch(
+        &mut self,
+        kernel: &Kernel,
+        dims: LaunchDims,
+        args: &[u32],
+        sim_trap: Option<Trap>,
+        sim_mem: &MemSystem,
+        sim_threads: &[ThreadState],
+    ) {
+        if !self.active() {
+            return;
+        }
+        self.launches += 1;
+        self.last_kernel = kernel.name().to_string();
+        let context = format!(
+            "launch {} of kernel `{}`, grid ({},{},{}) x block ({},{},{})",
+            self.launches,
+            kernel.name(),
+            dims.grid.x,
+            dims.grid.y,
+            dims.grid.z,
+            dims.block.x,
+            dims.block.y,
+            dims.block.z,
+        );
+        let repro = || {
+            Some(format!(
+                "{kernel}  ; grid ({},{},{}) block ({},{},{}) args {args:?}",
+                dims.grid.x, dims.grid.y, dims.grid.z, dims.block.x, dims.block.y, dims.block.z,
+            ))
+        };
+
+        let oracle_threads = match run_reference(&mut self.mem, kernel, dims, args) {
+            Ok(t) => t,
+            Err(oracle_trap) => {
+                if sim_trap.is_none() {
+                    self.latch(
+                        Divergence::TrapMismatch {
+                            sim: None,
+                            oracle: Some(oracle_trap),
+                        },
+                        context,
+                        repro(),
+                    );
+                } else {
+                    // Both sides trapped: outcome agrees, but partial state
+                    // is schedule-dependent — stop shadowing.
+                    self.trapped = true;
+                }
+                return;
+            }
+        };
+        if let Some(t) = sim_trap {
+            self.latch(
+                Divergence::TrapMismatch {
+                    sim: Some(t),
+                    oracle: None,
+                },
+                context,
+                repro(),
+            );
+            return;
+        }
+
+        // Global memory, byte for byte (padding included — both sides pad
+        // identically and zero-fill).
+        let sim_img = sim_mem.global_image();
+        let oracle_img = self.mem.global_image();
+        debug_assert_eq!(sim_img.len(), oracle_img.len());
+        for (i, (&s, &o)) in sim_img.iter().zip(oracle_img).enumerate() {
+            if s != o {
+                self.latch(
+                    Divergence::GlobalMem {
+                        addr: GLOBAL_BASE + i as u32,
+                        sim: s,
+                        oracle: o,
+                    },
+                    context,
+                    repro(),
+                );
+                return;
+            }
+        }
+
+        // Exit-time thread state, keyed and ordered by (CTA, thread).
+        let oracle_map: BTreeMap<(u64, u32), &ThreadState> =
+            oracle_threads.iter().map(|t| ((t.cta, t.tid), t)).collect();
+        let mut sim_sorted: Vec<&ThreadState> = sim_threads.iter().collect();
+        sim_sorted.sort_by_key(|t| (t.cta, t.tid));
+        for st in &sim_sorted {
+            let Some(ot) = oracle_map.get(&(st.cta, st.tid)) else {
+                self.latch(
+                    Divergence::MissingThread {
+                        cta: st.cta,
+                        tid: st.tid,
+                        missing_in: "oracle",
+                    },
+                    context,
+                    repro(),
+                );
+                return;
+            };
+            let nregs = st.regs.len().max(ot.regs.len());
+            for r in 0..nregs {
+                let s = st.regs.get(r).copied().unwrap_or(0);
+                let o = ot.regs.get(r).copied().unwrap_or(0);
+                if s != o {
+                    self.latch(
+                        Divergence::Register {
+                            cta: st.cta,
+                            tid: st.tid,
+                            reg: r as u32,
+                            sim: s,
+                            oracle: o,
+                        },
+                        context,
+                        repro(),
+                    );
+                    return;
+                }
+            }
+            if st.preds != ot.preds {
+                self.latch(
+                    Divergence::Pred {
+                        cta: st.cta,
+                        tid: st.tid,
+                        sim: st.preds,
+                        oracle: ot.preds,
+                    },
+                    context,
+                    repro(),
+                );
+                return;
+            }
+        }
+        if sim_sorted.len() != oracle_map.len() {
+            // Some oracle thread never exited in the sim.
+            let sim_keys: std::collections::BTreeSet<(u64, u32)> =
+                sim_sorted.iter().map(|t| (t.cta, t.tid)).collect();
+            if let Some(&(cta, tid)) = oracle_map.keys().find(|k| !sim_keys.contains(k)) {
+                self.latch(
+                    Divergence::MissingThread {
+                        cta,
+                        tid,
+                        missing_in: "sim",
+                    },
+                    context,
+                    repro(),
+                );
+            }
+        }
+    }
+}

@@ -306,4 +306,60 @@ mod tests {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<CheckpointStore>();
     }
+
+    #[test]
+    fn budget_below_one_snapshot_keeps_exactly_one() {
+        // A budget smaller than any single snapshot must never empty the
+        // store (a store with zero snapshots would silently degrade every
+        // run to a cold start) — re-striding stops at one survivor.
+        let sz = snap(10).resident_bytes();
+        assert!(sz > 1, "rtx2060 snapshots cost real memory");
+        let mut rec = Recorder::new(10, 1);
+        for c in 1..=6u64 {
+            rec.push(snap(c * 10));
+            assert_eq!(
+                rec.snapshots.len(),
+                1,
+                "after push {c}: over-budget store must hold exactly one"
+            );
+        }
+        // The survivor of repeated halving is the *earliest* snapshot —
+        // the one every fork point can soundly resume from.
+        assert_eq!(rec.snapshots[0].cycle, 10);
+        let store = rec.into_store();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.nearest_at_or_before(5), None);
+        for cycle in [10, 35, u64::MAX] {
+            assert_eq!(store.nearest_at_or_before(cycle), Some(0), "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn stride_doubling_drops_every_other_snapshot() {
+        // Budget for exactly two snapshots: the third push overflows,
+        // drops the even-indexed survivors and doubles the stride.
+        let sz = snap(10).resident_bytes();
+        let mut rec = Recorder::new(10, 2 * sz);
+        rec.push(snap(10));
+        rec.push(snap(20));
+        assert_eq!(rec.interval, 10, "within budget: stride unchanged");
+        assert_eq!(rec.next_at, 30);
+        rec.push(snap(30));
+        let cycles: Vec<u64> = rec.snapshots.iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, [10, 30], "keeps 1st and 3rd of [10, 20, 30]");
+        assert_eq!(rec.interval, 20, "stride doubled once");
+        assert_eq!(rec.next_at, 30 + 20, "next capture follows the new stride");
+        // Overflowing again doubles again.
+        rec.push(snap(50));
+        let cycles: Vec<u64> = rec.snapshots.iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, [10, 50]);
+        assert_eq!(rec.interval, 40);
+        assert_eq!(rec.into_store().interval(), 40);
+    }
+
+    #[test]
+    fn recorder_rejects_zero_interval() {
+        let r = std::panic::catch_unwind(|| Recorder::new(0, 1024));
+        assert!(r.is_err(), "a zero stride would capture every cycle");
+    }
 }

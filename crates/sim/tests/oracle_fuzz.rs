@@ -1,0 +1,49 @@
+//! Differential fuzzing: the cycle-level simulator against the
+//! functional reference interpreter over hundreds of random SASS-lite
+//! kernels (straight-line, divergent, barrier-synchronized, shared- and
+//! local-memory, const-bank, mixed int/float ALU).
+//!
+//! A single divergence fails the test and prints the first divergent
+//! location (structure, address/register, thread) plus a minimal repro
+//! (kernel disassembly, launch geometry, arguments).
+
+use gpufi_sim::oracle::fuzz::{fuzz_sweep, gen_case, run_case};
+
+/// The headline acceptance bar: ≥500 seeded random kernels, zero
+/// divergences.
+#[test]
+fn fuzz_500_kernels_sim_matches_oracle() {
+    let ran = fuzz_sweep(0xF00D_2026, 500);
+    assert_eq!(ran, 500);
+}
+
+/// A different seed band, exercising generator paths the first sweep's
+/// RNG stream may have skipped.
+#[test]
+fn fuzz_alternate_seed_band() {
+    let ran = fuzz_sweep(0x5EED_CAFE, 150);
+    assert_eq!(ran, 150);
+}
+
+/// The generator is deterministic: the same seed yields the same kernel
+/// source and launch geometry (campaign reproducibility depends on it).
+#[test]
+fn fuzz_cases_are_deterministic() {
+    let a = gen_case(42);
+    let b = gen_case(42);
+    assert_eq!(a.source, b.source);
+    assert_eq!(a.in_words, b.in_words);
+    assert_eq!(a.const_words, b.const_words);
+    assert_eq!((a.grid, a.block), (b.grid, b.block));
+    let c = gen_case(43);
+    assert_ne!(a.source, c.source, "distinct seeds should differ");
+}
+
+/// Single-case entry point used when bisecting a failing seed.
+#[test]
+fn fuzz_single_case_runs_clean() {
+    let case = gen_case(7);
+    if let Err(report) = run_case(&case) {
+        panic!("seed 7 diverged:\n{report}\nsource:\n{}", case.source);
+    }
+}

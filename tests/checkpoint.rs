@@ -100,6 +100,29 @@ fn snapshot_fidelity_across_strides() {
     }
 }
 
+/// A checkpoint budget too small for even one snapshot degrades the store
+/// to a single early snapshot — and restoring from it must still replay
+/// to the exact golden output, cycles and statistics.
+#[test]
+fn restore_works_when_only_the_first_snapshot_survives() {
+    let card = GpuConfig::rtx2060();
+    let w = VectorAdd::new(256);
+    let golden = profile(&w, &card).unwrap();
+    let mut rec = Gpu::new(card.clone());
+    // Stride of 1 cycle against a 1-byte budget: maximal re-striding
+    // pressure, every push over the first triggers halving.
+    rec.record_checkpoints(1, 1);
+    w.run(&mut rec).unwrap();
+    let store = std::sync::Arc::new(rec.finish_checkpoint_recording());
+    assert_eq!(store.len(), 1, "budget of 1 byte must keep exactly one");
+    let mut gpu = Gpu::new(card);
+    gpu.resume_from(&store, 0);
+    let out = w.run(&mut gpu).unwrap();
+    assert_eq!(out, golden.output);
+    assert_eq!(gpu.cycle(), golden.total_cycles());
+    assert_eq!(gpu.stats(), &golden.app);
+}
+
 /// `Gpu::snapshot` / `Gpu::restore` round-trip between launches: restoring
 /// a snapshot into a fresh device and running the workload again matches
 /// running it twice back-to-back on one device.

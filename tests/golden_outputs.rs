@@ -1,0 +1,75 @@
+//! Pins every paper workload's golden output to an FNV-1a checksum.
+//!
+//! The campaign classifier compares each faulty run's output bytes
+//! against the golden run's, so any drift in a workload's fault-free
+//! result silently re-baselines every SDC classification.  These pins
+//! turn such a drift into a loud test failure: if one fires, either a
+//! workload or the simulator changed behaviour — decide explicitly
+//! whether that was intended before updating the constant.
+//!
+//! Checksums are over the exact `Vec<u8>` a fault-free `Workload::run`
+//! returns on the default RTX 2060 chip at the default (campaign) sizes.
+
+use gpufi::prelude::*;
+
+/// 64-bit FNV-1a over the output bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `(benchmark, fnv1a(output), output length)` for the default sizes on
+/// RTX 2060, in the paper's figure order.
+const GOLDEN: [(&str, u64, usize); 12] = [
+    ("HS", 0xf081292467ed22b6, 4096),
+    ("KM", 0x303f5385ab20d94a, 2176),
+    ("SRAD1", 0xb567098ad1d9f1c7, 4096),
+    ("SRAD2", 0x7499c893da4d14f9, 4096),
+    ("LUD", 0xb0254b6da9706b7a, 4096),
+    ("BFS", 0xaa0404fe9e5bafc3, 1024),
+    ("PATHF", 0xa0191ae6c6bd60c0, 1024),
+    ("NW", 0x3bfd3e7c30fb7f6b, 9604),
+    ("GE", 0xb656c85c5732205b, 4352),
+    ("BP", 0xa9f312491af2c1a9, 16448),
+    ("VA", 0x9f7611fbbf674326, 16384),
+    ("SP", 0xb1ebcdf32f6a783f, 192),
+];
+
+#[test]
+fn every_workload_output_checksum_is_pinned() {
+    let card = GpuConfig::rtx2060();
+    let suite = gpufi::workloads::paper_suite();
+    assert_eq!(suite.len(), GOLDEN.len());
+    for (w, &(name, sum, len)) in suite.iter().zip(&GOLDEN) {
+        assert_eq!(w.name(), name, "suite order changed");
+        let golden = profile(w.as_ref(), &card).unwrap();
+        assert_eq!(
+            golden.output.len(),
+            len,
+            "{name}: output length drifted — result buffer shape changed"
+        );
+        assert_eq!(
+            fnv1a(&golden.output),
+            sum,
+            "{name}: golden output bytes drifted (checksum 0x{:016x}) — \
+             every SDC classification would silently re-baseline",
+            fnv1a(&golden.output)
+        );
+    }
+}
+
+/// The profile path and a plain run produce identical bytes — the pinned
+/// checksums guard both.
+#[test]
+fn profile_output_equals_plain_run() {
+    let card = GpuConfig::rtx2060();
+    let w = VectorAdd::default();
+    let golden = profile(&w, &card).unwrap();
+    let mut gpu = gpufi::sim::Gpu::new(card);
+    let out = w.run(&mut gpu).unwrap();
+    assert_eq!(out, golden.output);
+}
