@@ -12,7 +12,10 @@
 //! gpufi analyze  --bench VA [--card gv100] [--runs 60] [--bits 3]
 //! ```
 
-use gpufi_core::{analyze_with_golden, profile, run_campaign, AnalysisConfig, CampaignConfig};
+use gpufi_core::{
+    analyze_with_golden, profile, run_campaign, run_campaign_with_hook, AnalysisConfig,
+    CampaignConfig,
+};
 use gpufi_faults::{CampaignSpec, MultiBitMode, Structure};
 use gpufi_metrics::{margin_of_error, FaultEffect};
 use gpufi_sim::{GpuConfig, Scope};
@@ -39,6 +42,8 @@ usage:
                  [--bits K] [--kernel <K>] [--scope thread|warp] [--spread]
                  [--seed S] [--threads T] [--no-early-exit] [--no-checkpoints]
                  [--checkpoint-interval C] [--oracle-check] [--csv FILE]
+                 [--journal FILE] [--no-journal] [--resume] [--max-run-seconds S]
+                 [--inject-panic-run I]
   gpufi analyze  --bench <NAME> [--card <CARD>] [--runs N] [--bits K] [--seed S]
   gpufi fuzz     [--kernels N] [--seed S]
 
@@ -55,7 +60,18 @@ forces cold starts from cycle 0 (validation modes);
 --oracle-check runs the golden pass in lockstep with the functional
 reference interpreter and fully simulates every run early exit would
 classify Masked, confirming the oracle-predicted final state;
-fuzz runs N random SASS-lite kernels through both engines (sim == oracle)";
+fuzz runs N random SASS-lite kernels through both engines (sim == oracle)
+
+fault tolerance: every run executes under a supervisor that catches
+simulator panics, retries each panicked run once and records reproduced
+panics as Crash (detail=sim_panic) without losing sibling runs; with
+--csv (or --journal) every completed run is fsync'd to an append-only
+journal (<csv>.journal.jsonl by default, --no-journal disables) and
+--resume restarts an interrupted campaign from it, re-running only the
+missing runs with bit-identical results; --max-run-seconds S adds a
+per-run wall-clock watchdog (classified Timeout, detail=wall_watchdog)
+on top of the 2x-golden-cycles cycle watchdog; --inject-panic-run I
+panics run I on both attempts (supervisor self-test)";
 
 /// Minimal `--flag value` parser over the argument list.
 struct Args<'a> {
@@ -220,12 +236,17 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
             "--kernel",
             "--checkpoint-interval",
             "--csv",
+            "--journal",
+            "--max-run-seconds",
+            "--inject-panic-run",
         ],
         &[
             "--spread",
             "--no-early-exit",
             "--no-checkpoints",
             "--oracle-check",
+            "--resume",
+            "--no-journal",
         ],
     )?;
     let workload = workload_of(args)?;
@@ -264,8 +285,50 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     if let Some(kernel) = args.value("--kernel") {
         cfg = cfg.for_kernel(kernel);
     }
-    let result =
-        run_campaign(workload.as_ref(), &card, &cfg, &golden).map_err(|e| e.to_string())?;
+    // Journal path: explicit --journal wins; otherwise derived from --csv
+    // unless --no-journal opts out.
+    let journal_path: Option<String> = if args.flag("--no-journal") {
+        if args.value("--journal").is_some() {
+            return Err("--no-journal conflicts with --journal".into());
+        }
+        None
+    } else if let Some(j) = args.value("--journal") {
+        Some(j.to_string())
+    } else {
+        args.value("--csv").map(|c| format!("{c}.journal.jsonl"))
+    };
+    if args.flag("--resume") && journal_path.is_none() {
+        return Err("--resume needs --journal (or --csv, to derive the journal path)".into());
+    }
+    if let Some(p) = journal_path {
+        cfg = cfg.with_journal(p);
+    }
+    if args.flag("--resume") {
+        cfg = cfg.with_resume();
+    }
+    let max_run_seconds: u64 = args.parse("--max-run-seconds", 0)?;
+    if max_run_seconds > 0 {
+        cfg = cfg.with_max_run_ms(max_run_seconds.saturating_mul(1000));
+    }
+    let panic_run: Option<usize> = args
+        .value("--inject-panic-run")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("bad value for --inject-panic-run: `{v}`"))
+        })
+        .transpose()?;
+    let result = match panic_run {
+        None => run_campaign(workload.as_ref(), &card, &cfg, &golden),
+        Some(poison) => {
+            let hook = move |run: usize, _attempt: u32| {
+                if run == poison {
+                    panic!("injected poison run {run} (--inject-panic-run)");
+                }
+            };
+            run_campaign_with_hook(workload.as_ref(), &card, &cfg, &golden, Some(&hook))
+        }
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "benchmark: {}  card: {}  structure: {}  bits/fault: {}  runs: {}",
         workload.name(),
@@ -307,6 +370,25 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
         s.restores,
         s.mean_skipped_cycles
     );
+    if s.panics > 0 || s.retries > 0 {
+        println!(
+            "  supervisor: {} panic(s) caught, {} quarantined run(s) retried once",
+            s.panics, s.retries
+        );
+    }
+    if s.resumed > 0 {
+        println!(
+            "  resume: {} run(s) loaded from the journal, {} executed",
+            s.resumed,
+            runs.saturating_sub(s.resumed)
+        );
+    }
+    if s.journal_bytes > 0 {
+        println!(
+            "  journal: {} bytes fsync'd ({:.0} ms)",
+            s.journal_bytes, s.journal_ms
+        );
+    }
     if s.oracle_checked > 0 {
         println!(
             "  oracle: {} runs checked, {} early-exit verdicts verified, {} mismatches",

@@ -227,6 +227,12 @@ pub fn analyze_with_golden(
                 Err(e @ CampaignError::OracleDivergence(_)) => {
                     unreachable!("analysis campaigns never set oracle_check: {e}")
                 }
+                Err(e @ CampaignError::Journal(_)) => {
+                    unreachable!("analysis campaigns never set a journal: {e}")
+                }
+                Err(CampaignError::Internal(missing)) => {
+                    unreachable!("supervisor lost run indices {missing:?}")
+                }
             }
         }
 

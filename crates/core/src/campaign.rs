@@ -1,7 +1,8 @@
 //! The injection-campaign controller (the paper's front-end loop, §V.B).
 
-use crate::classify::classify;
+use crate::classify::{classify, detail_of, RunDetail};
 use crate::profile::GoldenProfile;
+use crate::supervisor::{campaign_fingerprint, catch_run, RunJournal};
 use crate::workload::{Workload, WorkloadError};
 use gpufi_faults::{CampaignSpec, DrawError, MaskGenerator};
 use gpufi_metrics::{FaultEffect, Tally};
@@ -10,8 +11,8 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default memory budget for the checkpoint store (the recorder doubles
 /// its stride rather than exceed this).
@@ -65,6 +66,24 @@ pub struct CampaignConfig {
     /// records identical to the optimized engine's.
     #[serde(default)]
     pub oracle_check: bool,
+    /// Path of the crash-safe run journal (`<out>.journal.jsonl`): one
+    /// fsync'd JSON line per completed run, written incrementally by the
+    /// workers.  `None` disables journaling.
+    #[serde(default)]
+    pub journal: Option<String>,
+    /// Resume from an existing journal at [`CampaignConfig::journal`]:
+    /// validate its fingerprint, load the completed records and schedule
+    /// only the missing run indices.  The resumed campaign's records and
+    /// `Tally` are bit-identical to an uninterrupted run's.  When the
+    /// journal file does not exist the campaign simply starts fresh.
+    #[serde(default)]
+    pub resume: bool,
+    /// Per-run wall-clock watchdog in milliseconds (`0` = off): a run
+    /// whose *real* time exceeds this aborts with a wall-clock trap and
+    /// classifies **Timeout**, complementing the 2×-golden-cycles cycle
+    /// watchdog for flips that livelock the simulator inside a cycle.
+    #[serde(default)]
+    pub max_run_ms: u64,
 }
 
 impl CampaignConfig {
@@ -82,6 +101,9 @@ impl CampaignConfig {
             checkpoint_budget: DEFAULT_CHECKPOINT_BUDGET,
             cycle_window: None,
             oracle_check: false,
+            journal: None,
+            resume: false,
+            max_run_ms: 0,
         }
     }
 
@@ -122,6 +144,24 @@ impl CampaignConfig {
         self
     }
 
+    /// Enables the crash-safe run journal at `path`.
+    pub fn with_journal(mut self, path: impl Into<String>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Resumes from the journal configured via [`CampaignConfig::with_journal`].
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Sets the per-run wall-clock watchdog (`0` = off).
+    pub fn with_max_run_ms(mut self, ms: u64) -> Self {
+        self.max_run_ms = ms;
+        self
+    }
+
     /// Restricts injection cycles to `[start, end)`.
     pub fn with_cycle_window(mut self, start: u64, end: u64) -> Self {
         self.cycle_window = Some((start, end));
@@ -153,6 +193,11 @@ pub struct RunRecord {
     /// Golden-run cycles skipped by forking from a checkpoint instead of
     /// cold-starting (`0` = cold start).
     pub ckpt_skipped_cycles: u64,
+    /// Sub-classification of the outcome: which trap kind a Crash was,
+    /// which watchdog a Timeout was, or [`RunDetail::SimPanic`] for a run
+    /// the supervisor quarantined after a reproducible simulator panic.
+    #[serde(default)]
+    pub detail: RunDetail,
 }
 
 /// Wall-clock throughput and fault-behaviour statistics of one campaign.
@@ -192,6 +237,28 @@ pub struct CampaignStats {
     /// with the oracle's global-memory image.  Must be zero.
     #[serde(default)]
     pub oracle_mismatches: usize,
+    /// Run attempts that ended in a simulator-internal panic (caught and
+    /// isolated by the supervisor; a run that panics on both its first
+    /// attempt and its retry counts twice).
+    #[serde(default)]
+    pub panics: usize,
+    /// Panicked runs the supervisor re-executed once from the quarantine
+    /// queue, to distinguish deterministic poison runs from incidental
+    /// failures.
+    #[serde(default)]
+    pub retries: usize,
+    /// Completed runs loaded from the journal instead of executed
+    /// (`--resume`).
+    #[serde(default)]
+    pub resumed: usize,
+    /// Bytes appended to the run journal by this campaign (0 = journaling
+    /// off).
+    #[serde(default)]
+    pub journal_bytes: u64,
+    /// Wall-clock milliseconds spent writing and fsyncing journal lines —
+    /// the journal's overhead, reported so regressions are visible.
+    #[serde(default)]
+    pub journal_ms: f64,
 }
 
 /// The aggregated result of a campaign.
@@ -230,6 +297,14 @@ pub enum CampaignError {
     /// The lockstep golden run diverged from the reference interpreter —
     /// the simulator itself (not an injection) is functionally wrong.
     OracleDivergence(String),
+    /// The run journal could not be created, read or appended, or the
+    /// journal on disk belongs to a different campaign (fingerprint or
+    /// run-count mismatch).
+    Journal(String),
+    /// A supervisor invariant broke: the workers finished without
+    /// producing a record for these run indices.  Reported instead of
+    /// panicking so the caller sees *which* runs went missing.
+    Internal(Vec<usize>),
 }
 
 impl fmt::Display for CampaignError {
@@ -238,6 +313,11 @@ impl fmt::Display for CampaignError {
             CampaignError::Draw(e) => write!(f, "cannot draw fault: {e}"),
             CampaignError::UnknownKernel(k) => write!(f, "kernel `{k}` not in golden profile"),
             CampaignError::OracleDivergence(d) => write!(f, "oracle check failed: {d}"),
+            CampaignError::Journal(e) => write!(f, "run journal: {e}"),
+            CampaignError::Internal(missing) => write!(
+                f,
+                "internal supervisor error: no record for run indices {missing:?}"
+            ),
         }
     }
 }
@@ -414,6 +494,9 @@ fn one_run(
     }
     gpu.arm_faults(run.plan.clone());
     gpu.set_watchdog(golden.total_cycles() * 2);
+    if cfg.max_run_ms > 0 {
+        gpu.set_wall_watchdog(Duration::from_millis(cfg.max_run_ms));
+    }
     // Oracle check replaces the early-exit abort with a probe: the exit
     // predicate is still evaluated, but the run completes so its final
     // state can be compared against the oracle's prediction.
@@ -431,11 +514,13 @@ fn one_run(
             applied,
             early_exit: true,
             ckpt_skipped_cycles,
+            detail: RunDetail::None,
         };
         return (rec, OracleVerdict::default());
     }
     let cycles = gpu.stats().total_cycles().max(gpu.cycle());
     let effect = classify(&result, cycles, golden);
+    let detail = detail_of(&result);
     if let Some(img) = oracle_img {
         let mut verdict = OracleVerdict {
             checked: true,
@@ -458,6 +543,7 @@ fn one_run(
                     applied,
                     early_exit: true,
                     ckpt_skipped_cycles,
+                    detail: RunDetail::None,
                 };
                 return (rec, verdict);
             }
@@ -469,6 +555,7 @@ fn one_run(
             applied,
             early_exit: false,
             ckpt_skipped_cycles,
+            detail,
         };
         return (rec, verdict);
     }
@@ -478,6 +565,7 @@ fn one_run(
         applied,
         early_exit: false,
         ckpt_skipped_cycles,
+        detail,
     };
     (rec, OracleVerdict::default())
 }
@@ -508,6 +596,14 @@ fn pick_weighted<'a>(
     unreachable!("uniform draw below the total window length")
 }
 
+/// A test-only fault hook the supervisor invokes at the start of every
+/// supervised run attempt, with the run index and the attempt number
+/// (`0` = first attempt, `1` = the quarantine retry).  A hook that panics
+/// emulates a fault corrupting simulator invariants; panic-isolation tests
+/// and the CLI's `--inject-panic-run` use it to prove the campaign
+/// survives poison runs.
+pub type FaultHook = dyn Fn(usize, u32) + Sync + std::panic::RefUnwindSafe;
+
 /// Runs a full campaign: `cfg.runs` independent injection runs of
 /// `workload` on `card`, classified against `golden`.
 ///
@@ -524,40 +620,100 @@ fn pick_weighted<'a>(
 /// order because every run derives its own RNG from the campaign seed and
 /// the run index, and records are placed by original run index.
 ///
+/// The campaign is **supervised**: each run executes under
+/// `std::panic::catch_unwind`, so a simulator-internal panic is captured
+/// per run, quarantined, retried once, and — if it reproduces — recorded
+/// as **Crash** with [`RunDetail::SimPanic`] while every sibling run
+/// completes normally.  With [`CampaignConfig::journal`] set, each
+/// completed run is also appended (fsync'd) to a crash-safe journal that
+/// [`CampaignConfig::resume`] can restart from after process death.
+///
 /// # Errors
 ///
 /// Returns [`CampaignError`] when the fault space is empty for this
-/// kernel/chip (e.g. L1 data cache on GTX Titan) or the kernel is unknown.
+/// kernel/chip (e.g. L1 data cache on GTX Titan), the kernel is unknown,
+/// or the journal cannot be written / does not belong to this campaign.
 pub fn run_campaign(
     workload: &dyn Workload,
     card: &GpuConfig,
     cfg: &CampaignConfig,
     golden: &GoldenProfile,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_with_hook(workload, card, cfg, golden, None)
+}
+
+/// [`run_campaign`] with a [`FaultHook`] injected into every supervised
+/// run attempt (`None` behaves exactly like [`run_campaign`]).
+pub fn run_campaign_with_hook(
+    workload: &dyn Workload,
+    card: &GpuConfig,
+    cfg: &CampaignConfig,
+    golden: &GoldenProfile,
+    hook: Option<&FaultHook>,
+) -> Result<CampaignResult, CampaignError> {
     let start = Instant::now();
     let plans = draw_plans(cfg, golden)?;
+
+    // Journal / resume: load completed records first, so a resumed
+    // campaign schedules (and pays for) only the missing run indices.
+    let mut slots: Vec<Option<(RunRecord, OracleVerdict)>> = vec![None; cfg.runs];
+    let mut resumed = 0usize;
+    let journal: Option<RunJournal> = match &cfg.journal {
+        None => None,
+        Some(path) => {
+            let fp = campaign_fingerprint(workload.name(), &card.name, cfg);
+            if cfg.resume && std::path::Path::new(path).exists() {
+                let (j, loaded) =
+                    RunJournal::resume(path, fp, cfg.runs).map_err(CampaignError::Journal)?;
+                for (i, rec) in loaded.into_iter().enumerate() {
+                    if let Some(r) = rec {
+                        slots[i] = Some((r, OracleVerdict::default()));
+                        resumed += 1;
+                    }
+                }
+                Some(j)
+            } else {
+                Some(RunJournal::create(path, fp, cfg.runs).map_err(CampaignError::Journal)?)
+            }
+        }
+    };
+    let pending: Vec<usize> = (0..cfg.runs).filter(|&i| slots[i].is_none()).collect();
+
     // Oracle validation first: a functionally wrong golden run poisons
-    // every classification, so fail before any injection work.
-    let oracle_img: Option<Arc<Vec<u8>>> = if cfg.oracle_check {
+    // every classification, so fail before any injection work.  Both the
+    // oracle pass and the checkpoint-recording pass are skipped when the
+    // journal already covers every run.
+    let oracle_img: Option<Arc<Vec<u8>>> = if cfg.oracle_check && !pending.is_empty() {
         Some(Arc::new(oracle_golden_image(workload, card)?))
     } else {
         None
     };
     let img_ref: Option<&[u8]> = oracle_img.as_deref().map(Vec::as_slice);
-    let store = if cfg.checkpoints && !plans.is_empty() {
+    let store = if cfg.checkpoints && !pending.is_empty() {
         record_store(workload, card, cfg, golden)
     } else {
         None
     };
-    let threads = cfg.effective_threads().clamp(1, cfg.runs.max(1));
+    let threads = cfg.effective_threads().clamp(1, pending.len().max(1));
 
-    let mut order: Vec<usize> = (0..plans.len()).collect();
+    let mut order = pending;
     order.sort_by_key(|&i| plans[i].first_cycle);
 
-    let mut records: Vec<Option<(RunRecord, OracleVerdict)>> = vec![None; cfg.runs];
-    if threads <= 1 {
-        for &i in &order {
-            records[i] = Some(one_run(
+    let panics = AtomicUsize::new(0);
+    // Runs whose first attempt panicked, awaiting their single retry.
+    let quarantine: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    // First journal-append failure; the campaign fails with it at the end
+    // (the workers keep draining so in-memory results are not lost).
+    let journal_err: Mutex<Option<String>> = Mutex::new(None);
+
+    // One supervised attempt of run `i`: any panic inside the simulator
+    // is caught and returned as a message instead of unwinding.
+    let attempt = |i: usize, n: u32| -> Result<(RunRecord, OracleVerdict), String> {
+        catch_run(|| {
+            if let Some(h) = hook {
+                h(i, n);
+            }
+            one_run(
                 workload,
                 card,
                 cfg,
@@ -565,7 +721,37 @@ pub fn run_campaign(
                 &plans[i],
                 store.as_ref(),
                 img_ref,
-            ));
+            )
+        })
+    };
+    // First attempt of run `i`, executed by the workers: journal a
+    // completed run immediately (crash safety), quarantine a panicking one.
+    let run_one = |i: usize| -> Option<(usize, (RunRecord, OracleVerdict))> {
+        match attempt(i, 0) {
+            Ok(out) => {
+                if let Some(j) = &journal {
+                    if let Err(e) = j.append(i, &out.0) {
+                        journal_err
+                            .lock()
+                            .expect("journal error lock poisoned")
+                            .get_or_insert(e);
+                    }
+                }
+                Some((i, out))
+            }
+            Err(_msg) => {
+                panics.fetch_add(1, Ordering::Relaxed);
+                quarantine.lock().expect("quarantine lock poisoned").push(i);
+                None
+            }
+        }
+    };
+
+    if threads <= 1 {
+        for &i in &order {
+            if let Some((i, out)) = run_one(i) {
+                slots[i] = Some(out);
+            }
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -577,18 +763,9 @@ pub fn run_campaign(
                         loop {
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = order.get(k) else { break };
-                            local.push((
-                                i,
-                                one_run(
-                                    workload,
-                                    card,
-                                    cfg,
-                                    golden,
-                                    &plans[i],
-                                    store.as_ref(),
-                                    img_ref,
-                                ),
-                            ));
+                            if let Some(out) = run_one(i) {
+                                local.push(out);
+                            }
                         }
                         local
                     })
@@ -596,18 +773,77 @@ pub fn run_campaign(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                // Run panics are caught inside `run_one`; a worker can only
+                // die from a supervisor-infrastructure bug, which must not
+                // be masked.
+                .map(|h| h.join().expect("supervisor worker died outside a run"))
                 .collect()
         });
         for (i, rec) in done.into_iter().flatten() {
-            records[i] = Some(rec);
+            slots[i] = Some(rec);
         }
     }
 
-    let (records, verdicts): (Vec<RunRecord>, Vec<OracleVerdict>) = records
-        .into_iter()
-        .map(|r| r.expect("all runs filled"))
-        .unzip();
+    // Quarantine retry: each panicked run is re-executed exactly once, in
+    // run order, to tell deterministic poison runs from incidental
+    // failures.  A reproduced panic becomes the poison verdict — Crash,
+    // `sim_panic` — with deterministic placeholder fields, so a resumed
+    // campaign reproduces it bit for bit.
+    let mut retried: Vec<usize> = quarantine.into_inner().expect("quarantine lock poisoned");
+    retried.sort_unstable();
+    let retries = retried.len();
+    for &i in &retried {
+        let out = match attempt(i, 1) {
+            Ok(out) => out,
+            Err(_msg) => {
+                panics.fetch_add(1, Ordering::Relaxed);
+                (
+                    RunRecord {
+                        effect: FaultEffect::Crash,
+                        cycles: 0,
+                        applied: true,
+                        early_exit: false,
+                        ckpt_skipped_cycles: 0,
+                        detail: RunDetail::SimPanic,
+                    },
+                    OracleVerdict::default(),
+                )
+            }
+        };
+        if let Some(j) = &journal {
+            if let Err(e) = j.append(i, &out.0) {
+                journal_err
+                    .lock()
+                    .expect("journal error lock poisoned")
+                    .get_or_insert(e);
+            }
+        }
+        slots[i] = Some(out);
+    }
+    if let Some(e) = journal_err
+        .into_inner()
+        .expect("journal error lock poisoned")
+    {
+        return Err(CampaignError::Journal(e));
+    }
+
+    // Fill check: a missing slot is a supervisor bug; report which run
+    // indices vanished instead of panicking.
+    let mut records = Vec::with_capacity(cfg.runs);
+    let mut verdicts = Vec::with_capacity(cfg.runs);
+    let mut missing = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some((r, v)) => {
+                records.push(r);
+                verdicts.push(v);
+            }
+            None => missing.push(i),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(CampaignError::Internal(missing));
+    }
     let tally: Tally = records.iter().map(|r| r.effect).collect();
     let wall = start.elapsed().as_secs_f64();
     let applied = records.iter().filter(|r| r.applied).count();
@@ -642,6 +878,11 @@ pub fn run_campaign(
         oracle_checked: verdicts.iter().filter(|v| v.checked).count(),
         oracle_verified: verdicts.iter().filter(|v| v.verified).count(),
         oracle_mismatches: verdicts.iter().filter(|v| v.mismatch).count(),
+        panics: panics.into_inner(),
+        retries,
+        resumed,
+        journal_bytes: journal.as_ref().map_or(0, RunJournal::bytes_written),
+        journal_ms: journal.as_ref().map_or(0.0, RunJournal::wall_ms),
     };
     Ok(CampaignResult {
         spec: cfg.spec.clone(),

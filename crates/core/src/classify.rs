@@ -1,13 +1,15 @@
-//! Fault-effect classification (§V.B).
+//! Fault-effect classification (§V.B) and the per-run `detail`
+//! sub-classification.
 
 use crate::profile::GoldenProfile;
 use crate::workload::WorkloadError;
 use gpufi_metrics::FaultEffect;
 use gpufi_sim::Trap;
+use serde::{Deserialize, Serialize};
 
 /// Classifies one injection run against the golden profile:
 ///
-/// * watchdog trap → **Timeout** (run exceeded 2× fault-free cycles);
+/// * watchdog trap (cycle or wall-clock) → **Timeout**;
 /// * any other trap or device error → **Crash**;
 /// * wrong output → **SDC**;
 /// * correct output, identical cycle count → **Masked**;
@@ -18,11 +20,107 @@ pub fn classify(
     golden: &GoldenProfile,
 ) -> FaultEffect {
     match result {
-        Err(WorkloadError::Trap(Trap::Watchdog)) => FaultEffect::Timeout,
+        Err(WorkloadError::Trap(t)) if t.is_timeout() => FaultEffect::Timeout,
         Err(_) => FaultEffect::Crash,
         Ok(out) if *out != golden.output => FaultEffect::Sdc,
         Ok(_) if cycles == golden.total_cycles() => FaultEffect::Masked,
         Ok(_) => FaultEffect::Performance,
+    }
+}
+
+/// Sub-classification of a run's outcome — the CSV/journal `detail`
+/// column.  The paper reports five coarse classes; production campaigns
+/// additionally need to know *which kind* of Crash or Timeout a run was,
+/// most importantly to tell a simulator-internal panic (a fault corrupted
+/// simulator invariants — [`RunDetail::SimPanic`]) apart from an
+/// architecturally modelled trap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunDetail {
+    /// No sub-classification (Masked / SDC / Performance runs).
+    #[default]
+    None,
+    /// The simulator itself panicked during the run; the supervisor caught
+    /// the unwind, retried once, and the panic reproduced (a deterministic
+    /// poison run, recorded as **Crash**).
+    SimPanic,
+    /// Access to an unmapped device address.
+    InvalidAddress,
+    /// Misaligned device access.
+    Misaligned,
+    /// Program counter left the instruction stream.
+    InvalidPc,
+    /// Shared-memory access out of bounds.
+    SmemOutOfBounds,
+    /// Local-memory access out of bounds.
+    LmemOutOfBounds,
+    /// No warp could make progress.
+    Deadlock,
+    /// A host-side device-API error (allocation, bad pointer).
+    DeviceError,
+    /// The 2×-golden-cycles cycle watchdog fired.
+    CycleWatchdog,
+    /// The `--max-run-seconds` wall-clock watchdog fired.
+    WallWatchdog,
+}
+
+impl RunDetail {
+    /// Every detail kind, in a fixed order.
+    pub const ALL: [RunDetail; 11] = [
+        RunDetail::None,
+        RunDetail::SimPanic,
+        RunDetail::InvalidAddress,
+        RunDetail::Misaligned,
+        RunDetail::InvalidPc,
+        RunDetail::SmemOutOfBounds,
+        RunDetail::LmemOutOfBounds,
+        RunDetail::Deadlock,
+        RunDetail::DeviceError,
+        RunDetail::CycleWatchdog,
+        RunDetail::WallWatchdog,
+    ];
+
+    /// The CSV/journal spelling ([`RunDetail::None`] is the empty string).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunDetail::None => "",
+            RunDetail::SimPanic => "sim_panic",
+            RunDetail::InvalidAddress => "invalid_address",
+            RunDetail::Misaligned => "misaligned",
+            RunDetail::InvalidPc => "invalid_pc",
+            RunDetail::SmemOutOfBounds => "smem_oob",
+            RunDetail::LmemOutOfBounds => "lmem_oob",
+            RunDetail::Deadlock => "deadlock",
+            RunDetail::DeviceError => "device_error",
+            RunDetail::CycleWatchdog => "cycle_watchdog",
+            RunDetail::WallWatchdog => "wall_watchdog",
+        }
+    }
+
+    /// Inverse of [`RunDetail::as_str`].
+    pub fn parse(s: &str) -> Option<RunDetail> {
+        RunDetail::ALL.iter().copied().find(|d| d.as_str() == s)
+    }
+}
+
+/// The detail sub-class of a run outcome (companion to [`classify`]).
+pub fn detail_of(result: &Result<Vec<u8>, WorkloadError>) -> RunDetail {
+    match result {
+        Ok(_) => RunDetail::None,
+        Err(WorkloadError::Trap(t)) => match t {
+            Trap::InvalidAddress { .. } => RunDetail::InvalidAddress,
+            Trap::Misaligned { .. } => RunDetail::Misaligned,
+            Trap::InvalidPc { .. } => RunDetail::InvalidPc,
+            Trap::SmemOutOfBounds { .. } => RunDetail::SmemOutOfBounds,
+            Trap::LmemOutOfBounds { .. } => RunDetail::LmemOutOfBounds,
+            Trap::Deadlock => RunDetail::Deadlock,
+            Trap::Watchdog => RunDetail::CycleWatchdog,
+            Trap::WallClock => RunDetail::WallWatchdog,
+            // Intercepted by the campaign engine before classification.
+            Trap::FaultsExpired => RunDetail::None,
+        },
+        Err(WorkloadError::Device(_)) | Err(WorkloadError::MissingKernel { .. }) => {
+            RunDetail::DeviceError
+        }
     }
 }
 
@@ -81,6 +179,43 @@ mod tests {
     fn wrong_output_is_sdc_even_with_same_cycles() {
         let g = golden();
         assert_eq!(classify(&Ok(vec![9, 2, 3]), 100, &g), FaultEffect::Sdc);
+    }
+
+    #[test]
+    fn wall_clock_trap_is_timeout_with_wall_detail() {
+        let g = golden();
+        let r = Err(WorkloadError::Trap(Trap::WallClock));
+        assert_eq!(classify(&r, 50, &g), FaultEffect::Timeout);
+        assert_eq!(detail_of(&r), RunDetail::WallWatchdog);
+        let r = Err(WorkloadError::Trap(Trap::Watchdog));
+        assert_eq!(detail_of(&r), RunDetail::CycleWatchdog);
+    }
+
+    #[test]
+    fn detail_round_trips_through_its_spelling() {
+        for d in RunDetail::ALL {
+            assert_eq!(RunDetail::parse(d.as_str()), Some(d), "{d:?}");
+        }
+        assert_eq!(RunDetail::parse("no_such_detail"), None);
+    }
+
+    #[test]
+    fn detail_of_covers_traps_and_device_errors() {
+        assert_eq!(
+            detail_of(&Err(WorkloadError::Trap(Trap::InvalidAddress { addr: 4 }))),
+            RunDetail::InvalidAddress
+        );
+        assert_eq!(
+            detail_of(&Err(WorkloadError::Trap(Trap::Deadlock))),
+            RunDetail::Deadlock
+        );
+        assert_eq!(
+            detail_of(&Err(WorkloadError::Device(
+                gpufi_sim::LaunchError::BadDevicePointer
+            ))),
+            RunDetail::DeviceError
+        );
+        assert_eq!(detail_of(&Ok(vec![])), RunDetail::None);
     }
 
     #[test]

@@ -63,16 +63,18 @@ mod campaign;
 mod classify;
 mod profile;
 mod report;
+mod supervisor;
 mod workload;
 
 pub use analysis::{
     analyze, analyze_with_golden, AnalysisConfig, AppAnalysis, EffectRates, StructureOutcome,
 };
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignError, CampaignResult, CampaignStats, RunRecord,
-    DEFAULT_CHECKPOINT_BUDGET,
+    run_campaign, run_campaign_with_hook, CampaignConfig, CampaignError, CampaignResult,
+    CampaignStats, FaultHook, RunRecord, DEFAULT_CHECKPOINT_BUDGET,
 };
-pub use classify::classify;
+pub use classify::{classify, detail_of, RunDetail};
 pub use profile::{profile, GoldenProfile};
 pub use report::{analysis_csv, campaign_csv, campaign_summary_csv, CAMPAIGN_CSV_HEADER};
+pub use supervisor::{campaign_fingerprint, RunJournal};
 pub use workload::{Workload, WorkloadError};

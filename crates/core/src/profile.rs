@@ -82,10 +82,13 @@ pub fn profile(workload: &dyn Workload, card: &GpuConfig) -> Result<GoldenProfil
     let app = gpu.stats().clone();
     let mut fault_spaces = BTreeMap::new();
     for name in app.static_kernels() {
-        let kernel = workload
-            .module()
-            .kernel(&name)
-            .unwrap_or_else(|| panic!("launched kernel `{name}` missing from module"));
+        let kernel =
+            workload
+                .module()
+                .kernel(&name)
+                .ok_or_else(|| WorkloadError::MissingKernel {
+                    kernel: name.clone(),
+                })?;
         fault_spaces.insert(name, gpu.fault_space(kernel));
     }
     Ok(GoldenProfile {

@@ -22,24 +22,29 @@ fn field(s: &str) -> String {
 /// automation diffs validation campaigns against optimized ones with
 /// `cut -d, -f1-4`, so the existing columns must never be renamed,
 /// reordered or removed — new columns go at the end.
-pub const CAMPAIGN_CSV_HEADER: &str = "run,effect,cycles,applied,early_exit,ckpt_skipped_cycles";
+pub const CAMPAIGN_CSV_HEADER: &str =
+    "run,effect,cycles,applied,early_exit,ckpt_skipped_cycles,detail";
 
 /// Renders a campaign as CSV: one header, one row per run.
 ///
-/// Columns: [`CAMPAIGN_CSV_HEADER`].
+/// Columns: [`CAMPAIGN_CSV_HEADER`].  The `detail` column carries the
+/// [`RunDetail`](crate::RunDetail) sub-classification (`sim_panic`,
+/// the trap kind behind a Crash, or which watchdog fired behind a
+/// Timeout) and is empty for Masked / SDC / Performance runs.
 pub fn campaign_csv(result: &CampaignResult) -> String {
     let mut out = String::from(CAMPAIGN_CSV_HEADER);
     out.push('\n');
     for (i, r) in result.records.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{}",
             i,
             r.effect.name(),
             r.cycles,
             r.applied,
             r.early_exit,
-            r.ckpt_skipped_cycles
+            r.ckpt_skipped_cycles,
+            r.detail.as_str()
         );
     }
     out
@@ -124,6 +129,7 @@ mod tests {
                     applied: false,
                     early_exit: true,
                     ckpt_skipped_cycles: 40,
+                    detail: crate::RunDetail::None,
                 },
                 RunRecord {
                     effect: FaultEffect::Sdc,
@@ -131,6 +137,7 @@ mod tests {
                     applied: true,
                     early_exit: false,
                     ckpt_skipped_cycles: 0,
+                    detail: crate::RunDetail::None,
                 },
             ],
             stats: crate::campaign::CampaignStats::default(),
@@ -146,7 +153,7 @@ mod tests {
     fn campaign_csv_header_is_pinned() {
         assert_eq!(
             CAMPAIGN_CSV_HEADER,
-            "run,effect,cycles,applied,early_exit,ckpt_skipped_cycles"
+            "run,effect,cycles,applied,early_exit,ckpt_skipped_cycles,detail"
         );
         let csv = campaign_csv(&sample_campaign());
         let header = csv.lines().next().unwrap();
@@ -171,7 +178,8 @@ mod tests {
             .nth(2)
             .unwrap()
             .starts_with("1,SDC,100,true,false,0"));
-        assert!(csv.lines().nth(1).unwrap().ends_with(",40"));
+        // The trailing `detail` field is empty for a Masked run.
+        assert!(csv.lines().nth(1).unwrap().ends_with(",40,"));
     }
 
     #[test]

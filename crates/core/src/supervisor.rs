@@ -1,0 +1,502 @@
+//! Fault-tolerant campaign supervision: per-run panic capture, the
+//! crash-safe run journal, and the campaign fingerprint.
+//!
+//! gpuFI-4-style campaigns *expect* injections to make the machine
+//! misbehave — Crash and Timeout are first-class outcomes — so the engine
+//! must survive two failure modes of its own:
+//!
+//! * a **simulator-internal panic**: a flip corrupts an invariant the
+//!   simulator itself relies on (decoder tables, SIMT stack depth, cache
+//!   tag bookkeeping) and the run dies not with a modelled trap but with a
+//!   Rust panic.  [`catch_run`] captures the unwind per run, with a scoped
+//!   panic hook that keeps the message and suppresses the default
+//!   stderr backtrace, so sibling workers are untouched;
+//! * **process death**: an interrupted campaign must not lose thousands of
+//!   completed runs.  [`RunJournal`] appends one fsync'd JSON line per
+//!   completed run; `run_campaign` resumes from the journal and schedules
+//!   only the missing run indices.
+//!
+//! The journal is bound to its campaign by a [`campaign_fingerprint`] —
+//! a hash over every configuration field that influences per-run records
+//! (seed, spec, workload, card, engine modes) — so a stale or foreign
+//! journal is rejected instead of silently splicing wrong records.
+
+use crate::campaign::{CampaignConfig, RunRecord};
+use crate::classify::RunDetail;
+use gpufi_metrics::FaultEffect;
+use std::cell::{Cell, RefCell};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Per-run panic isolation
+// ----------------------------------------------------------------------
+
+thread_local! {
+    /// Whether the current thread is inside a supervised injection run.
+    static SUPERVISED: Cell<bool> = const { Cell::new(false) };
+    /// The panic message captured by the scoped hook for this thread.
+    static CAPTURED: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Installs the process-wide panic hook exactly once, chaining to the
+/// previously installed hook.  While a thread is inside [`catch_run`] the
+/// hook records the panic message (with location) into that thread's slot
+/// and stays silent; panics on any other thread — including test
+/// harnesses running in parallel — go to the previous hook unchanged.
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SUPERVISED.with(Cell::get) {
+                let msg = payload_message(info.payload());
+                let loc = info
+                    .location()
+                    .map(|l| format!(" at {l}"))
+                    .unwrap_or_default();
+                CAPTURED.with(|c| *c.borrow_mut() = Some(format!("{msg}{loc}")));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn payload_message(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with per-run panic isolation: a panic anywhere inside `f` is
+/// caught and returned as its message instead of unwinding into the
+/// worker (and without the default hook's stderr noise).
+///
+/// The closure is asserted unwind-safe because every supervised run
+/// constructs its `Gpu` *inside* `f` and only borrows shared inputs
+/// ([`Workload`](crate::Workload) requires `RefUnwindSafe`, and
+/// `gpufi_sim` statically asserts it for the checkpoint store and
+/// config) — a panic can therefore strand no half-mutated state that any
+/// sibling or later retry could observe.
+pub(crate) fn catch_run<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_hook();
+    SUPERVISED.with(|s| s.set(true));
+    let out = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPERVISED.with(|s| s.set(false));
+    out.map_err(|payload| {
+        CAPTURED
+            .with(|c| c.borrow_mut().take())
+            .unwrap_or_else(|| payload_message(&*payload))
+    })
+}
+
+// ----------------------------------------------------------------------
+// Campaign fingerprint
+// ----------------------------------------------------------------------
+
+/// FNV-1a over `bytes` (the same hash the golden-output checksums use).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes every campaign parameter that influences per-run records —
+/// workload, card, seed, run count, fault spec, kernel restriction and
+/// engine modes — into the journal's identity.  Deliberately excluded:
+/// `threads` (records are thread-count invariant, so a campaign journaled
+/// on one thread may resume on four) and the journal/resume fields
+/// themselves.
+pub fn campaign_fingerprint(workload: &str, card: &str, cfg: &CampaignConfig) -> u64 {
+    let canonical = format!(
+        "gpufi-journal-v1|workload={workload}|card={card}|seed={}|runs={}|kernel={:?}|\
+         spec={:?}|early_exit={}|checkpoints={}|interval={}|budget={}|window={:?}|\
+         oracle={}|max_run_ms={}",
+        cfg.seed,
+        cfg.runs,
+        cfg.kernel,
+        cfg.spec,
+        cfg.early_exit,
+        cfg.checkpoints,
+        cfg.checkpoint_interval,
+        cfg.checkpoint_budget,
+        cfg.cycle_window,
+        cfg.oracle_check,
+        cfg.max_run_ms,
+    );
+    fnv1a(canonical.as_bytes())
+}
+
+// ----------------------------------------------------------------------
+// Crash-safe run journal
+// ----------------------------------------------------------------------
+
+/// Append-only, crash-safe record of completed injection runs
+/// (`<out>.journal.jsonl`): one header line binding the file to its
+/// campaign, then one fsync'd JSON line per completed run.  Workers
+/// append concurrently through an internal lock; each line is written and
+/// synced atomically with respect to the others, so after a `SIGKILL` the
+/// file is a valid prefix plus at most one torn final line (which
+/// [`RunJournal::resume`] discards and truncates away).
+#[derive(Debug)]
+pub struct RunJournal {
+    file: Mutex<File>,
+    bytes: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// One journal line.  Values never contain `,`, `{`, `}` or `"`, so the
+/// reader can parse with plain field scans instead of a JSON dependency.
+fn record_line(run: usize, r: &RunRecord) -> String {
+    format!(
+        "{{\"run\":{run},\"effect\":\"{}\",\"cycles\":{},\"applied\":{},\"early_exit\":{},\
+         \"ckpt\":{},\"detail\":\"{}\"}}\n",
+        r.effect.name(),
+        r.cycles,
+        r.applied,
+        r.early_exit,
+        r.ckpt_skipped_cycles,
+        r.detail.as_str(),
+    )
+}
+
+fn header_line(fingerprint: u64, runs: usize) -> String {
+    format!("{{\"v\":1,\"fingerprint\":\"{fingerprint:016x}\",\"runs\":{runs}}}\n")
+}
+
+/// Extracts the raw value of `"key":` from a single-line JSON object
+/// (up to the next `,` or `}`), with surrounding quotes stripped.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim_matches('"'))
+}
+
+fn parse_record_line(line: &str) -> Option<(usize, RunRecord)> {
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    let run: usize = json_field(line, "run")?.parse().ok()?;
+    let effect_name = json_field(line, "effect")?;
+    let effect = *FaultEffect::ALL.iter().find(|e| e.name() == effect_name)?;
+    let parse_bool = |v: &str| match v {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    };
+    Some((
+        run,
+        RunRecord {
+            effect,
+            cycles: json_field(line, "cycles")?.parse().ok()?,
+            applied: parse_bool(json_field(line, "applied")?)?,
+            early_exit: parse_bool(json_field(line, "early_exit")?)?,
+            ckpt_skipped_cycles: json_field(line, "ckpt")?.parse().ok()?,
+            detail: RunDetail::parse(json_field(line, "detail")?)?,
+        },
+    ))
+}
+
+impl RunJournal {
+    /// Creates (or truncates) the journal at `path` and writes its header.
+    pub fn create(path: &str, fingerprint: u64, runs: usize) -> Result<RunJournal, String> {
+        let mut file = File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        let header = header_line(fingerprint, runs);
+        file.write_all(header.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("cannot write journal header to `{path}`: {e}"))?;
+        Ok(RunJournal {
+            file: Mutex::new(file),
+            bytes: AtomicU64::new(header.len() as u64),
+            nanos: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing journal for resumption: validates the header
+    /// against this campaign's `fingerprint` and `runs`, loads every
+    /// complete record, truncates any torn final line (a write cut short
+    /// by process death), and returns the journal positioned to append.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a journal whose header is unreadable or belongs to a
+    /// different campaign — resuming someone else's records would splice
+    /// wrong results into the CSV.
+    pub fn resume(
+        path: &str,
+        fingerprint: u64,
+        runs: usize,
+    ) -> Result<(RunJournal, Vec<Option<RunRecord>>), String> {
+        let mut text = String::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| format!("cannot read journal `{path}`: {e}"))?;
+
+        let mut records: Vec<Option<RunRecord>> = vec![None; runs];
+        let mut valid_bytes = 0usize;
+        let mut saw_header = false;
+        for chunk in text.split_inclusive('\n') {
+            if !chunk.ends_with('\n') {
+                break; // torn final line: the fsync never completed
+            }
+            let line = chunk.trim_end_matches(['\n', '\r']);
+            if !saw_header {
+                let fp = json_field(line, "fingerprint")
+                    .ok_or_else(|| format!("journal `{path}` has no fingerprint header"))?;
+                if fp != format!("{fingerprint:016x}") {
+                    return Err(format!(
+                        "journal `{path}` belongs to a different campaign \
+                         (fingerprint {fp}, expected {fingerprint:016x}); \
+                         delete it or drop --resume"
+                    ));
+                }
+                let jr: usize = json_field(line, "runs")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("journal `{path}` has a malformed header"))?;
+                if jr != runs {
+                    return Err(format!(
+                        "journal `{path}` records a {jr}-run campaign, this one has {runs}"
+                    ));
+                }
+                saw_header = true;
+            } else {
+                // A line that does not parse is a torn/corrupt tail; keep
+                // the valid prefix and drop everything after it.
+                let Some((run, rec)) = parse_record_line(line) else {
+                    break;
+                };
+                if run >= runs {
+                    break;
+                }
+                records[run] = Some(rec);
+            }
+            valid_bytes += chunk.len();
+        }
+        if !saw_header {
+            return Err(format!("journal `{path}` has no complete header line"));
+        }
+
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot reopen journal `{path}`: {e}"))?;
+        // Physically discard the torn tail so appended lines start clean.
+        file.set_len(valid_bytes as u64)
+            .map_err(|e| format!("cannot truncate journal `{path}`: {e}"))?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| format!("cannot seek journal `{path}`: {e}"))?;
+        Ok((
+            RunJournal {
+                file: Mutex::new(file),
+                bytes: AtomicU64::new(valid_bytes as u64),
+                nanos: AtomicU64::new(0),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one completed run and syncs it to disk.  Called by the
+    /// worker threads as each run finishes; failures are reported (the
+    /// campaign result still holds the record in memory).
+    pub fn append(&self, run: usize, rec: &RunRecord) -> Result<(), String> {
+        let line = record_line(run, rec);
+        let t0 = Instant::now();
+        {
+            let mut file = self.file.lock().expect("journal lock poisoned");
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.sync_data())
+                .map_err(|e| format!("journal write failed: {e}"))?;
+        }
+        self.bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Bytes written to the journal by this handle.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock milliseconds spent appending and syncing.
+    pub fn wall_ms(&self) -> f64 {
+        self.nanos.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufi_faults::{CampaignSpec, Structure};
+
+    fn rec(effect: FaultEffect, detail: RunDetail) -> RunRecord {
+        RunRecord {
+            effect,
+            cycles: 1234,
+            applied: true,
+            early_exit: false,
+            ckpt_skipped_cycles: 56,
+            detail,
+        }
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gpufi-supervisor-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn record_lines_round_trip() {
+        for effect in FaultEffect::ALL {
+            for detail in RunDetail::ALL {
+                let r = rec(effect, detail);
+                let line = record_line(7, &r);
+                let (run, back) = parse_record_line(line.trim_end()).unwrap();
+                assert_eq!(run, 7);
+                assert_eq!(back, r, "{effect:?}/{detail:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn torn_and_corrupt_lines_are_rejected() {
+        let r = rec(FaultEffect::Sdc, RunDetail::None);
+        let full = record_line(3, &r);
+        let torn = &full[..full.len() - 9];
+        assert_eq!(parse_record_line(torn.trim_end()), None);
+        assert_eq!(parse_record_line("not json at all"), None);
+        assert_eq!(
+            parse_record_line("{\"run\":1,\"effect\":\"Bogus\",\"cycles\":1}"),
+            None
+        );
+    }
+
+    #[test]
+    fn journal_create_append_resume() {
+        let path = tmp("roundtrip.journal.jsonl");
+        let fp = 0xdead_beef_u64;
+        let j = RunJournal::create(&path, fp, 5).unwrap();
+        j.append(0, &rec(FaultEffect::Masked, RunDetail::None))
+            .unwrap();
+        j.append(3, &rec(FaultEffect::Crash, RunDetail::SimPanic))
+            .unwrap();
+        assert!(j.bytes_written() > 0);
+        drop(j);
+
+        let (j2, loaded) = RunJournal::resume(&path, fp, 5).unwrap();
+        assert_eq!(loaded.iter().flatten().count(), 2);
+        assert_eq!(loaded[0].unwrap().effect, FaultEffect::Masked);
+        assert_eq!(loaded[3].unwrap().detail, RunDetail::SimPanic);
+        assert!(loaded[1].is_none());
+        // Appending after a resume lands after the loaded prefix.
+        j2.append(1, &rec(FaultEffect::Timeout, RunDetail::WallWatchdog))
+            .unwrap();
+        drop(j2);
+        let (_, loaded) = RunJournal::resume(&path, fp, 5).unwrap();
+        assert_eq!(loaded.iter().flatten().count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_truncates_a_torn_tail() {
+        let path = tmp("torn.journal.jsonl");
+        let fp = 42u64;
+        let j = RunJournal::create(&path, fp, 4).unwrap();
+        j.append(0, &rec(FaultEffect::Sdc, RunDetail::None))
+            .unwrap();
+        j.append(1, &rec(FaultEffect::Masked, RunDetail::None))
+            .unwrap();
+        drop(j);
+        // Simulate a SIGKILL mid-write: chop the file inside the last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text.as_bytes()[..text.len() - 7]).unwrap();
+
+        let (j2, loaded) = RunJournal::resume(&path, fp, 4).unwrap();
+        assert_eq!(loaded.iter().flatten().count(), 1, "torn line discarded");
+        assert!(loaded[0].is_some());
+        j2.append(1, &rec(FaultEffect::Masked, RunDetail::None))
+            .unwrap();
+        drop(j2);
+        // The torn bytes must be gone from disk, not merely skipped.
+        let (_, loaded) = RunJournal::resume(&path, fp, 4).unwrap();
+        assert_eq!(loaded.iter().flatten().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_foreign_and_headerless_journals() {
+        let path = tmp("foreign.journal.jsonl");
+        RunJournal::create(&path, 1, 4).unwrap();
+        let err = RunJournal::resume(&path, 2, 4).unwrap_err();
+        assert!(err.contains("different campaign"), "{err}");
+        let err = RunJournal::resume(&path, 1, 8).unwrap_err();
+        assert!(err.contains("4-run campaign"), "{err}");
+        std::fs::write(&path, "").unwrap();
+        let err = RunJournal::resume(&path, 1, 4).unwrap_err();
+        assert!(err.contains("no complete header"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_separates_campaign_parameters() {
+        let base = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 100, 7);
+        let fp = |cfg: &CampaignConfig| campaign_fingerprint("VA", "RTX 2060", cfg);
+        let f0 = fp(&base);
+        assert_eq!(f0, fp(&base.clone()), "deterministic");
+        assert_ne!(
+            f0,
+            fp(&CampaignConfig {
+                seed: 8,
+                ..base.clone()
+            })
+        );
+        assert_ne!(
+            f0,
+            fp(&CampaignConfig {
+                runs: 101,
+                ..base.clone()
+            })
+        );
+        assert_ne!(f0, fp(&base.clone().no_early_exit()));
+        assert_ne!(f0, fp(&base.clone().no_checkpoints()));
+        assert_ne!(f0, fp(&base.clone().with_max_run_ms(5_000)));
+        assert_ne!(f0, campaign_fingerprint("GE", "RTX 2060", &base));
+        assert_ne!(f0, campaign_fingerprint("VA", "GTX Titan", &base));
+        // Threads are deliberately not part of the identity: a journal
+        // written single-threaded resumes on any worker count.
+        assert_eq!(f0, fp(&base.clone().with_threads(4)));
+    }
+
+    #[test]
+    fn catch_run_captures_message_and_location() {
+        assert_eq!(catch_run(|| 41 + 1), Ok(42));
+        let err = catch_run(|| panic!("invariant broken: {}", 7)).unwrap_err();
+        assert!(err.contains("invariant broken: 7"), "{err}");
+        assert!(err.contains("supervisor.rs"), "location missing: {err}");
+        // The hook must restore pass-through behaviour afterwards.
+        assert_eq!(catch_run(|| "still works"), Ok("still works"));
+    }
+}

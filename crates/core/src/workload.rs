@@ -12,6 +12,13 @@ pub enum WorkloadError {
     Trap(Trap),
     /// A host-side device-API error (allocation, bad pointer).
     Device(LaunchError),
+    /// A kernel the golden run launched is missing from the workload's
+    /// module — a workload-definition bug surfaced during profiling, not
+    /// an injection effect.
+    MissingKernel {
+        /// The launched-but-undefined kernel name.
+        kernel: String,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -19,6 +26,9 @@ impl fmt::Display for WorkloadError {
         match self {
             WorkloadError::Trap(t) => write!(f, "gpu trap: {t}"),
             WorkloadError::Device(e) => write!(f, "device error: {e}"),
+            WorkloadError::MissingKernel { kernel } => {
+                write!(f, "launched kernel `{kernel}` missing from module")
+            }
         }
     }
 }
@@ -45,8 +55,12 @@ impl From<LaunchError> for WorkloadError {
 /// predefined-result-file check (§III.B).
 ///
 /// Implementations must be stateless across runs (`run` takes `&self`) so
-/// the campaign controller can execute runs on multiple threads.
-pub trait Workload: Sync {
+/// the campaign controller can execute runs on multiple threads, and
+/// [`RefUnwindSafe`](std::panic::RefUnwindSafe) — plain data, no interior
+/// mutability — so the supervisor can wrap each run in
+/// `std::panic::catch_unwind` without a panicking run leaking a
+/// broken-invariant view of the workload to its siblings.
+pub trait Workload: Sync + std::panic::RefUnwindSafe {
     /// The benchmark's short name (e.g. `"VA"`, `"HS"`).
     fn name(&self) -> &'static str;
 

@@ -37,6 +37,11 @@ pub enum Trap {
     },
     /// The watchdog cycle limit was exceeded (maps to **Timeout**).
     Watchdog,
+    /// The wall-clock run limit was exceeded (maps to **Timeout**).  The
+    /// cycle watchdog only fires when the application cycle advances; this
+    /// trap covers a fault that livelocks the simulator *inside* a cycle,
+    /// where real time passes but simulated time does not.
+    WallClock,
     /// No warp can make progress (e.g. a diverged or corrupted barrier).
     Deadlock,
     /// Every planned fault's lifetime has provably ended: the flips either
@@ -50,7 +55,7 @@ impl Trap {
     /// Whether the classifier treats this trap as a timeout rather than a
     /// crash.
     pub fn is_timeout(self) -> bool {
-        matches!(self, Trap::Watchdog)
+        matches!(self, Trap::Watchdog | Trap::WallClock)
     }
 }
 
@@ -67,6 +72,7 @@ impl fmt::Display for Trap {
                 write!(f, "local-memory access at offset {offset} out of bounds")
             }
             Trap::Watchdog => f.write_str("watchdog cycle limit exceeded"),
+            Trap::WallClock => f.write_str("wall-clock run limit exceeded"),
             Trap::Deadlock => f.write_str("no warp can make progress"),
             Trap::FaultsExpired => {
                 f.write_str("all planned faults expired unobserved (early exit)")
@@ -139,6 +145,7 @@ mod tests {
             Trap::SmemOutOfBounds { offset: 1 },
             Trap::LmemOutOfBounds { offset: 1 },
             Trap::Watchdog,
+            Trap::WallClock,
             Trap::Deadlock,
             Trap::FaultsExpired,
         ] {
@@ -149,6 +156,7 @@ mod tests {
     #[test]
     fn only_watchdog_is_timeout() {
         assert!(Trap::Watchdog.is_timeout());
+        assert!(Trap::WallClock.is_timeout());
         assert!(!Trap::Deadlock.is_timeout());
         assert!(!Trap::InvalidAddress { addr: 0 }.is_timeout());
         assert!(!Trap::FaultsExpired.is_timeout());

@@ -72,3 +72,20 @@ pub use mem::{AccessKind, CacheStats, FlipOutcome, MemSystem, GLOBAL_BASE, LOCAL
 pub use oracle::{Divergence, DivergenceReport, OracleMirror, ThreadState};
 pub use snapshot::{CheckpointStore, Snapshot};
 pub use stats::{AppStats, KernelWindow, LaunchStats};
+
+// Unwind-safety boundary of the campaign supervisor: every piece of shared
+// state a `catch_unwind`-wrapped injection run borrows must be
+// `RefUnwindSafe`, or a panicking run could leak a broken-invariant view to
+// its siblings.  The supervisor constructs the `Gpu` *inside* the guarded
+// closure (so `Gpu`'s interior mutability never crosses the boundary) and
+// only ever *reads* these types across it.  These compile-time assertions
+// keep that contract from silently regressing when someone adds a
+// `Cell`/`RefCell` to a snapshot or config type.
+const _: () = {
+    const fn assert_ref_unwind_safe<T: std::panic::RefUnwindSafe>() {}
+    assert_ref_unwind_safe::<CheckpointStore>();
+    assert_ref_unwind_safe::<Snapshot>();
+    assert_ref_unwind_safe::<GpuConfig>();
+    assert_ref_unwind_safe::<InjectionPlan>();
+    assert_ref_unwind_safe::<Trap>();
+};

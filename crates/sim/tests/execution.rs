@@ -300,6 +300,27 @@ fn watchdog_fires() {
     assert_eq!(err, Trap::Watchdog);
 }
 
+/// The wall-clock watchdog aborts with its own trap, independently of the
+/// cycle count: an already-expired deadline kills even a kernel that would
+/// finish in a handful of cycles, and the trap classifies as a timeout.
+#[test]
+fn wall_clock_watchdog_fires() {
+    let m = Module::assemble(".kernel quick\n NOP\n EXIT\n").unwrap();
+    let mut gpu = small_gpu();
+    gpu.set_wall_watchdog(std::time::Duration::ZERO);
+    let err = gpu
+        .launch(m.kernel("quick").unwrap(), LaunchDims::new(1, 32), &[])
+        .unwrap_err();
+    assert_eq!(err, Trap::WallClock);
+    assert!(err.is_timeout());
+
+    // A generous deadline must not perturb a normal run.
+    let mut gpu = small_gpu();
+    gpu.set_wall_watchdog(std::time::Duration::from_secs(3600));
+    gpu.launch(m.kernel("quick").unwrap(), LaunchDims::new(1, 32), &[])
+        .unwrap();
+}
+
 /// Cycle counters accumulate across launches and windows are recorded.
 #[test]
 fn multi_launch_windows() {

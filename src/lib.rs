@@ -53,9 +53,10 @@ pub use gpufi_workloads as workloads;
 /// The names an injection study typically needs, in one import.
 pub mod prelude {
     pub use gpufi_core::{
-        analyze, analyze_with_golden, classify, profile, run_campaign, AnalysisConfig, AppAnalysis,
-        CampaignConfig, CampaignResult, CampaignStats, GoldenProfile, RunRecord, Workload,
-        WorkloadError,
+        analyze, analyze_with_golden, campaign_fingerprint, classify, detail_of, profile,
+        run_campaign, run_campaign_with_hook, AnalysisConfig, AppAnalysis, CampaignConfig,
+        CampaignError, CampaignResult, CampaignStats, FaultHook, GoldenProfile, RunDetail,
+        RunJournal, RunRecord, Workload, WorkloadError,
     };
     pub use gpufi_faults::{CampaignSpec, MaskGenerator, MultiBitMode, Structure};
     pub use gpufi_isa::Module;
