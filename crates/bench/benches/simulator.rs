@@ -11,7 +11,7 @@ use gpufi_core::{profile, run_campaign, CampaignConfig, Workload};
 use gpufi_faults::{CampaignSpec, Structure};
 use gpufi_isa::Module;
 use gpufi_sim::{CacheConfig, Gpu, GpuConfig, LaunchDims};
-use gpufi_workloads::{Gaussian, HotSpot, VectorAdd};
+use gpufi_workloads::{Gaussian, HotSpot, NeedlemanWunsch, VectorAdd};
 use std::time::Instant;
 
 const KERNEL: &str = r#"
@@ -157,8 +157,8 @@ fn bench_early_exit_speedup() {
 /// late-injection-heavy campaign — injections restricted to the last third
 /// of the golden window, where forking skips the most golden prefix.  Both
 /// modes keep taint early exit on; the delta is purely the forking.
-/// Results land in `BENCH_campaign.json` at the workspace root.
-fn bench_checkpoint_speedup() {
+/// Returns the JSON fragment `main` folds into `BENCH_campaign.json`.
+fn bench_checkpoint_speedup() -> String {
     let ge = Gaussian::default();
     let card = GpuConfig::rtx2060();
     let golden = profile(&ge, &card).unwrap();
@@ -201,15 +201,15 @@ fn bench_checkpoint_speedup() {
     println!("cold-start engine: {:.1} runs/s", r_cold.stats.runs_per_sec);
     println!("speedup (wall): {speedup:.2}x");
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"campaign_300_ge_late_third\",\n  \"workload\": \"{}\",\n  \
-         \"runs\": {runs},\n  \"cycle_window\": [{win_lo}, {win_hi}],\n  \
-         \"golden_cycles\": {total},\n  \"iters\": 3,\n  \
-         \"cold_runs_per_sec\": {:.2},\n  \"checkpoint_runs_per_sec\": {:.2},\n  \
-         \"speedup\": {speedup:.3},\n  \"checkpoints\": {},\n  \
-         \"checkpoint_bytes\": {},\n  \"restore_rate\": {:.3},\n  \
-         \"mean_skipped_cycles\": {:.1},\n  \"early_exit_rate\": {:.3},\n  \
-         \"threads\": {}\n}}\n",
+    format!(
+        "{{\n    \"benchmark\": \"campaign_300_ge_late_third\",\n    \"workload\": \"{}\",\n    \
+         \"runs\": {runs},\n    \"cycle_window\": [{win_lo}, {win_hi}],\n    \
+         \"golden_cycles\": {total},\n    \"iters\": 3,\n    \
+         \"cold_runs_per_sec\": {:.2},\n    \"checkpoint_runs_per_sec\": {:.2},\n    \
+         \"speedup\": {speedup:.3},\n    \"checkpoints\": {},\n    \
+         \"checkpoint_bytes\": {},\n    \"restore_rate\": {:.3},\n    \
+         \"mean_skipped_cycles\": {:.1},\n    \"early_exit_rate\": {:.3},\n    \
+         \"threads\": {}\n  }}",
         ge.name(),
         r_cold.stats.runs_per_sec,
         s.runs_per_sec,
@@ -219,10 +219,67 @@ fn bench_checkpoint_speedup() {
         s.mean_skipped_cycles,
         s.early_exit_rate,
         s.threads,
+    )
+}
+
+/// ACE-style static pruning versus full simulation on Needleman-Wunsch,
+/// whose `nw_diagonal` kernel allocates 22 registers but never reads
+/// R5/R13/R14 — about one in seven register-file draws lands in provably
+/// dead state and is classified Masked without forking a run.  Early exit
+/// and checkpoints stay on in both modes; the delta is purely the prune.
+/// Returns the JSON fragment `main` folds into `BENCH_campaign.json`.
+fn bench_static_prune_speedup() -> String {
+    let nw = NeedlemanWunsch::default();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(&nw, &card).unwrap();
+    let runs = 300;
+    let pruned_cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, 11);
+    let full_cfg = pruned_cfg.clone().no_static_prune();
+
+    let t_full = time("campaign_300_nw_regfile_no_static_prune", 3, || {
+        run_campaign(&nw, &card, &full_cfg, &golden).unwrap()
+    });
+    let t_pruned = time("campaign_300_nw_regfile_static_prune", 3, || {
+        run_campaign(&nw, &card, &pruned_cfg, &golden).unwrap()
+    });
+
+    let r_pruned = run_campaign(&nw, &card, &pruned_cfg, &golden).unwrap();
+    let r_full = run_campaign(&nw, &card, &full_cfg, &golden).unwrap();
+    assert_eq!(
+        r_pruned.tally, r_full.tally,
+        "static pruning must not change classifications"
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
-    std::fs::write(path, json).expect("write BENCH_campaign.json");
-    println!("results written to BENCH_campaign.json");
+    for (i, (a, b)) in r_pruned.records.iter().zip(&r_full.records).enumerate() {
+        assert_eq!(a.effect, b.effect, "run {i}: effect");
+        assert_eq!(a.cycles, b.cycles, "run {i}: cycles");
+    }
+    let speedup = t_full / t_pruned;
+    let s = &r_pruned.stats;
+    println!(
+        "static-prune engine: {:.1} runs/s, {} run(s) pruned ({:.1}%)",
+        s.runs_per_sec,
+        s.static_pruned,
+        100.0 * s.static_pruned_rate,
+    );
+    println!(
+        "full-sim engine:     {:.1} runs/s",
+        r_full.stats.runs_per_sec
+    );
+    println!("speedup (wall): {speedup:.2}x");
+    format!(
+        "{{\n    \"benchmark\": \"campaign_300_nw_regfile\",\n    \"workload\": \"{}\",\n    \
+         \"runs\": {runs},\n    \"golden_cycles\": {},\n    \"iters\": 3,\n    \
+         \"full_runs_per_sec\": {:.2},\n    \"pruned_runs_per_sec\": {:.2},\n    \
+         \"speedup\": {speedup:.3},\n    \"static_pruned\": {},\n    \
+         \"static_pruned_rate\": {:.3},\n    \"threads\": {}\n  }}",
+        nw.name(),
+        golden.total_cycles(),
+        r_full.stats.runs_per_sec,
+        s.runs_per_sec,
+        s.static_pruned,
+        s.static_pruned_rate,
+        s.threads,
+    )
 }
 
 fn main() {
@@ -232,5 +289,11 @@ fn main() {
     bench_workload_golden();
     bench_injection_campaign();
     bench_early_exit_speedup();
-    bench_checkpoint_speedup();
+    let checkpoint = bench_checkpoint_speedup();
+    let static_prune = bench_static_prune_speedup();
+    let json =
+        format!("{{\n  \"checkpoint\": {checkpoint},\n  \"static_prune\": {static_prune}\n}}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, json).expect("write BENCH_campaign.json");
+    println!("results written to BENCH_campaign.json");
 }

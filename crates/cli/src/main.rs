@@ -10,6 +10,7 @@
 //! gpufi campaign --bench VA --structure rf [--runs 120] [--bits 1]
 //!                [--kernel vec_add] [--scope warp] [--spread] [--seed 1]
 //! gpufi analyze  --bench VA [--card gv100] [--runs 60] [--bits 3]
+//! gpufi lint     [--bench VA] [--json]
 //! ```
 
 use gpufi_core::{
@@ -41,11 +42,12 @@ usage:
   gpufi campaign --bench <NAME> --structure <S> [--card <CARD>] [--runs N]
                  [--bits K] [--kernel <K>] [--scope thread|warp] [--spread]
                  [--seed S] [--threads T] [--no-early-exit] [--no-checkpoints]
-                 [--checkpoint-interval C] [--oracle-check] [--csv FILE]
-                 [--journal FILE] [--no-journal] [--resume] [--max-run-seconds S]
-                 [--inject-panic-run I]
+                 [--checkpoint-interval C] [--oracle-check] [--no-static-prune]
+                 [--csv FILE] [--journal FILE] [--no-journal] [--resume]
+                 [--max-run-seconds S] [--inject-panic-run I]
   gpufi analyze  --bench <NAME> [--card <CARD>] [--runs N] [--bits K] [--seed S]
   gpufi fuzz     [--kernels N] [--seed S]
+  gpufi lint     [--bench <NAME>] [--json]
 
 cards:      rtx2060 (default) | gv100 | titan, or --config <FILE> with a
             gpgpusim.config-style `key = value` chip description
@@ -61,6 +63,16 @@ forces cold starts from cycle 0 (validation modes);
 reference interpreter and fully simulates every run early exit would
 classify Masked, confirming the oracle-predicted final state;
 fuzz runs N random SASS-lite kernels through both engines (sim == oracle)
+and statically lints every generated kernel;
+lint runs the SASS-lite static analyzer (CFG, dominators, liveness) over
+one benchmark or the whole paper suite: uninitialized-register reads,
+divergent barriers, shared-memory races between barrier intervals,
+unreachable code, write-never-read registers and malformed SSY
+reconvergence points; --json emits machine-readable findings;
+register-file campaigns consult the same liveness analysis to pre-classify
+runs whose faults land only in statically dead (never-read) registers as
+Masked without simulating them (detail=static_dead); --no-static-prune
+forces full simulation of every run (validation mode)
 
 fault tolerance: every run executes under a supervisor that catches
 simulator panics, retries each panicked run once and records reproduced
@@ -165,6 +177,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "campaign" => cmd_campaign(&args),
         "analyze" => cmd_analyze(&args),
         "fuzz" => cmd_fuzz(&args),
+        "lint" => cmd_lint(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -245,6 +258,7 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
             "--no-early-exit",
             "--no-checkpoints",
             "--oracle-check",
+            "--no-static-prune",
             "--resume",
             "--no-journal",
         ],
@@ -281,6 +295,9 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     }
     if args.flag("--oracle-check") {
         cfg = cfg.with_oracle_check();
+    }
+    if args.flag("--no-static-prune") {
+        cfg = cfg.no_static_prune();
     }
     if let Some(kernel) = args.value("--kernel") {
         cfg = cfg.for_kernel(kernel);
@@ -370,6 +387,13 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
         s.restores,
         s.mean_skipped_cycles
     );
+    if s.static_pruned > 0 {
+        println!(
+            "  static prune: {} run(s) in dead registers pre-classified Masked ({:.1} %)",
+            s.static_pruned,
+            100.0 * s.static_pruned_rate
+        );
+    }
     if s.panics > 0 || s.retries > 0 {
         println!(
             "  supervisor: {} panic(s) caught, {} quarantined run(s) retried once",
@@ -420,6 +444,29 @@ fn cmd_fuzz(args: &Args<'_>) -> Result<(), String> {
     let seed: u64 = args.parse("--seed", 1)?;
     for i in 0..count {
         let case = gpufi_sim::oracle::fuzz::gen_case(seed.wrapping_add(u64::from(i)));
+        // Generation post-check: the generator promises well-formedness
+        // (initialized registers, convergent barriers, race-free shared
+        // accesses), so any static-lint finding is a generator bug —
+        // report it with the repro source before running the case.
+        let module = gpufi_isa::Module::assemble(&case.source).map_err(|e| {
+            format!(
+                "seed {}: generated source does not assemble: {e}",
+                case.seed
+            )
+        })?;
+        let findings = gpufi_isa::analysis::lint_module(&module);
+        if !findings.is_empty() {
+            let report: Vec<String> = findings
+                .iter()
+                .map(|(k, f)| format!("  {k}: [{}] {f}", f.kind()))
+                .collect();
+            return Err(format!(
+                "seed {} generated a kernel the static analyzer rejects:\n{}\nsource:\n{}",
+                case.seed,
+                report.join("\n"),
+                case.source
+            ));
+        }
         if let Err(report) = gpufi_sim::oracle::fuzz::run_case(&case) {
             return Err(format!(
                 "seed {} diverged after {i} clean kernels:\n{report}\nsource:\n{}",
@@ -427,8 +474,85 @@ fn cmd_fuzz(args: &Args<'_>) -> Result<(), String> {
             ));
         }
     }
-    println!("fuzz: {count} random kernels from seed {seed}, sim == oracle on every one");
+    println!(
+        "fuzz: {count} random kernels from seed {seed}, lint-clean and sim == oracle on every one"
+    );
     Ok(())
+}
+
+/// Escapes one JSON string (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Static analysis from the command line: runs the SASS-lite analyzer
+/// (CFG, dominators/post-dominators, liveness and all lint passes) over
+/// one benchmark — or the whole paper suite — and reports every finding.
+/// Exits nonzero when any kernel is dirty, so CI can gate on it.
+fn cmd_lint(args: &Args<'_>) -> Result<(), String> {
+    args.reject_unknown(&["--bench"], &["--json"])?;
+    let workloads: Vec<Box<dyn gpufi_core::Workload>> =
+        match args.value("--bench") {
+            Some(name) => vec![gpufi_workloads::by_name(name)
+                .ok_or_else(|| format!("unknown benchmark `{name}`"))?],
+            None => gpufi_workloads::paper_suite(),
+        };
+    let mut kernels = 0usize;
+    let mut findings: Vec<(&'static str, String, gpufi_isa::analysis::Finding)> = Vec::new();
+    for w in &workloads {
+        kernels += w.module().kernels().len();
+        for (kernel, f) in gpufi_isa::analysis::lint_module(w.module()) {
+            findings.push((w.name(), kernel, f));
+        }
+    }
+    if args.flag("--json") {
+        let rows: Vec<String> = findings
+            .iter()
+            .map(|(w, k, f)| {
+                format!(
+                    "{{\"workload\":{},\"kernel\":{},\"instr\":{},\"kind\":{},\"message\":{}}}",
+                    json_str(w),
+                    json_str(k),
+                    f.instr(),
+                    json_str(f.kind()),
+                    json_str(&f.to_string())
+                )
+            })
+            .collect();
+        println!(
+            "{{\"workloads\":{},\"kernels\":{},\"findings\":[{}]}}",
+            workloads.len(),
+            kernels,
+            rows.join(",")
+        );
+    } else {
+        for (w, k, f) in &findings {
+            println!("{w}/{k} #{} [{}] {f}", f.instr(), f.kind());
+        }
+        println!(
+            "lint: {} kernel(s) in {} workload(s), {} finding(s)",
+            kernels,
+            workloads.len(),
+            findings.len()
+        );
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} lint finding(s)", findings.len()))
+    }
 }
 
 fn cmd_analyze(args: &Args<'_>) -> Result<(), String> {
@@ -598,5 +722,23 @@ mod tests {
     #[test]
     fn fuzz_smoke_runs_clean() {
         assert!(run(&args(&["fuzz", "--kernels", "5", "--seed", "99"])).is_ok());
+    }
+
+    #[test]
+    fn lint_smoke_suite_is_clean() {
+        assert!(run(&args(&["lint"])).is_ok());
+        assert!(run(&args(&["lint", "--bench", "VA"])).is_ok());
+        assert!(run(&args(&["lint", "--bench", "VA", "--json"])).is_ok());
+        assert!(run(&args(&["lint", "--bench", "nope"])).is_err());
+        let err = run(&args(&["lint", "--card", "titan"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
     }
 }

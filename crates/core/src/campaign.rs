@@ -5,9 +5,11 @@ use crate::profile::GoldenProfile;
 use crate::supervisor::{campaign_fingerprint, catch_run, RunJournal};
 use crate::workload::{Workload, WorkloadError};
 use gpufi_faults::{CampaignSpec, DrawError, MaskGenerator};
+use gpufi_isa::analysis::dead_registers;
 use gpufi_metrics::{FaultEffect, Tally};
-use gpufi_sim::{CheckpointStore, Gpu, GpuConfig, InjectionPlan, KernelWindow, Trap};
+use gpufi_sim::{CheckpointStore, FaultTarget, Gpu, GpuConfig, InjectionPlan, KernelWindow, Trap};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +80,15 @@ pub struct CampaignConfig {
     /// journal file does not exist the campaign simply starts fresh.
     #[serde(default)]
     pub resume: bool,
+    /// Pre-classify register-file runs whose every fault targets a
+    /// **statically dead** register — one no reachable instruction of the
+    /// faulted kernel ever reads — as Masked at the golden cycle count,
+    /// without forking a simulation (ACE-style pruning over the liveness
+    /// analysis in `gpufi_isa::analysis`).  Disable to force full
+    /// simulation of every run — the validation mode behind
+    /// `--no-static-prune`.  Ignored (off) under `oracle_check`, which
+    /// exists to validate exactly such shortcuts.
+    pub static_prune: bool,
     /// Per-run wall-clock watchdog in milliseconds (`0` = off): a run
     /// whose *real* time exceeds this aborts with a wall-clock trap and
     /// classifies **Timeout**, complementing the 2×-golden-cycles cycle
@@ -103,6 +114,7 @@ impl CampaignConfig {
             oracle_check: false,
             journal: None,
             resume: false,
+            static_prune: true,
             max_run_ms: 0,
         }
     }
@@ -128,6 +140,13 @@ impl CampaignConfig {
     /// Disables checkpoint forking (cold-start validation mode).
     pub fn no_checkpoints(mut self) -> Self {
         self.checkpoints = false;
+        self
+    }
+
+    /// Disables static dead-register pruning (full-simulation validation
+    /// mode; see [`CampaignConfig::static_prune`]).
+    pub fn no_static_prune(mut self) -> Self {
+        self.static_prune = false;
         self
     }
 
@@ -247,6 +266,13 @@ pub struct CampaignStats {
     /// failures.
     #[serde(default)]
     pub retries: usize,
+    /// Runs pre-classified Masked by the static dead-register prune and
+    /// never simulated (see [`CampaignConfig::static_prune`]).
+    #[serde(default)]
+    pub static_pruned: usize,
+    /// `static_pruned / runs`.
+    #[serde(default)]
+    pub static_pruned_rate: f64,
     /// Completed runs loaded from the journal instead of executed
     /// (`--resume`).
     #[serde(default)]
@@ -342,12 +368,14 @@ fn mix_seed(seed: u64, run_idx: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// One pre-drawn injection run: its fault plan and the cycle of its
-/// earliest fault (the fork point bound).
+/// One pre-drawn injection run: its fault plan, the cycle of its earliest
+/// fault (the fork point bound), and the static kernel the faults land in
+/// (the dead-register prune's lookup key).
 #[derive(Debug, Clone)]
 struct RunPlan {
     plan: InjectionPlan,
     first_cycle: u64,
+    kernel: String,
 }
 
 /// Intersects kernel windows with an optional cycle range, dropping
@@ -403,21 +431,61 @@ fn draw_plans(cfg: &CampaignConfig, golden: &GoldenProfile) -> Result<Vec<RunPla
         // For whole-application campaigns, the per-kernel fault space
         // follows the drawn cycle's kernel; approximate by drawing the
         // window first.
-        let plan = match kernel_space {
-            Some(space) => gen.draw(&cfg.spec, space, &windows)?,
+        let (plan, kernel) = match kernel_space {
+            Some(space) => (
+                gen.draw(&cfg.spec, space, &windows)?,
+                cfg.kernel.clone().expect("kernel_space implies a kernel"),
+            ),
             None => {
                 let w = pick_weighted(&mut gen, &windows)?;
                 let space = golden
                     .fault_spaces
                     .get(&w.kernel)
                     .ok_or_else(|| CampaignError::UnknownKernel(w.kernel.clone()))?;
-                gen.draw(&cfg.spec, space, std::slice::from_ref(w))?
+                (
+                    gen.draw(&cfg.spec, space, std::slice::from_ref(w))?,
+                    w.kernel.clone(),
+                )
             }
         };
         let first_cycle = plan.faults.iter().map(|f| f.cycle).min().unwrap_or(0);
-        plans.push(RunPlan { plan, first_cycle });
+        plans.push(RunPlan {
+            plan,
+            first_cycle,
+            kernel,
+        });
     }
     Ok(plans)
+}
+
+/// Per-kernel statically-dead register sets — registers no reachable
+/// instruction of the kernel ever reads — computed once per campaign from
+/// the workload's module (the liveness analysis in
+/// `gpufi_isa::analysis`).
+fn dead_reg_table(workload: &dyn Workload) -> BTreeMap<String, Vec<u8>> {
+    workload
+        .module()
+        .kernels()
+        .iter()
+        .map(|k| (k.name().to_string(), dead_registers(k)))
+        .collect()
+}
+
+/// Whether every fault of `plan` is a register-file flip landing in a
+/// register of `dead` — in which case no reachable instruction can ever
+/// observe the flipped bits, the architecturally-correct-execution
+/// argument holds unconditionally, and the run is Masked at the golden
+/// cycle count without simulating it.  Registers are zero-reinitialized at
+/// every launch, so a dead flip cannot leak into a later kernel either.
+fn plan_is_static_dead(plan: &InjectionPlan, dead: Option<&Vec<u8>>) -> bool {
+    let Some(dead) = dead else { return false };
+    !plan.faults.is_empty()
+        && plan.faults.iter().all(|f| match &f.target {
+            FaultTarget::RegisterFile { reg, .. } => {
+                u8::try_from(*reg).is_ok_and(|r| dead.contains(&r))
+            }
+            _ => false,
+        })
 }
 
 /// Re-runs the golden execution once with the checkpoint recorder armed
@@ -677,6 +745,35 @@ pub fn run_campaign_with_hook(
             }
         }
     };
+    // Static dead-register prune: runs whose every fault lands in a
+    // register the faulted kernel never reads are Masked by construction —
+    // classify them here, journal them for resume, and never schedule
+    // them.  `--oracle-check` exists to validate such shortcuts, so it
+    // bypasses the prune and fully simulates every run.
+    if cfg.static_prune && !cfg.oracle_check {
+        let dead = dead_reg_table(workload);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_some() || !plan_is_static_dead(&plans[i].plan, dead.get(&plans[i].kernel)) {
+                continue;
+            }
+            // Exactly what the fault-lifetime early exit records for a
+            // never-read register, so pruned and unpruned campaigns stay
+            // diffable: a dead-register flip is applied state the machine
+            // provably never reads back.
+            let rec = RunRecord {
+                effect: FaultEffect::Masked,
+                cycles: golden.total_cycles(),
+                applied: true,
+                early_exit: false,
+                ckpt_skipped_cycles: 0,
+                detail: RunDetail::StaticDead,
+            };
+            if let Some(j) = &journal {
+                j.append(i, &rec).map_err(CampaignError::Journal)?;
+            }
+            *slot = Some((rec, OracleVerdict::default()));
+        }
+    }
     let pending: Vec<usize> = (0..cfg.runs).filter(|&i| slots[i].is_none()).collect();
 
     // Oracle validation first: a functionally wrong golden run poisons
@@ -849,6 +946,10 @@ pub fn run_campaign_with_hook(
     let applied = records.iter().filter(|r| r.applied).count();
     let early_exits = records.iter().filter(|r| r.early_exit).count();
     let restores = records.iter().filter(|r| r.ckpt_skipped_cycles > 0).count();
+    let static_pruned = records
+        .iter()
+        .filter(|r| r.detail == RunDetail::StaticDead)
+        .count();
     let skipped: u64 = records.iter().map(|r| r.ckpt_skipped_cycles).sum();
     let n = records.len();
     let stats = CampaignStats {
@@ -872,6 +973,12 @@ pub fn run_campaign_with_hook(
         restores,
         mean_skipped_cycles: if n > 0 {
             skipped as f64 / n as f64
+        } else {
+            0.0
+        },
+        static_pruned,
+        static_pruned_rate: if n > 0 {
+            static_pruned as f64 / n as f64
         } else {
             0.0
         },

@@ -61,11 +61,17 @@ pub enum RunDetail {
     CycleWatchdog,
     /// The `--max-run-seconds` wall-clock watchdog fired.
     WallWatchdog,
+    /// The run was never simulated: every planned fault targeted a
+    /// register that no reachable instruction of the faulted kernel ever
+    /// reads, so the static analyzer pre-classified it **Masked** at the
+    /// golden cycle count (ACE-style un-ACE pruning; disable with
+    /// `--no-static-prune`).
+    StaticDead,
 }
 
 impl RunDetail {
     /// Every detail kind, in a fixed order.
-    pub const ALL: [RunDetail; 11] = [
+    pub const ALL: [RunDetail; 12] = [
         RunDetail::None,
         RunDetail::SimPanic,
         RunDetail::InvalidAddress,
@@ -77,6 +83,7 @@ impl RunDetail {
         RunDetail::DeviceError,
         RunDetail::CycleWatchdog,
         RunDetail::WallWatchdog,
+        RunDetail::StaticDead,
     ];
 
     /// The CSV/journal spelling ([`RunDetail::None`] is the empty string).
@@ -93,6 +100,7 @@ impl RunDetail {
             RunDetail::DeviceError => "device_error",
             RunDetail::CycleWatchdog => "cycle_watchdog",
             RunDetail::WallWatchdog => "wall_watchdog",
+            RunDetail::StaticDead => "static_dead",
         }
     }
 

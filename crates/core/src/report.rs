@@ -118,6 +118,7 @@ mod tests {
         let mut tally = Tally::default();
         tally.record(FaultEffect::Masked);
         tally.record(FaultEffect::Sdc);
+        tally.record(FaultEffect::Masked);
         CampaignResult {
             spec: CampaignSpec::new(Structure::L2),
             kernel: Some("vec_add".into()),
@@ -138,6 +139,14 @@ mod tests {
                     early_exit: false,
                     ckpt_skipped_cycles: 0,
                     detail: crate::RunDetail::None,
+                },
+                RunRecord {
+                    effect: FaultEffect::Masked,
+                    cycles: 100,
+                    applied: true,
+                    early_exit: false,
+                    ckpt_skipped_cycles: 0,
+                    detail: crate::RunDetail::StaticDead,
                 },
             ],
             stats: crate::campaign::CampaignStats::default(),
@@ -172,7 +181,7 @@ mod tests {
     #[test]
     fn per_run_csv_has_one_row_per_run() {
         let csv = campaign_csv(&sample_campaign());
-        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().count(), 4);
         assert!(csv
             .lines()
             .nth(2)
@@ -180,13 +189,19 @@ mod tests {
             .starts_with("1,SDC,100,true,false,0"));
         // The trailing `detail` field is empty for a Masked run.
         assert!(csv.lines().nth(1).unwrap().ends_with(",40,"));
+        // A statically-pruned run is a Masked run carrying `static_dead`
+        // in the append-only detail column.
+        assert_eq!(
+            csv.lines().nth(3).unwrap(),
+            "2,Masked,100,true,false,0,static_dead"
+        );
     }
 
     #[test]
     fn summary_csv_covers_all_classes() {
         let csv = campaign_summary_csv(&sample_campaign());
         assert_eq!(csv.lines().count(), 1 + FaultEffect::ALL.len());
-        assert!(csv.contains("L2 cache,vec_add,SDC,1,0.5"));
+        assert!(csv.contains("L2 cache,vec_add,SDC,1,0.333333"));
     }
 
     #[test]

@@ -125,7 +125,7 @@ pub fn campaign_fingerprint(workload: &str, card: &str, cfg: &CampaignConfig) ->
     let canonical = format!(
         "gpufi-journal-v1|workload={workload}|card={card}|seed={}|runs={}|kernel={:?}|\
          spec={:?}|early_exit={}|checkpoints={}|interval={}|budget={}|window={:?}|\
-         oracle={}|max_run_ms={}",
+         oracle={}|static_prune={}|max_run_ms={}",
         cfg.seed,
         cfg.runs,
         cfg.kernel,
@@ -136,6 +136,7 @@ pub fn campaign_fingerprint(workload: &str, card: &str, cfg: &CampaignConfig) ->
         cfg.checkpoint_budget,
         cfg.cycle_window,
         cfg.oracle_check,
+        cfg.static_prune,
         cfg.max_run_ms,
     );
     fnv1a(canonical.as_bytes())
@@ -482,6 +483,7 @@ mod tests {
         );
         assert_ne!(f0, fp(&base.clone().no_early_exit()));
         assert_ne!(f0, fp(&base.clone().no_checkpoints()));
+        assert_ne!(f0, fp(&base.clone().no_static_prune()));
         assert_ne!(f0, fp(&base.clone().with_max_run_ms(5_000)));
         assert_ne!(f0, campaign_fingerprint("GE", "RTX 2060", &base));
         assert_ne!(f0, campaign_fingerprint("VA", "GTX Titan", &base));

@@ -1,0 +1,264 @@
+//! Control-flow graph construction over SASS-lite instruction streams.
+//!
+//! Blocks are split at every control transfer (`BRA`, `EXIT`), at every
+//! barrier (`BAR` — so a basic block never spans a barrier interval
+//! boundary, which the shared-memory race lint relies on), and at every
+//! branch or reconvergence target (`BRA`/`SSY` operands).
+//!
+//! Successor rules mirror the simulator's SIMT front end:
+//!
+//! * unguarded `BRA t` → `[t]`;
+//! * guarded `@P BRA t` → `[fallthrough, t]` (the warp may split);
+//! * unguarded `EXIT` → `[]`;
+//! * guarded `@P EXIT` → `[fallthrough]` (surviving lanes continue);
+//! * everything else (including `SSY`, `SYNC`, `BAR`) falls through.
+//!
+//! `SSY`/`SYNC` manipulate the reconvergence stack but never redirect the
+//! program counter, so they are plain fallthrough edges here; their targets
+//! still begin blocks so the dominator analysis can talk about them.
+
+use crate::instr::{Instr, Op};
+
+/// The successor instruction indices of `instrs[i]`.
+///
+/// Targets outside the instruction stream are dropped (the assembler never
+/// produces them, but hand-built kernels can).
+pub fn instr_succs(instrs: &[Instr], i: usize) -> Vec<usize> {
+    let n = instrs.len();
+    let ins = &instrs[i];
+    let fall = (i + 1 < n).then_some(i + 1);
+    let mut out = Vec::with_capacity(2);
+    match ins.op {
+        Op::Bra { target } => {
+            if ins.guard.is_some() {
+                out.extend(fall);
+            }
+            if (target as usize) < n {
+                out.push(target as usize);
+            }
+        }
+        Op::Exit => {
+            if ins.guard.is_some() {
+                out.extend(fall);
+            }
+        }
+        _ => out.extend(fall),
+    }
+    out
+}
+
+/// A maximal straight-line run of instructions `[start, end)` with a single
+/// entry (the leader at `start`) and a single terminator (`end - 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction in the block.
+    pub start: usize,
+    /// One past the index of the last instruction in the block.
+    pub end: usize,
+    /// Successor block ids, in `instr_succs` order.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids, sorted ascending.
+    pub preds: Vec<usize>,
+}
+
+/// A control-flow graph over one kernel's instruction stream.
+///
+/// Block 0 is the entry block (it starts at instruction 0); an empty
+/// instruction stream yields an empty graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for an instruction stream.
+    pub fn build(instrs: &[Instr]) -> Cfg {
+        let n = instrs.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+
+        // Leaders: entry, every branch/reconvergence target, and every
+        // instruction following a block terminator.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (i, ins) in instrs.iter().enumerate() {
+            match ins.op {
+                Op::Bra { target } | Op::Ssy { target } => {
+                    if (target as usize) < n {
+                        leader[target as usize] = true;
+                    }
+                    let ends_block = matches!(ins.op, Op::Bra { .. });
+                    if ends_block && i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Op::Exit | Op::Bar if i + 1 < n => leader[i + 1] = true,
+                _ => {}
+            }
+        }
+
+        let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let mut block_of = vec![0usize; n];
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(n);
+            for bo in &mut block_of[start..end] {
+                *bo = b;
+            }
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+
+        for blk in &mut blocks {
+            let last = blk.end - 1;
+            blk.succs = instr_succs(instrs, last)
+                .into_iter()
+                .map(|i| block_of[i])
+                .collect();
+        }
+        for b in 0..blocks.len() {
+            for s in blocks[b].succs.clone() {
+                if !blocks[s].preds.contains(&b) {
+                    blocks[s].preds.push(b);
+                }
+            }
+        }
+        for blk in &mut blocks {
+            blk.preds.sort_unstable();
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// The basic blocks, in instruction order (block 0 is the entry).
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `i`.
+    pub fn block_of(&self, i: usize) -> usize {
+        self.block_of[i]
+    }
+
+    /// Per-block reachability from the entry block.
+    pub fn reachable_blocks(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Per-instruction reachability from instruction 0.
+    pub fn reachable_instrs(&self) -> Vec<bool> {
+        let blocks_ok = self.reachable_blocks();
+        let mut out = vec![false; self.block_of.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            if blocks_ok[b] {
+                for o in &mut out[blk.start..blk.end] {
+                    *o = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Module;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let m = Module::assemble(src).unwrap();
+        Cfg::build(m.kernels()[0].instrs())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of(".kernel k\n.params 1\n MOV R1, 1\n IADD R1, R1, 1\n EXIT\n");
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].start, 0);
+        assert_eq!(cfg.blocks()[0].end, 3);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn guarded_branch_splits_three_ways() {
+        // 0: ISETP  1: @P0 BRA skip  2: MOV  3: skip: EXIT
+        let cfg = cfg_of(
+            ".kernel k\n.params 1\n ISETP.EQ P0, R0, 0\n@P0 BRA skip\n MOV R1, 1\nskip:\n EXIT\n",
+        );
+        assert_eq!(cfg.blocks().len(), 3);
+        // Entry block ends at the guarded branch, with fallthrough + target.
+        assert_eq!(cfg.blocks()[0].succs, vec![1, 2]);
+        assert_eq!(cfg.blocks()[1].succs, vec![2]);
+        assert!(cfg.blocks()[2].succs.is_empty());
+        assert_eq!(cfg.block_of(1), 0);
+        assert_eq!(cfg.block_of(3), 2);
+    }
+
+    #[test]
+    fn barrier_ends_a_block() {
+        let cfg = cfg_of(".kernel k\n.params 1\n BAR\n MOV R1, 1\n EXIT\n");
+        assert_eq!(cfg.blocks().len(), 2);
+        assert_eq!(cfg.blocks()[0].end, 1);
+        assert_eq!(cfg.blocks()[0].succs, vec![1]);
+    }
+
+    #[test]
+    fn code_after_unguarded_exit_is_unreachable() {
+        let cfg = cfg_of(".kernel k\n.params 1\n EXIT\n MOV R1, 1\n EXIT\n");
+        assert_eq!(cfg.blocks().len(), 2);
+        let reach = cfg.reachable_blocks();
+        assert!(reach[0] && !reach[1]);
+        let ri = cfg.reachable_instrs();
+        assert_eq!(ri, vec![true, false, false]);
+    }
+
+    #[test]
+    fn guarded_exit_falls_through() {
+        let cfg = cfg_of(".kernel k\n.params 1\n ISETP.EQ P0, R0, 0\n@P0 EXIT\n EXIT\n");
+        assert_eq!(cfg.blocks().len(), 2);
+        assert_eq!(cfg.blocks()[0].succs, vec![1]);
+        assert!(cfg.reachable_blocks().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn backward_branch_makes_a_loop() {
+        // 0: MOV 1: top: IADD 2: ISETP 3: @P0 BRA top 4: EXIT
+        let cfg = cfg_of(
+            ".kernel k\n.params 1\n MOV R1, 0\ntop:\n IADD R1, R1, 1\n \
+             ISETP.LT P0, R1, 4\n@P0 BRA top\n EXIT\n",
+        );
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.blocks()[1].succs, vec![2, 1]);
+        assert_eq!(cfg.blocks()[1].preds, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_graph() {
+        let cfg = Cfg::build(&[]);
+        assert!(cfg.blocks().is_empty());
+        assert!(cfg.reachable_blocks().is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Dominator and post-dominator computation over the [`Cfg`], and the
+//! SIMT reconvergence-point validation built on it.
+//!
+//! The solver is the classic iterative bit-vector dataflow: `dom(entry) =
+//! {entry}`, `dom(b) = {b} ∪ ⋂ dom(preds)`, iterated to a fixed point.
+//! Kernels are at most a few hundred instructions, so the quadratic worst
+//! case is irrelevant; the payoff is that the result is the *full* relation
+//! (`dominates(a, b)` for any pair), which is what the reconvergence check
+//! needs.
+//!
+//! Post-dominance runs the same solver on the reverse graph against a
+//! virtual exit node that every block without successors feeds into.  Note
+//! that a *guarded* `EXIT` is not an exit edge — the warp falls through with
+//! its surviving lanes — so "`t` post-dominates `b`" reads as: every thread
+//! that leaves `b` and does not terminate passes through `t`.  That is
+//! exactly the property an `SSY t` reconvergence push promises.
+
+use super::cfg::Cfg;
+use crate::instr::Op;
+use crate::Kernel;
+
+/// A dense `n × n` boolean relation, row-major over `u64` words.
+#[derive(Debug, Clone)]
+struct Relation {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Relation {
+    fn full(n: usize) -> Relation {
+        let words = n.div_ceil(64).max(1);
+        Relation {
+            n,
+            words,
+            bits: vec![!0u64; n * words],
+        }
+    }
+
+    fn row(&self, r: usize) -> &[u64] {
+        &self.bits[r * self.words..(r + 1) * self.words]
+    }
+
+    fn set_only(&mut self, r: usize, c: usize) {
+        let row = &mut self.bits[r * self.words..(r + 1) * self.words];
+        row.fill(0);
+        row[c / 64] |= 1 << (c % 64);
+    }
+
+    fn contains(&self, r: usize, c: usize) -> bool {
+        self.bits[r * self.words + c / 64] >> (c % 64) & 1 == 1
+    }
+
+    /// `row(r) = ({r} ∪ ⋂ row(preds))`; returns whether the row changed.
+    fn refine(&mut self, r: usize, preds: &[usize]) -> bool {
+        let mut acc = vec![!0u64; self.words];
+        for &p in preds {
+            for (a, w) in acc.iter_mut().zip(self.row(p)) {
+                *a &= w;
+            }
+        }
+        acc[r / 64] |= 1 << (r % 64);
+        // Mask out bits beyond n so full-initialized rows compare cleanly.
+        if !self.n.is_multiple_of(64) {
+            let last = acc.len() - 1;
+            acc[last] &= (1u64 << (self.n % 64)) - 1;
+        }
+        let row = &mut self.bits[r * self.words..(r + 1) * self.words];
+        let mut changed = false;
+        for (dst, src) in row.iter_mut().zip(&acc) {
+            let masked = *src;
+            if *dst != masked {
+                *dst = masked;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// The dominator and post-dominator relations of one kernel's CFG.
+#[derive(Debug, Clone)]
+pub struct DomInfo {
+    dom: Relation,
+    pdom: Relation,
+    /// Virtual-exit node id used by the post-dominator relation.
+    exit: usize,
+}
+
+impl DomInfo {
+    /// Computes both relations for a CFG.
+    pub fn compute(cfg: &Cfg) -> DomInfo {
+        let n = cfg.blocks().len();
+
+        // Forward dominators.
+        let mut dom = Relation::full(n.max(1));
+        if n > 0 {
+            dom.set_only(0, 0);
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for b in 1..n {
+                    if dom.refine(b, &cfg.blocks()[b].preds) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Post-dominators against a virtual exit node (id = n).
+        let exit = n;
+        let mut pdom = Relation::full(n + 1);
+        pdom.set_only(exit, exit);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let blk = &cfg.blocks()[b];
+                let succs: Vec<usize> = if blk.succs.is_empty() {
+                    vec![exit]
+                } else {
+                    blk.succs.clone()
+                };
+                if pdom.refine(b, &succs) {
+                    changed = true;
+                }
+            }
+        }
+
+        DomInfo { dom, pdom, exit }
+    }
+
+    /// Whether block `a` dominates block `b` (every path from the entry to
+    /// `b` passes through `a`; reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        self.dom.contains(b, a)
+    }
+
+    /// Whether block `a` post-dominates block `b` (every path from `b` to
+    /// the program exit passes through `a`; reflexive).
+    pub fn post_dominates(&self, a: usize, b: usize) -> bool {
+        debug_assert!(a < self.exit && b < self.exit);
+        self.pdom.contains(b, a)
+    }
+}
+
+/// `SSY` instructions whose reconvergence target does not post-dominate the
+/// push site — the divergence they open can leave the warp permanently
+/// split, which on real Kepler-class hardware deadlocks or silently
+/// misexecutes.  Returns `(ssy_index, target_index)` pairs.
+///
+/// Unreachable `SSY`s are skipped (the unreachable-block lint reports the
+/// underlying problem instead).
+pub fn reconvergence_violations(kernel: &Kernel, cfg: &Cfg, dom: &DomInfo) -> Vec<(usize, u32)> {
+    let instrs = kernel.instrs();
+    let reach = cfg.reachable_instrs();
+    let mut out = Vec::new();
+    for (i, ins) in instrs.iter().enumerate() {
+        let Op::Ssy { target } = ins.op else { continue };
+        if !reach[i] {
+            continue;
+        }
+        let bad = (target as usize) >= instrs.len()
+            || !dom.post_dominates(cfg.block_of(target as usize), cfg.block_of(i));
+        if bad {
+            out.push((i, target));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Module;
+
+    fn analyze(src: &str) -> (Kernel, Cfg, DomInfo) {
+        let m = Module::assemble(src).unwrap();
+        let k = m.kernels()[0].clone();
+        let cfg = Cfg::build(k.instrs());
+        let dom = DomInfo::compute(&cfg);
+        (k, cfg, dom)
+    }
+
+    const DIAMOND: &str = ".kernel k\n.params 1\n \
+        ISETP.EQ P0, R0, 0\n \
+        SSY join\n\
+        @P0 BRA then\n \
+        MOV R1, 1\n \
+        BRA join\n\
+        then:\n \
+        MOV R1, 2\n\
+        join:\n \
+        SYNC\n \
+        EXIT\n";
+
+    #[test]
+    fn diamond_dominance() {
+        let (_, cfg, dom) = analyze(DIAMOND);
+        // Entry dominates everything; join post-dominates everything.
+        let join = cfg.block_of(6);
+        for b in 0..cfg.blocks().len() {
+            assert!(dom.dominates(0, b), "entry should dominate block {b}");
+            assert!(dom.post_dominates(join, b), "join should pdom block {b}");
+        }
+        // Neither arm dominates the join.
+        let then_b = cfg.block_of(5);
+        assert!(!dom.dominates(then_b, join));
+    }
+
+    #[test]
+    fn well_formed_reconvergence_passes() {
+        let (k, cfg, dom) = analyze(DIAMOND);
+        assert!(reconvergence_violations(&k, &cfg, &dom).is_empty());
+    }
+
+    #[test]
+    fn ssy_into_one_arm_is_flagged() {
+        // SSY points at the `then` arm, which the fallthrough path never
+        // reaches — not a post-dominator of the push site.
+        let (k, cfg, dom) = analyze(
+            ".kernel k\n.params 1\n \
+             ISETP.EQ P0, R0, 0\n \
+             SSY then\n\
+             @P0 BRA then\n \
+             MOV R1, 1\n \
+             BRA join\n\
+             then:\n \
+             MOV R1, 2\n\
+             join:\n \
+             SYNC\n \
+             EXIT\n",
+        );
+        let v = reconvergence_violations(&k, &cfg, &dom);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, 1);
+    }
+
+    #[test]
+    fn guarded_exit_does_not_break_postdominance() {
+        // A lane-killing @P EXIT inside the straight line: the block after
+        // it still post-dominates the entry because the warp falls through.
+        let (k, cfg, dom) = analyze(
+            ".kernel k\n.params 1\n \
+             ISETP.GE P0, R0, 64\n\
+             @P0 EXIT\n \
+             MOV R1, 1\n \
+             EXIT\n",
+        );
+        let tail = cfg.block_of(2);
+        assert!(dom.post_dominates(tail, 0));
+        assert!(reconvergence_violations(&k, &cfg, &dom).is_empty());
+    }
+}

@@ -24,7 +24,12 @@
 //! * **in-bounds accesses** — global/texture offsets stay inside the
 //!   input buffer's slack words, shared/local offsets inside `.smem` /
 //!   `.lmem` (constant reads may run past the written extent: both sides
-//!   define them to read zeros).
+//!   define them to read zeros);
+//! * **lint cleanliness** — every prologue register is live (the first
+//!   working register always loads through the input pointer) and every
+//!   working register folds into the stored output word, so the whole
+//!   corpus passes `gpufi_isa::analysis::lint_kernel` (enforced by the
+//!   `fuzz_lint` integration test and the `gpufi fuzz` post-check).
 
 use crate::config::GpuConfig;
 use crate::gpu::Gpu;
@@ -136,9 +141,16 @@ pub fn gen_case(seed: u64) -> FuzzCase {
          \x20   IADD  R6, R1, R4\n",
     );
 
-    // Initialize every working register from a load or an immediate.
-    for w in WORK {
-        match rng.below(4) {
+    // Initialize every working register from a load or an immediate.  The
+    // first one always loads through `R6` so the prologue's input pointer
+    // is never a dead register (the static linter runs over every
+    // generated kernel, and an all-immediate draw would orphan it).
+    for (i, w) in WORK.iter().enumerate() {
+        match if i == 0 {
+            1 + rng.below(2)
+        } else {
+            rng.below(4)
+        } {
             0 => {
                 let _ = writeln!(src, "    MOV   {w}, 0x{:08x}", rng.next_u64() as u32);
             }

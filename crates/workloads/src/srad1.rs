@@ -22,21 +22,26 @@ const SRC: &str = r#"
     IADD R6, R0, R6
     LDG  R7, [R6]          ; J[i]
     FMUL R8, R7, R7        ; J[i]^2
-    SHL  R9, R2, 2
+    ; Interleaved banks — thread t owns slots [8t] (sum) and [8t+4]
+    ; (sumsq).  Unlike the split [4t]/[4t+256] layout, the 4-byte offset
+    ; between banks is not a multiple of the 8-byte thread stride, so the
+    ; banks are disjoint for *any* block size, not just the 64 threads we
+    ; happen to launch.
+    SHL  R9, R2, 3
     STS  [R9], R7
-    IADD R10, R9, 256
+    IADD R10, R9, 4
     STS  [R10], R8
     BAR
     MOV  R11, 32
 red:
     ISETP.LT P1, R2, R11
 @P1 IADD R12, R2, R11
-@P1 SHL  R12, R12, 2
+@P1 SHL  R12, R12, 3
 @P1 LDS  R13, [R12]
 @P1 LDS  R14, [R9]
 @P1 FADD R14, R14, R13
 @P1 STS  [R9], R14
-@P1 IADD R15, R12, 256
+@P1 IADD R15, R12, 4
 @P1 LDS  R16, [R15]
 @P1 LDS  R17, [R10]
 @P1 FADD R17, R17, R16

@@ -1,0 +1,28 @@
+//! The fuzzer's well-formedness contract, checked statically: every
+//! kernel the differential fuzzer generates must pass the full lint
+//! suite.  The generator promises initialized registers, convergent
+//! (never divergent) barriers, race-free shared-memory exchanges and
+//! forward-only branches — exactly the properties the static analyzer
+//! verifies — so a finding on a generated kernel is either a generator
+//! bug or an analyzer false positive, and both must fail loudly.
+
+use gpufi::isa::analysis::lint_module;
+use gpufi::isa::Module;
+use gpufi::sim::oracle::fuzz::gen_case;
+
+#[test]
+fn seeded_fuzz_corpus_is_lint_clean() {
+    let mut dirty = Vec::new();
+    for seed in 0..120u64 {
+        let case = gen_case(seed);
+        let module = Module::assemble(&case.source).expect("fuzzer emits valid asm");
+        for (kernel, f) in lint_module(&module) {
+            dirty.push(format!("seed {seed} {kernel}: [{}] {f}", f.kind()));
+        }
+    }
+    assert!(
+        dirty.is_empty(),
+        "lint findings in the fuzz corpus:\n{}",
+        dirty.join("\n")
+    );
+}
