@@ -1,0 +1,157 @@
+//! Micro-benchmarks of the interpreter hot path: kernel predecode,
+//! single-launch issue rate, golden-application throughput, and the
+//! headline no-checkpoint campaign rate the predecode + SoA overhaul is
+//! measured by.
+//!
+//! A dependency-free harness (`harness = false`), timed with
+//! `std::time::Instant` and printed as one-line summaries.  Run with
+//! `cargo bench --bench interp`.  Results land in `BENCH_interp.json` at
+//! the repository root (same convention as `BENCH_campaign.json`).
+//!
+//! The headline baseline is the pre-overhaul engine — per-instruction
+//! operand decode, array-of-structs register files, per-lane ACE
+//! bookkeeping, and an O(lines) L1 flush after every launch — which
+//! sustained 47.5 runs/s on the 300-run GE register-file campaign below
+//! (single thread, checkpoints off).  The overhaul's acceptance bar is
+//! 3x that rate on the same configuration.
+
+use gpufi_core::{profile, run_campaign, CampaignConfig, Workload};
+use gpufi_faults::{CampaignSpec, Structure};
+use gpufi_isa::{Module, Predecoded};
+use gpufi_sim::{Gpu, GpuConfig, LaunchDims};
+use gpufi_workloads::Gaussian;
+use std::time::Instant;
+
+/// Pre-overhaul engine rate on `campaign_300_ge_regfile_no_ckpt`
+/// (single-threaded, measured on the commit before the predecode + SoA
+/// interpreter landed).
+const BASELINE_RUNS_PER_SEC: f64 = 47.5;
+
+const KERNEL: &str = r#"
+.kernel saxpy
+.params 4
+    S2R  R4, SR_TID.X
+    S2R  R5, SR_CTAID.X
+    S2R  R6, SR_NTID.X
+    IMAD R4, R5, R6, R4
+    ISETP.GE P0, R4, R3
+@P0 EXIT
+    SHL  R5, R4, 2
+    IADD R6, R0, R5
+    LDG  R7, [R6]
+    IADD R8, R1, R5
+    LDG  R9, [R8]
+    FFMA R7, R7, 2.0f, R9
+    IADD R10, R2, R5
+    STG  [R10], R7
+    EXIT
+"#;
+
+/// Times `iters` calls of `f` (after one warm-up call) and prints the
+/// per-iteration mean; returns the total wall seconds.
+fn time<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed().as_secs_f64();
+    println!(
+        "{label:<44} {:>12.3} ms/iter  ({iters} iters)",
+        total / f64::from(iters) * 1e3
+    );
+    total
+}
+
+/// Predecode throughput: the once-per-launch cost the micro-op array
+/// moved out of the issue loop.  It must stay trivially cheap next to
+/// even the smallest launch.
+fn bench_predecode() -> f64 {
+    let module = Module::assemble(KERNEL).unwrap();
+    let kernel = module.kernel("saxpy").unwrap();
+    let t = time("predecode_saxpy_module", 10_000, || {
+        Predecoded::from_kernel(std::hint::black_box(kernel))
+    });
+    t / 10_000.0 * 1e6 // µs per predecode
+}
+
+/// Single-launch rate through the predecoded micro-op path: one 4096-
+/// thread saxpy launch on a cold GPU, construction included (the campaign
+/// engine pays both per run).
+fn bench_launch() -> f64 {
+    let module = Module::assemble(KERNEL).unwrap();
+    let kernel = module.kernel("saxpy").unwrap();
+    let t = time("launch_saxpy_4096_rtx2060", 50, || {
+        let mut gpu = Gpu::new(GpuConfig::rtx2060());
+        let x = gpu.malloc(4096 * 4).unwrap();
+        let y = gpu.malloc(4096 * 4).unwrap();
+        let z = gpu.malloc(4096 * 4).unwrap();
+        gpu.launch(kernel, LaunchDims::new(32, 128), &[x, y, z, 4096])
+            .unwrap()
+    });
+    t / 50.0 * 1e3 // ms per launch
+}
+
+/// Whole-application golden run: GE's 64 pivot launches back to back —
+/// the unit of work every non-early-exit campaign run repeats.
+fn bench_golden_ge() -> f64 {
+    let ge = Gaussian::default();
+    let card = GpuConfig::rtx2060();
+    let t = time("golden_profile_ge_64_launches", 5, || {
+        profile(&ge, &card).unwrap()
+    });
+    t / 5.0 * 1e3 // ms per golden run
+}
+
+/// Headline: the 300-run GE register-file campaign, single-threaded,
+/// checkpoints off (`gpufi campaign --bench GE --structure rf --runs 300
+/// --seed 11 --no-checkpoints`).  Checkpoints are disabled so the rate
+/// measures the interpreter itself, not fork placement.
+fn bench_headline_campaign() -> String {
+    let ge = Gaussian::default();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(&ge, &card).unwrap();
+    let runs = 300;
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), runs, 11)
+        .with_threads(1)
+        .no_checkpoints();
+
+    time("campaign_300_ge_regfile_no_ckpt", 3, || {
+        run_campaign(&ge, &card, &cfg, &golden).unwrap()
+    });
+    let r = run_campaign(&ge, &card, &cfg, &golden).unwrap();
+    let s = &r.stats;
+    let speedup = s.runs_per_sec / BASELINE_RUNS_PER_SEC;
+    println!(
+        "interp engine: {:.1} runs/s on {} threads ({:.2}x the {:.1} runs/s pre-overhaul baseline)",
+        s.runs_per_sec, s.threads, speedup, BASELINE_RUNS_PER_SEC
+    );
+    format!(
+        "{{\n    \"benchmark\": \"campaign_300_ge_regfile_no_ckpt\",\n    \
+         \"workload\": \"{}\",\n    \"runs\": {runs},\n    \"seed\": 11,\n    \
+         \"golden_cycles\": {},\n    \"baseline_runs_per_sec\": {BASELINE_RUNS_PER_SEC},\n    \
+         \"runs_per_sec\": {:.2},\n    \"speedup_vs_baseline\": {speedup:.3},\n    \
+         \"early_exit_rate\": {:.3},\n    \"applied_rate\": {:.3},\n    \"threads\": {}\n  }}",
+        ge.name(),
+        golden.total_cycles(),
+        s.runs_per_sec,
+        s.early_exit_rate,
+        s.applied_rate,
+        s.threads,
+    )
+}
+
+fn main() {
+    let predecode_us = bench_predecode();
+    let launch_ms = bench_launch();
+    let golden_ms = bench_golden_ge();
+    let headline = bench_headline_campaign();
+    let json = format!(
+        "{{\n  \"predecode_saxpy_us\": {predecode_us:.3},\n  \
+         \"launch_saxpy_4096_ms\": {launch_ms:.3},\n  \
+         \"golden_ge_ms\": {golden_ms:.3},\n  \"headline\": {headline}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interp.json");
+    std::fs::write(path, json).expect("write BENCH_interp.json");
+    println!("results written to BENCH_interp.json");
+}

@@ -46,7 +46,7 @@ usage:
                  [--csv FILE] [--journal FILE] [--no-journal] [--resume]
                  [--max-run-seconds S] [--inject-panic-run I]
   gpufi analyze  --bench <NAME> [--card <CARD>] [--runs N] [--bits K] [--seed S]
-  gpufi fuzz     [--kernels N] [--seed S]
+  gpufi fuzz     [--kernels N] [--seed S] [--traps T]
   gpufi lint     [--bench <NAME>] [--json]
 
 cards:      rtx2060 (default) | gv100 | titan, or --config <FILE> with a
@@ -63,7 +63,10 @@ forces cold starts from cycle 0 (validation modes);
 reference interpreter and fully simulates every run early exit would
 classify Masked, confirming the oracle-predicted final state;
 fuzz runs N random SASS-lite kernels through both engines (sim == oracle)
-and statically lints every generated kernel;
+and statically lints every generated kernel; --traps additionally runs T
+kernels built to fault through corrupted-address shapes (bases near
+u32::MAX, wrapping negative offsets, null pages), pinning that both
+engines raise the same trap kind;
 lint runs the SASS-lite static analyzer (CFG, dominators, liveness) over
 one benchmark or the whole paper suite: uninitialized-register reads,
 divergent barriers, shared-memory races between barrier intervals,
@@ -439,9 +442,10 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
 /// functional reference interpreter; the first divergence aborts with the
 /// full report and the generated kernel source.
 fn cmd_fuzz(args: &Args<'_>) -> Result<(), String> {
-    args.reject_unknown(&["--kernels", "--seed"], &[])?;
+    args.reject_unknown(&["--kernels", "--seed", "--traps"], &[])?;
     let count: u32 = args.parse("--kernels", 100)?;
     let seed: u64 = args.parse("--seed", 1)?;
+    let traps: u32 = args.parse("--traps", 0)?;
     for i in 0..count {
         let case = gpufi_sim::oracle::fuzz::gen_case(seed.wrapping_add(u64::from(i)));
         // Generation post-check: the generator promises well-formedness
@@ -477,6 +481,23 @@ fn cmd_fuzz(args: &Args<'_>) -> Result<(), String> {
     println!(
         "fuzz: {count} random kernels from seed {seed}, lint-clean and sim == oracle on every one"
     );
+    // Trap corpus: kernels built to fault through corrupted-address shapes
+    // (near-`u32::MAX` bases, wrapping negative offsets, null pages); both
+    // engines must raise the same trap *kind* on every one.
+    for i in 0..traps {
+        let case = gpufi_sim::oracle::fuzz::gen_trap_case(seed.wrapping_add(u64::from(i)));
+        if let Err(report) = gpufi_sim::oracle::fuzz::run_trap_case(&case) {
+            return Err(format!(
+                "trap seed {} diverged after {i} agreeing trap kernels:\n{report}\nsource:\n{}",
+                case.seed, case.source
+            ));
+        }
+    }
+    if traps > 0 {
+        println!(
+            "fuzz: {traps} trap kernels from seed {seed}, identical trap kind on both engines"
+        );
+    }
     Ok(())
 }
 

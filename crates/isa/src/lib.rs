@@ -58,6 +58,7 @@ mod error;
 mod instr;
 mod kernel;
 mod op;
+pub mod predecode;
 mod reg;
 pub mod semantics;
 
@@ -66,4 +67,5 @@ pub use error::AsmError;
 pub use instr::{Guard, Instr, MemSpace, Op, Operand};
 pub use kernel::{Kernel, Module};
 pub use op::{BitOp, CmpOp, FloatOp, FloatUnOp, IntOp, OpClass};
+pub use predecode::{MicroOp, Predecoded};
 pub use reg::{Pred, Reg, SpecialReg, MAX_PRED, MAX_REG};

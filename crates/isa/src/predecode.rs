@@ -1,0 +1,151 @@
+//! Ahead-of-time kernel predecoding for the interpreter hot path.
+//!
+//! The cycle-level simulator issues one instruction per core per cycle;
+//! everything it derives from an [`Instr`] at issue time — the latency
+//! class, the guard predicate, the source/destination register sets —
+//! is the same on every issue of that static instruction.  This module
+//! computes it once per kernel: [`Predecoded::from_kernel`] lowers the
+//! instruction stream into a flat [`MicroOp`] array with those facts
+//! resolved, register indices already scaled to lane-slot bases
+//! (`reg * 32`, matching the simulator's structure-of-arrays register
+//! file), and branch targets kept absolute as the assembler resolved
+//! them.
+//!
+//! The original [`Op`] payload rides along in each micro-op: semantics
+//! still dispatch on it, but the per-issue calls to [`Op::class`],
+//! [`Op::src_regs`] and [`Op::dest_reg`] — each a full match over the
+//! instruction — disappear from the hot loop.
+
+use crate::instr::{Instr, Op};
+use crate::kernel::Kernel;
+use crate::op::OpClass;
+
+/// Warp width the lane-slot bases are scaled by (SASS-lite fixes the warp
+/// at 32 lanes).
+pub const WARP_LANES: usize = 32;
+
+/// Sentinel value of [`MicroOp::dst`] for operations that write no
+/// general-purpose register.
+pub const NO_DST: u16 = u16::MAX;
+
+/// One predecoded instruction: the facts the scheduler and the ACE/taint
+/// bookkeeping need every issue, computed once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroOp {
+    /// The operation payload; branch targets are absolute instruction
+    /// indices (resolved by the assembler).
+    pub op: Op,
+    /// Latency class, resolved from [`Op::class`].
+    pub class: OpClass,
+    /// Guard as `(predicate index, negate)`, or `None` for unguarded
+    /// instructions.
+    pub guard: Option<(u8, bool)>,
+    /// Lane-slot bases (`reg * 32`) of the general-purpose register
+    /// sources, in operand order; the first [`MicroOp::nsrcs`] entries are
+    /// valid.
+    pub srcs: [u16; 3],
+    /// Number of valid entries in [`MicroOp::srcs`].
+    pub nsrcs: u8,
+    /// Lane-slot base of the destination register, or [`NO_DST`].
+    pub dst: u16,
+}
+
+impl MicroOp {
+    /// Lowers one decoded instruction.
+    pub fn from_instr(instr: &Instr) -> Self {
+        let mut srcs = [0u16; 3];
+        let mut nsrcs = 0u8;
+        for s in instr.op.src_regs().into_iter().flatten() {
+            srcs[usize::from(nsrcs)] = u16::from(s.index()) * WARP_LANES as u16;
+            nsrcs += 1;
+        }
+        MicroOp {
+            op: instr.op,
+            class: instr.op.class(),
+            guard: instr.guard.map(|g| (g.pred.index(), g.negate)),
+            srcs,
+            nsrcs,
+            dst: instr
+                .op
+                .dest_reg()
+                .map_or(NO_DST, |d| u16::from(d.index()) * WARP_LANES as u16),
+        }
+    }
+
+    /// The valid source lane-slot bases.
+    pub fn src_bases(&self) -> &[u16] {
+        &self.srcs[..usize::from(self.nsrcs)]
+    }
+}
+
+/// A kernel's instruction stream lowered to micro-ops, indexed by the same
+/// program counter as [`Kernel::instrs`].
+#[derive(Debug, Clone, Default)]
+pub struct Predecoded {
+    /// One micro-op per instruction, in program order.
+    pub uops: Vec<MicroOp>,
+}
+
+impl Predecoded {
+    /// Predecodes every instruction of `kernel`.
+    pub fn from_kernel(kernel: &Kernel) -> Self {
+        Predecoded {
+            uops: kernel.instrs().iter().map(MicroOp::from_instr).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Module;
+
+    #[test]
+    fn lowers_classes_guards_and_slots() {
+        let m = Module::assemble(
+            ".kernel k\n\
+             .params 1\n\
+                 S2R R2, SR_TID.X\n\
+                 ISETP.GE P1, R2, R0\n\
+             @!P1 IMAD R3, R2, R0, R2\n\
+                 STG [R0], R3\n\
+                 EXIT\n",
+        )
+        .unwrap();
+        let pre = Predecoded::from_kernel(m.kernel("k").unwrap());
+        assert_eq!(pre.uops.len(), 5);
+
+        let s2r = &pre.uops[0];
+        assert_eq!(s2r.class, OpClass::Alu);
+        assert_eq!(s2r.guard, None);
+        assert_eq!(s2r.src_bases(), &[] as &[u16]);
+        assert_eq!(s2r.dst, 2 * WARP_LANES as u16);
+
+        let setp = &pre.uops[1];
+        assert_eq!(setp.dst, NO_DST);
+        assert_eq!(setp.src_bases(), &[2 * WARP_LANES as u16, 0]);
+
+        let imad = &pre.uops[2];
+        assert_eq!(imad.class, OpClass::Mul);
+        assert_eq!(imad.guard, Some((1, true)));
+        assert_eq!(
+            imad.src_bases(),
+            &[2 * WARP_LANES as u16, 0, 2 * WARP_LANES as u16]
+        );
+        assert_eq!(imad.dst, 3 * WARP_LANES as u16);
+
+        let stg = &pre.uops[3];
+        assert_eq!(stg.class, OpClass::Mem);
+        assert_eq!(stg.dst, NO_DST);
+        assert_eq!(stg.src_bases(), &[0, 3 * WARP_LANES as u16]);
+
+        assert_eq!(pre.uops[4].class, OpClass::Ctrl);
+    }
+
+    #[test]
+    fn immediate_operands_contribute_no_source_slots() {
+        let m = Module::assemble(".kernel k\n IADD R1, R1, 7\n EXIT\n").unwrap();
+        let pre = Predecoded::from_kernel(m.kernel("k").unwrap());
+        assert_eq!(pre.uops[0].src_bases(), &[WARP_LANES as u16]);
+    }
+}

@@ -9,17 +9,29 @@
 //! One instruction issues per core per cycle; warps stall until their
 //! instruction's latency (ALU class or computed memory completion time)
 //! elapses — the standard stall-warp timing model.
+//!
+//! The issue path executes **predecoded micro-ops**
+//! ([`gpufi_isa::predecode`]): the guard predicate, latency class and
+//! source/destination register slots of every static instruction are
+//! resolved once per launch, and both the register file and the predicate
+//! file are stored structure-of-arrays (`regs[reg * 32 + lane]`, one lane
+//! mask per predicate) so each op's 32 lanes run as a tight loop over
+//! contiguous memory and guard evaluation is a single mask operation.
 
 use crate::config::{GpuConfig, SchedulerPolicy};
 use crate::error::Trap;
 use crate::grid::LaunchDims;
 use crate::mem::{AccessKind, MemSystem, LOCAL_BASE};
 use crate::oracle::ThreadState;
+use gpufi_isa::predecode::{MicroOp, Predecoded, NO_DST};
 use gpufi_isa::semantics as exec;
-use gpufi_isa::{Instr, Kernel, MemSpace, Op, OpClass, Operand, Pred, Reg, SpecialReg};
+use gpufi_isa::{Kernel, MemSpace, Op, OpClass, Operand, Reg, SpecialReg, MAX_PRED};
 
 /// Warp width; SASS-lite fixes this at 32 like every modelled generation.
 const LANES: usize = 32;
+
+/// Predicate registers per thread (`P0..P6`).
+const NUM_PREDS: usize = MAX_PRED as usize + 1;
 
 /// Per-launch immutable context shared by all cores.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +42,9 @@ pub struct KernelCtx<'a> {
     pub dims: LaunchDims,
     /// Launch parameters (preloaded into `R0..`).
     pub args: &'a [u32],
+    /// The kernel's instruction stream predecoded into micro-ops
+    /// (computed once at launch; see [`gpufi_isa::predecode`]).
+    pub pre: &'a Predecoded,
 }
 
 impl KernelCtx<'_> {
@@ -77,8 +92,10 @@ struct Warp {
     finished: bool,
     /// Lane-major register file slice: `regs[reg * 32 + lane]`.
     regs: Vec<u32>,
-    /// Per-lane predicate bits (bit `p` of `preds[lane]`).
-    preds: [u8; LANES],
+    /// Per-predicate lane masks: bit `lane` of `preds[p]` is predicate
+    /// `p` of that lane (structure-of-arrays, so a guard evaluates as one
+    /// mask operation instead of a 32-lane loop).
+    preds: [u32; NUM_PREDS],
     /// ACE liveness: cycle of the last definition or use per register
     /// slot (same layout as `regs`).
     touch: Vec<u64>,
@@ -88,35 +105,43 @@ struct Warp {
 }
 
 impl Warp {
-    fn reg(&self, lane: usize, r: Reg) -> u32 {
-        self.regs[r.index() as usize * LANES + lane]
-    }
-
-    fn set_reg(&mut self, lane: usize, r: Reg, v: u32) {
-        self.regs[r.index() as usize * LANES + lane] = v;
-    }
-
-    fn operand(&self, lane: usize, op: Operand) -> u32 {
-        match op {
-            Operand::Reg(r) => self.reg(lane, r),
-            Operand::Imm(v) => v,
+    /// Predicate bits of one lane packed into a byte (bit `p` = `Pp`),
+    /// the exit-capture and oracle interchange format.
+    fn pred_byte(&self, lane: usize) -> u8 {
+        let mut b = 0u8;
+        for (p, &mask) in self.preds.iter().enumerate() {
+            b |= (((mask >> lane) & 1) as u8) << p;
         }
-    }
-
-    fn pred(&self, lane: usize, p: Pred) -> bool {
-        self.preds[lane] & (1 << p.index()) != 0
-    }
-
-    fn set_pred(&mut self, lane: usize, p: Pred, v: bool) {
-        if v {
-            self.preds[lane] |= 1 << p.index();
-        } else {
-            self.preds[lane] &= !(1 << p.index());
-        }
+        b
     }
 
     fn issuable(&self, now: u64) -> bool {
         !self.finished && !self.at_barrier && self.ready_at <= now
+    }
+}
+
+/// Lane-slot base of a register in the structure-of-arrays layout.
+#[inline]
+fn rbase(r: Reg) -> usize {
+    usize::from(r.index()) * LANES
+}
+
+/// Applies `f` to each lane set in `mask`.  A full mask takes the
+/// straight-line `0..32` loop (the common case, and the shape the
+/// compiler vectorizes); sparse masks walk set bits only.
+#[inline]
+fn for_lanes(mask: u32, mut f: impl FnMut(usize)) {
+    if mask == u32::MAX {
+        for lane in 0..LANES {
+            f(lane);
+        }
+    } else {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            f(lane);
+        }
     }
 }
 
@@ -156,9 +181,21 @@ pub struct SimtCore {
     ctas: Vec<Cta>,
     cta_limit: u32,
     launch_seq: u64,
-    last: Option<(usize, usize)>,
     policy: SchedulerPolicy,
     rr_cursor: usize,
+    /// No warp can issue before this cycle (cached from `next_ready` on a
+    /// scheduling miss; reset whenever a CTA is installed).  Purely a
+    /// fast path: skipping `pick_warp` while `now < idle_until` is
+    /// decision-identical because only an instruction of this core (which
+    /// requires a successful pick) or a CTA launch (which resets the
+    /// cache) can make a warp ready earlier.
+    idle_until: u64,
+    /// Incremental count of live (not-exited) threads across resident
+    /// CTAs — equals the sum the occupancy integration used to recompute
+    /// by scanning every warp each cycle.
+    live_threads: u32,
+    /// Incremental count of unfinished warps across resident CTAs.
+    unfinished_warps: u32,
     lat_alu: u32,
     lat_mul: u32,
     lat_sfu: u32,
@@ -187,9 +224,11 @@ impl SimtCore {
             ctas: Vec::new(),
             cta_limit: 0,
             launch_seq: 0,
-            last: None,
             policy: cfg.scheduler,
             rr_cursor: 0,
+            idle_until: 0,
+            live_threads: 0,
+            unfinished_warps: 0,
             lat_alu: cfg.lat.alu,
             lat_mul: cfg.lat.mul,
             lat_sfu: cfg.lat.sfu,
@@ -265,7 +304,9 @@ impl SimtCore {
     pub fn configure_kernel(&mut self, cta_limit: u32) {
         assert!(self.ctas.is_empty(), "core busy at kernel start");
         self.cta_limit = cta_limit;
-        self.last = None;
+        self.idle_until = 0;
+        self.live_threads = 0;
+        self.unfinished_warps = 0;
     }
 
     /// Whether another CTA of the current kernel fits right now.
@@ -305,13 +346,21 @@ impl SimtCore {
                     at_barrier: false,
                     finished: live == 0,
                     regs,
-                    preds: [0; LANES],
+                    preds: [0; NUM_PREDS],
                     touch,
                     tainted_regs: Vec::new(),
                 }
             })
             .collect::<Vec<_>>();
         let live_warps = warps.iter().filter(|w| !w.finished).count() as u32;
+        self.live_threads += warps.iter().map(|w| w.live.count_ones()).sum::<u32>();
+        self.unfinished_warps += live_warps;
+        // A fresh CTA is ready now: drop any cached idle window.
+        self.idle_until = 0;
+        // `seq` backs the GTO age order: slots stay sorted by it (push
+        // appends the newest, retain preserves order), which is what lets
+        // `pick_gto` stop at the first issuable warp.
+        debug_assert!(self.ctas.iter().all(|c| c.seq < self.launch_seq));
         self.ctas.push(Cta {
             linear: cta_linear,
             seq: self.launch_seq,
@@ -328,36 +377,40 @@ impl SimtCore {
     pub fn harvest_finished(&mut self) -> u32 {
         let before = self.ctas.len();
         self.ctas.retain(|c| c.live_warps > 0);
-        self.last = None; // slots moved; drop the greedy pointer
         (before - self.ctas.len()) as u32
     }
 
     /// Whether the core holds no CTAs.
+    #[inline]
     pub fn is_idle(&self) -> bool {
         self.ctas.is_empty()
     }
 
+    /// Whether [`cycle`](Self::cycle) at `now` could do anything: false
+    /// while `now < idle_until`, where `cycle` returns without issuing.
+    /// Inlined into the chip run loop so the (mostly idle) cores cost one
+    /// load and compare per iteration instead of a call.
+    #[inline]
+    pub fn maybe_ready(&self, now: u64) -> bool {
+        now >= self.idle_until
+    }
+
     /// Resident (not-yet-completed) CTA count.
+    #[inline]
     pub fn resident_ctas(&self) -> u32 {
         self.ctas.len() as u32
     }
 
-    /// Resident live threads.
+    /// Resident live threads (incrementally maintained).
+    #[inline]
     pub fn resident_threads(&self) -> u32 {
-        self.ctas
-            .iter()
-            .flat_map(|c| &c.warps)
-            .map(|w| w.live.count_ones())
-            .sum()
+        self.live_threads
     }
 
-    /// Resident live warps (for occupancy).
+    /// Resident live warps (for occupancy; incrementally maintained).
+    #[inline]
     pub fn resident_live_warps(&self) -> u32 {
-        self.ctas
-            .iter()
-            .flat_map(|c| &c.warps)
-            .filter(|w| !w.finished)
-            .count() as u32
+        self.unfinished_warps
     }
 
     /// The earliest cycle at which some warp can issue, or `None` when all
@@ -384,10 +437,16 @@ impl SimtCore {
         ctx: &KernelCtx<'_>,
         mem: &mut MemSystem,
     ) -> Result<bool, Trap> {
+        if !self.maybe_ready(now) {
+            return Ok(false);
+        }
         let Some((slot, widx)) = self.pick_warp(now) else {
+            // Nothing can become ready before the earliest stalled warp
+            // without installing a CTA (which resets the cache), so the
+            // scheduler can sleep until then.
+            self.idle_until = self.next_ready().unwrap_or(u64::MAX);
             return Ok(false);
         };
-        self.last = Some((slot, widx));
         self.exec(slot, widx, now, ctx, mem)?;
         self.instructions += 1;
         Ok(true)
@@ -401,27 +460,21 @@ impl SimtCore {
         }
     }
 
-    /// Greedy-then-oldest: keep issuing the last warp, else the oldest.
+    /// Greedy-then-oldest.  The dispatcher harvests every core each cycle,
+    /// which drops any greedy pointer before the next pick, so GTO always
+    /// resolves to the *oldest* ready warp; CTA slots are in ascending
+    /// launch-sequence order (push + retain preserve order) and warps in
+    /// ascending index order, so the first issuable warp in iteration
+    /// order is the oldest — the scan stops at the first hit.
     fn pick_gto(&self, now: u64) -> Option<(usize, usize)> {
-        if let Some((s, w)) = self.last {
-            if let Some(cta) = self.ctas.get(s) {
-                if cta.warps.get(w).is_some_and(|warp| warp.issuable(now)) {
+        for (s, cta) in self.ctas.iter().enumerate() {
+            for (w, warp) in cta.warps.iter().enumerate() {
+                if warp.issuable(now) {
                     return Some((s, w));
                 }
             }
         }
-        let mut best: Option<(u64, u32, usize, usize)> = None;
-        for (s, cta) in self.ctas.iter().enumerate() {
-            for (w, warp) in cta.warps.iter().enumerate() {
-                if warp.issuable(now) {
-                    let key = (cta.seq, warp.widx);
-                    if best.is_none_or(|(bs, bw, _, _)| key < (bs, bw)) {
-                        best = Some((cta.seq, warp.widx, s, w));
-                    }
-                }
-            }
-        }
-        best.map(|(_, _, s, w)| (s, w))
+        None
     }
 
     /// Loose round-robin: the first issuable warp at or after the rotating
@@ -451,7 +504,7 @@ impl SimtCore {
         })
     }
 
-    /// Executes one instruction of warp (`slot`, `widx`).
+    /// Executes one micro-op of warp (`slot`, `widx`).
     fn exec(
         &mut self,
         slot: usize,
@@ -460,53 +513,68 @@ impl SimtCore {
         ctx: &KernelCtx<'_>,
         mem: &mut MemSystem,
     ) -> Result<(), Trap> {
-        let instrs = ctx.kernel.instrs();
         let pc = self.ctas[slot].warps[widx].pc;
-        let instr: Instr = *instrs.get(pc as usize).ok_or(Trap::InvalidPc { pc })?;
+        let uop: MicroOp = *ctx
+            .pre
+            .uops
+            .get(pc as usize)
+            .ok_or(Trap::InvalidPc { pc })?;
 
-        // Guard evaluation.
+        // Guard evaluation: one mask operation against the predicate SoA.
         let warp = &self.ctas[slot].warps[widx];
         let active = warp.active;
-        let mut exec_mask = active;
-        if let Some(g) = instr.guard {
-            let mut gm = 0u32;
-            for lane in 0..LANES {
-                if active & (1 << lane) != 0 && warp.pred(lane, g.pred) != g.negate {
-                    gm |= 1 << lane;
-                }
+        let exec_mask = match uop.guard {
+            None => active,
+            Some((p, negate)) => {
+                let pm = warp.preds[usize::from(p)];
+                active & if negate { !pm } else { pm }
             }
-            exec_mask = gm;
-        }
+        };
 
         // ACE liveness (register file): a read extends the enclosing
         // def-to-last-use span; a write starts a new one.  The same pass
         // drives fault liveness: reading a tainted slot makes the flip
-        // architecturally observable; a full 32-bit write kills it.
+        // architecturally observable; a full 32-bit write kills it.  The
+        // slot bases are predecoded, so each register's 32 lanes are one
+        // contiguous walk, and the taint probes (a per-slot vector scan)
+        // are skipped entirely while no flip is pending on the warp.
         {
-            let srcs = instr.op.src_regs();
-            let dst = instr.op.dest_reg();
             let warp = &mut self.ctas[slot].warps[widx];
+            let check_taints = !warp.tainted_regs.is_empty();
             let mut ace = 0u64;
             let mut escape = false;
-            for lane in 0..LANES {
-                if exec_mask & (1 << lane) == 0 {
+            for &b in uop.src_bases() {
+                let base = usize::from(b);
+                // The allocation covers every assembled register; guard
+                // anyway so a hand-built kernel reading past it charges
+                // nothing (as the old per-lane bounds check did).
+                if base + LANES > warp.touch.len() {
                     continue;
                 }
-                for s in srcs.into_iter().flatten() {
-                    let idx = s.index() as usize * LANES + lane;
-                    if idx < warp.touch.len() {
-                        ace += now - warp.touch[idx];
-                        warp.touch[idx] = now;
-                    }
-                    escape |= warp.tainted_regs.contains(&idx);
+                for_lanes(exec_mask, |lane| {
+                    let t = &mut warp.touch[base + lane];
+                    ace += now - *t;
+                    *t = now;
+                });
+                if check_taints {
+                    for_lanes(exec_mask, |lane| {
+                        escape |= warp.tainted_regs.contains(&(base + lane));
+                    });
                 }
-                if let Some(d) = dst {
-                    let idx = d.index() as usize * LANES + lane;
-                    if idx < warp.touch.len() {
-                        warp.touch[idx] = now;
-                    }
-                    if let Some(i) = warp.tainted_regs.iter().position(|&t| t == idx) {
-                        warp.tainted_regs.swap_remove(i);
+            }
+            if uop.dst != NO_DST {
+                let base = usize::from(uop.dst);
+                if base + LANES <= warp.touch.len() {
+                    for_lanes(exec_mask, |lane| {
+                        warp.touch[base + lane] = now;
+                    });
+                    if check_taints {
+                        for_lanes(exec_mask, |lane| {
+                            let idx = base + lane;
+                            if let Some(i) = warp.tainted_regs.iter().position(|&t| t == idx) {
+                                warp.tainted_regs.swap_remove(i);
+                            }
+                        });
                     }
                 }
             }
@@ -514,10 +582,9 @@ impl SimtCore {
             self.escaped |= escape;
         }
 
-        let class = instr.op.class();
         let mut next_pc = pc + 1;
         let mut ready_at = now
-            + u64::from(match class {
+            + u64::from(match uop.class {
                 OpClass::Alu | OpClass::Ctrl => self.lat_alu,
                 OpClass::Mul => self.lat_mul,
                 OpClass::Sfu => self.lat_sfu,
@@ -525,17 +592,59 @@ impl SimtCore {
                 OpClass::Mem => self.lat_alu, // overwritten below
             });
 
-        match instr.op {
+        // Binary-op arms: destination/source slot bases resolved once,
+        // then the masked lanes run over contiguous slices.
+        macro_rules! bin {
+            ($d:ident, $a:ident, $b:ident, $f:expr) => {{
+                let warp = &mut self.ctas[slot].warps[widx];
+                let (db, ab) = (rbase($d), rbase($a));
+                match $b {
+                    Operand::Imm(v) => for_lanes(exec_mask, |l| {
+                        warp.regs[db + l] = $f(warp.regs[ab + l], v);
+                    }),
+                    Operand::Reg(rb) => {
+                        let bb = rbase(rb);
+                        for_lanes(exec_mask, |l| {
+                            warp.regs[db + l] = $f(warp.regs[ab + l], warp.regs[bb + l]);
+                        });
+                    }
+                }
+            }};
+        }
+        macro_rules! un {
+            ($d:ident, $a:ident, $f:expr) => {{
+                let warp = &mut self.ctas[slot].warps[widx];
+                let (db, ab) = (rbase($d), rbase($a));
+                for_lanes(exec_mask, |l| {
+                    warp.regs[db + l] = $f(warp.regs[ab + l]);
+                });
+            }};
+        }
+
+        match uop.op {
             // ---------------- ALU ----------------
-            Op::Mov { d, src } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = w.operand(l, src);
-                w.set_reg(l, d, v);
-            }),
+            Op::Mov { d, src } => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let db = rbase(d);
+                match src {
+                    Operand::Imm(v) => for_lanes(exec_mask, |l| {
+                        warp.regs[db + l] = v;
+                    }),
+                    Operand::Reg(rs) => {
+                        let sb = rbase(rs);
+                        for_lanes(exec_mask, |l| {
+                            warp.regs[db + l] = warp.regs[sb + l];
+                        });
+                    }
+                }
+            }
             Op::S2r { d, sr } => {
                 let cta_linear = self.ctas[slot].linear;
                 let w32 = self.ctas[slot].warps[widx].widx;
                 let dims = ctx.dims;
-                self.lanewise(slot, widx, exec_mask, |w, l| {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let db = rbase(d);
+                for_lanes(exec_mask, |l| {
                     let tid_linear = u64::from(w32) * LANES as u64 + l as u64;
                     let tid = dims.block.index_at(tid_linear);
                     let cta = dims.grid.index_at(cta_linear);
@@ -555,61 +664,122 @@ impl SimtCore {
                         SpecialReg::LaneId => l as u32,
                         SpecialReg::WarpId => w32,
                     };
-                    w.set_reg(l, d, v);
+                    warp.regs[db + l] = v;
                 });
             }
-            Op::IArith { op, d, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = exec::int_op(op, w.reg(l, a), w.operand(l, b));
-                w.set_reg(l, d, v);
-            }),
-            Op::IMad { d, a, b, c } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = exec::imad(w.reg(l, a), w.operand(l, b), w.reg(l, c));
-                w.set_reg(l, d, v);
-            }),
-            Op::Bit { op, d, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = exec::bit_op(op, w.reg(l, a), w.operand(l, b));
-                w.set_reg(l, d, v);
-            }),
-            Op::Not { d, a } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = !w.reg(l, a);
-                w.set_reg(l, d, v);
-            }),
-            Op::FArith { op, d, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = exec::float_op(op, w.reg(l, a), w.operand(l, b));
-                w.set_reg(l, d, v);
-            }),
-            Op::FFma { d, a, b, c } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = exec::ffma(w.reg(l, a), w.operand(l, b), w.reg(l, c));
-                w.set_reg(l, d, v);
-            }),
-            Op::FUnary { op, d, a } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = exec::float_un(op, w.reg(l, a));
-                w.set_reg(l, d, v);
-            }),
-            Op::I2f { d, a } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = exec::i2f(w.reg(l, a));
-                w.set_reg(l, d, v);
-            }),
-            Op::F2i { d, a } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = exec::f2i(w.reg(l, a));
-                w.set_reg(l, d, v);
-            }),
-            Op::ISetp { cmp, p, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = cmp.eval_i32(w.reg(l, a) as i32, w.operand(l, b) as i32);
-                w.set_pred(l, p, v);
-            }),
-            Op::FSetp { cmp, p, a, b } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = cmp.eval_f32(f32::from_bits(w.reg(l, a)), f32::from_bits(w.operand(l, b)));
-                w.set_pred(l, p, v);
-            }),
-            Op::Sel { d, a, b, p } => self.lanewise(slot, widx, exec_mask, |w, l| {
-                let v = if w.pred(l, p) {
-                    w.reg(l, a)
-                } else {
-                    w.operand(l, b)
-                };
-                w.set_reg(l, d, v);
-            }),
+            Op::IArith { op, d, a, b } => bin!(d, a, b, |x, y| exec::int_op(op, x, y)),
+            Op::IMad { d, a, b, c } => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let (db, ab, cb) = (rbase(d), rbase(a), rbase(c));
+                match b {
+                    Operand::Imm(v) => for_lanes(exec_mask, |l| {
+                        warp.regs[db + l] = exec::imad(warp.regs[ab + l], v, warp.regs[cb + l]);
+                    }),
+                    Operand::Reg(rb) => {
+                        let bb = rbase(rb);
+                        for_lanes(exec_mask, |l| {
+                            warp.regs[db + l] =
+                                exec::imad(warp.regs[ab + l], warp.regs[bb + l], warp.regs[cb + l]);
+                        });
+                    }
+                }
+            }
+            Op::Bit { op, d, a, b } => bin!(d, a, b, |x, y| exec::bit_op(op, x, y)),
+            Op::Not { d, a } => un!(d, a, |x: u32| !x),
+            Op::FArith { op, d, a, b } => bin!(d, a, b, |x, y| exec::float_op(op, x, y)),
+            Op::FFma { d, a, b, c } => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let (db, ab, cb) = (rbase(d), rbase(a), rbase(c));
+                match b {
+                    Operand::Imm(v) => for_lanes(exec_mask, |l| {
+                        warp.regs[db + l] = exec::ffma(warp.regs[ab + l], v, warp.regs[cb + l]);
+                    }),
+                    Operand::Reg(rb) => {
+                        let bb = rbase(rb);
+                        for_lanes(exec_mask, |l| {
+                            warp.regs[db + l] =
+                                exec::ffma(warp.regs[ab + l], warp.regs[bb + l], warp.regs[cb + l]);
+                        });
+                    }
+                }
+            }
+            Op::FUnary { op, d, a } => un!(d, a, |x| exec::float_un(op, x)),
+            Op::I2f { d, a } => un!(d, a, exec::i2f),
+            Op::F2i { d, a } => un!(d, a, exec::f2i),
+            Op::ISetp { cmp, p, a, b } => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let ab = rbase(a);
+                let mut set = 0u32;
+                match b {
+                    Operand::Imm(v) => for_lanes(exec_mask, |l| {
+                        if cmp.eval_i32(warp.regs[ab + l] as i32, v as i32) {
+                            set |= 1 << l;
+                        }
+                    }),
+                    Operand::Reg(rb) => {
+                        let bb = rbase(rb);
+                        for_lanes(exec_mask, |l| {
+                            if cmp.eval_i32(warp.regs[ab + l] as i32, warp.regs[bb + l] as i32) {
+                                set |= 1 << l;
+                            }
+                        });
+                    }
+                }
+                let pm = &mut warp.preds[usize::from(p.index())];
+                *pm = (*pm & !exec_mask) | set;
+            }
+            Op::FSetp { cmp, p, a, b } => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let ab = rbase(a);
+                let mut set = 0u32;
+                match b {
+                    Operand::Imm(v) => {
+                        let y = f32::from_bits(v);
+                        for_lanes(exec_mask, |l| {
+                            if cmp.eval_f32(f32::from_bits(warp.regs[ab + l]), y) {
+                                set |= 1 << l;
+                            }
+                        });
+                    }
+                    Operand::Reg(rb) => {
+                        let bb = rbase(rb);
+                        for_lanes(exec_mask, |l| {
+                            if cmp.eval_f32(
+                                f32::from_bits(warp.regs[ab + l]),
+                                f32::from_bits(warp.regs[bb + l]),
+                            ) {
+                                set |= 1 << l;
+                            }
+                        });
+                    }
+                }
+                let pm = &mut warp.preds[usize::from(p.index())];
+                *pm = (*pm & !exec_mask) | set;
+            }
+            Op::Sel { d, a, b, p } => {
+                let warp = &mut self.ctas[slot].warps[widx];
+                let (db, ab) = (rbase(d), rbase(a));
+                let pm = warp.preds[usize::from(p.index())];
+                match b {
+                    Operand::Imm(v) => for_lanes(exec_mask, |l| {
+                        warp.regs[db + l] = if pm & (1 << l) != 0 {
+                            warp.regs[ab + l]
+                        } else {
+                            v
+                        };
+                    }),
+                    Operand::Reg(rb) => {
+                        let bb = rbase(rb);
+                        for_lanes(exec_mask, |l| {
+                            warp.regs[db + l] = if pm & (1 << l) != 0 {
+                                warp.regs[ab + l]
+                            } else {
+                                warp.regs[bb + l]
+                            };
+                        });
+                    }
+                }
+            }
             Op::Nop => {}
 
             // ---------------- Control ----------------
@@ -679,46 +849,55 @@ impl SimtCore {
                 offset,
                 v: d,
             } => {
-                let is_store = matches!(instr.op, Op::St { .. });
+                let is_store = matches!(uop.op, Op::St { .. });
                 match space {
                     MemSpace::Shared => {
+                        let Cta {
+                            smem,
+                            smem_taints,
+                            warps,
+                            ..
+                        } = &mut self.ctas[slot];
+                        let warp = &mut warps[widx];
+                        let smem_len = smem.len() as u32;
+                        let (ab, db) = (rbase(addr), rbase(d));
+                        let mut escape = false;
                         for lane in 0..LANES {
                             if exec_mask & (1 << lane) == 0 {
                                 continue;
                             }
-                            let warp = &self.ctas[slot].warps[widx];
-                            let a = warp.reg(lane, addr).wrapping_add(offset as u32);
-                            let smem_len = self.ctas[slot].smem.len() as u32;
+                            let a = warp.regs[ab + lane].wrapping_add(offset as u32);
                             if !a.is_multiple_of(4) {
                                 return Err(Trap::Misaligned { addr: a });
                             }
-                            if a + 4 > smem_len {
+                            // Compare in u64: a fault-corrupted base plus a
+                            // negative offset can wrap `a` to 0xFFFFFFFC+,
+                            // where `a + 4` overflows u32 (debug panic /
+                            // release bounds bypass) instead of trapping.
+                            if u64::from(a) + 4 > u64::from(smem_len) {
                                 return Err(Trap::SmemOutOfBounds { offset: a });
                             }
                             if is_store {
-                                let val = self.ctas[slot].warps[widx].reg(lane, d);
-                                self.ctas[slot].smem[a as usize..a as usize + 4]
+                                let val = warp.regs[db + lane];
+                                smem[a as usize..a as usize + 4]
                                     .copy_from_slice(&val.to_le_bytes());
                                 // Overwritten bytes no longer diverge.
                                 let lo = u64::from(a) * 8;
-                                self.ctas[slot]
-                                    .smem_taints
-                                    .retain(|&b| b < lo || b >= lo + 32);
+                                smem_taints.retain(|&b| b < lo || b >= lo + 32);
                             } else {
                                 let lo = u64::from(a) * 8;
-                                if self.ctas[slot]
-                                    .smem_taints
-                                    .iter()
-                                    .any(|&b| b >= lo && b < lo + 32)
+                                if !smem_taints.is_empty()
+                                    && smem_taints.iter().any(|&b| b >= lo && b < lo + 32)
                                 {
-                                    self.escaped = true;
+                                    escape = true;
                                 }
-                                let b: [u8; 4] = self.ctas[slot].smem[a as usize..a as usize + 4]
+                                let b: [u8; 4] = smem[a as usize..a as usize + 4]
                                     .try_into()
                                     .expect("4-byte slice");
-                                self.ctas[slot].warps[widx].set_reg(lane, d, u32::from_le_bytes(b));
+                                warp.regs[db + lane] = u32::from_le_bytes(b);
                             }
                         }
+                        self.escaped |= escape;
                         ready_at = now + u64::from(self.lat_smem);
                     }
                     MemSpace::Const => {
@@ -750,22 +929,6 @@ impl SimtCore {
         Ok(())
     }
 
-    /// Applies `f` to each lane set in `mask`.
-    fn lanewise(
-        &mut self,
-        slot: usize,
-        widx: usize,
-        mask: u32,
-        mut f: impl FnMut(&mut Warp, usize),
-    ) {
-        let warp = &mut self.ctas[slot].warps[widx];
-        for lane in 0..LANES {
-            if mask & (1 << lane) != 0 {
-                f(warp, lane);
-            }
-        }
-    }
-
     /// Terminates `mask` lanes of a warp, unwinding the SIMT stack when the
     /// current path empties.
     fn exit_lanes(&mut self, slot: usize, widx: usize, mask: u32, next_pc: &mut u32, now: u64) {
@@ -780,7 +943,7 @@ impl SimtCore {
                         cta: cta_linear,
                         tid: warp.widx * LANES as u32 + lane as u32,
                         regs: (0..num_regs).map(|r| warp.regs[r * LANES + lane]).collect(),
-                        preds: warp.preds[lane],
+                        preds: warp.pred_byte(lane),
                     });
                 }
             }
@@ -788,8 +951,10 @@ impl SimtCore {
         }
         let cta = &mut self.ctas[slot];
         let warp = &mut cta.warps[widx];
+        let exited = (warp.live & mask).count_ones();
         warp.live &= !mask;
         warp.active &= !mask;
+        self.live_threads -= exited;
         // Registers of exited lanes can never be read again: their taints
         // die with the threads, exactly as in the golden run.
         warp.tainted_regs
@@ -819,6 +984,7 @@ impl SimtCore {
         // No lanes anywhere: the warp is done.
         warp.finished = true;
         cta.live_warps -= 1;
+        self.unfinished_warps -= 1;
         let _ = now;
     }
 
@@ -858,54 +1024,77 @@ impl SimtCore {
                 unreachable!("shared/const handled by caller")
             }
         };
+        let id = self.id;
         let lmem = ctx.kernel.lmem_bytes();
         let tpc = u64::from(ctx.threads_per_cta());
         let cta_linear = self.ctas[slot].linear;
-        let w32 = u64::from(self.ctas[slot].warps[widx].widx);
+        let warp = &mut self.ctas[slot].warps[widx];
+        let w32 = u64::from(warp.widx);
+        let (ab, db) = (rbase(addr_reg), rbase(data_reg));
 
-        // Effective addresses.
-        let mut lanes: Vec<(usize, u32)> = Vec::with_capacity(LANES);
+        // Effective addresses (stack-allocated: this is the hot path).
+        let mut lanes = [(0usize, 0u32); LANES];
+        let mut n = 0usize;
         for lane in 0..LANES {
             if exec_mask & (1 << lane) == 0 {
                 continue;
             }
-            let base = self.ctas[slot].warps[widx]
-                .reg(lane, addr_reg)
-                .wrapping_add(offset as u32);
+            let base = warp.regs[ab + lane].wrapping_add(offset as u32);
             let eff = if space == MemSpace::Local {
                 if !base.is_multiple_of(4) {
                     return Err(Trap::Misaligned { addr: base });
                 }
-                if base + 4 > lmem {
+                // u64 compare: a corrupted base near u32::MAX wraps `base + 4`
+                // to 0, silently passing the u32 bounds check.
+                if u64::from(base) + 4 > u64::from(lmem) {
                     return Err(Trap::LmemOutOfBounds { offset: base });
                 }
                 let tid_global = cta_linear * tpc + w32 * LANES as u64 + lane as u64;
-                LOCAL_BASE.wrapping_add((tid_global * u64::from(lmem)) as u32 + base)
+                // Resolve the per-thread slot in u64 and trap before
+                // truncating: a slot past the 32-bit space must fault, not
+                // alias another thread's local memory.
+                let eff64 = u64::from(LOCAL_BASE) + tid_global * u64::from(lmem) + u64::from(base);
+                if eff64 > u64::from(u32::MAX) {
+                    return Err(Trap::LmemOutOfBounds { offset: base });
+                }
+                eff64 as u32
             } else {
                 base
             };
-            lanes.push((lane, eff));
+            lanes[n] = (lane, eff);
+            n += 1;
         }
+        let lanes = &lanes[..n];
 
         // Timing: one transaction per unique line, issued back to back.
         let line = u64::from(mem.line_bytes());
-        let mut lines: Vec<u64> = lanes.iter().map(|&(_, a)| u64::from(a) / line).collect();
+        let mut lines = [0u64; LANES];
+        for (i, &(_, a)) in lanes.iter().enumerate() {
+            lines[i] = u64::from(a) / line;
+        }
+        let lines = &mut lines[..n];
         lines.sort_unstable();
-        lines.dedup();
         let mut done = now + u64::from(self.lat_alu);
-        for (i, &la) in lines.iter().enumerate() {
-            let t = mem.line_latency(self.id, kind, la, is_store, now + i as u64);
+        let mut prev = None;
+        let mut uniq = 0u64;
+        for &la in lines.iter() {
+            if prev == Some(la) {
+                continue;
+            }
+            prev = Some(la);
+            let t = mem.line_latency(id, kind, la, is_store, now + uniq);
             done = done.max(t);
+            uniq += 1;
         }
 
         // Function: per-lane 4-byte operations.
-        for &(lane, eff) in &lanes {
+        for &(lane, eff) in lanes {
             if is_store {
-                let v = self.ctas[slot].warps[widx].reg(lane, data_reg);
-                mem.store4(self.id, kind, eff, v)?;
+                let v = warp.regs[db + lane];
+                mem.store4(id, kind, eff, v)?;
             } else {
-                let v = mem.load4(self.id, kind, eff)?;
-                self.ctas[slot].warps[widx].set_reg(lane, data_reg, v);
+                let v = mem.load4(id, kind, eff)?;
+                warp.regs[db + lane] = v;
             }
         }
         Ok(done)
@@ -931,26 +1120,46 @@ impl SimtCore {
             // store to it faults like a write to a read-only page.
             return Err(Trap::InvalidAddress { addr: 0 });
         }
-        let mut lanes: Vec<(usize, u32)> = Vec::with_capacity(LANES);
+        let id = self.id;
+        let warp = &mut self.ctas[slot].warps[widx];
+        let (ab, db) = (rbase(addr_reg), rbase(data_reg));
+        let mut lanes = [(0usize, 0u32); LANES];
+        let mut n = 0usize;
         for lane in 0..LANES {
             if exec_mask & (1 << lane) != 0 {
-                let a = self.ctas[slot].warps[widx]
-                    .reg(lane, addr_reg)
-                    .wrapping_add(offset as u32);
-                lanes.push((lane, a));
+                let a = warp.regs[ab + lane].wrapping_add(offset as u32);
+                // Alignment is validated before the timing loop (matching
+                // the shared-memory path's order) so a faulting access is
+                // never charged transaction latency.
+                if !a.is_multiple_of(4) {
+                    return Err(Trap::Misaligned { addr: a });
+                }
+                lanes[n] = (lane, a);
+                n += 1;
             }
         }
+        let lanes = &lanes[..n];
         let line = u64::from(mem.const_line_bytes());
-        let mut line_addrs: Vec<u64> = lanes.iter().map(|&(_, a)| u64::from(a) / line).collect();
-        line_addrs.sort_unstable();
-        line_addrs.dedup();
-        let mut done = now + u64::from(self.lat_alu);
-        for (i, &la) in line_addrs.iter().enumerate() {
-            done = done.max(mem.const_line_latency(self.id, la, now + i as u64));
+        let mut line_addrs = [0u64; LANES];
+        for (i, &(_, a)) in lanes.iter().enumerate() {
+            line_addrs[i] = u64::from(a) / line;
         }
-        for &(lane, a) in &lanes {
-            let v = mem.load4_const(self.id, a)?;
-            self.ctas[slot].warps[widx].set_reg(lane, data_reg, v);
+        let line_addrs = &mut line_addrs[..n];
+        line_addrs.sort_unstable();
+        let mut done = now + u64::from(self.lat_alu);
+        let mut prev = None;
+        let mut uniq = 0u64;
+        for &la in line_addrs.iter() {
+            if prev == Some(la) {
+                continue;
+            }
+            prev = Some(la);
+            done = done.max(mem.const_line_latency(id, la, now + uniq));
+            uniq += 1;
+        }
+        for &(lane, a) in lanes {
+            let v = mem.load4_const(id, a)?;
+            warp.regs[db + lane] = v;
         }
         Ok(done)
     }
@@ -961,20 +1170,12 @@ impl SimtCore {
 
     /// Number of live (created, not yet exited) threads on this core.
     pub fn live_thread_count(&self) -> u64 {
-        self.ctas
-            .iter()
-            .flat_map(|c| &c.warps)
-            .map(|w| u64::from(w.live.count_ones()))
-            .sum()
+        u64::from(self.live_threads)
     }
 
     /// Number of live warps on this core.
     pub fn live_warp_count(&self) -> u64 {
-        self.ctas
-            .iter()
-            .flat_map(|c| &c.warps)
-            .filter(|w| !w.finished)
-            .count() as u64
+        u64::from(self.unfinished_warps)
     }
 
     /// Number of resident CTAs (for shared-memory targeting).
@@ -1121,5 +1322,18 @@ mod tests {
         assert_eq!(set_bit_at(0b1010, 1), Some(3));
         assert_eq!(set_bit_at(0b1010, 2), None);
         assert_eq!(set_bit_at(u32::MAX, 31), Some(31));
+    }
+
+    #[test]
+    fn for_lanes_walks_dense_and_sparse_masks() {
+        let mut seen = Vec::new();
+        for_lanes(u32::MAX, |l| seen.push(l));
+        assert_eq!(seen, (0..LANES).collect::<Vec<_>>());
+        seen.clear();
+        for_lanes(0b1000_0101, |l| seen.push(l));
+        assert_eq!(seen, vec![0, 2, 7]);
+        seen.clear();
+        for_lanes(0, |l| seen.push(l));
+        assert!(seen.is_empty());
     }
 }

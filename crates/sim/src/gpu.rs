@@ -619,7 +619,15 @@ impl Gpu {
             p
         });
 
-        let ctx = KernelCtx { kernel, dims, args };
+        // Predecode once per launch: the cores execute micro-ops with
+        // latency class, guard and register slots already resolved.
+        let pre = gpufi_isa::Predecoded::from_kernel(kernel);
+        let ctx = KernelCtx {
+            kernel,
+            dims,
+            args,
+            pre: &pre,
+        };
         let total_ctas = dims.grid.count();
         let mut next_cta = 0u64;
         if resumed.is_none() {
@@ -789,9 +797,16 @@ impl Gpu {
                 ee_tick -= 1;
             }
 
-            // Issue one instruction per core.
+            // Issue one instruction per core.  The readiness test is
+            // hoisted out of `cycle` so cores sleeping until a future
+            // cycle (most of them, on low-occupancy grids) cost a load
+            // and compare instead of a call — `cycle` itself would
+            // return `Ok(false)` on the same test.
             let mut any = false;
             for i in 0..self.cores.len() {
+                if !self.cores[i].maybe_ready(self.cycle) {
+                    continue;
+                }
                 match self.cores[i].cycle(self.cycle, &ctx, &mut self.mem) {
                     Ok(true) => any = true,
                     Ok(false) => {}
@@ -799,9 +814,14 @@ impl Gpu {
                 }
             }
 
-            // Retire finished CTAs and dispatch pending ones.
+            // Retire finished CTAs and dispatch pending ones.  An idle
+            // core harvests nothing and fails the dispatch condition
+            // (`harvest == 0 || is_idle`), so it can be skipped outright.
             let now = self.cycle;
             for c in &mut self.cores {
+                if c.is_idle() {
+                    continue;
+                }
                 if c.harvest_finished() > 0 || !c.is_idle() {
                     while next_cta < total_ctas && c.can_accept_cta(&ctx) {
                         c.launch_cta(&ctx, next_cta, now);

@@ -58,6 +58,12 @@ struct Line {
     tainted: bool,
     tag: u64,
     lru: u64,
+    /// Flush epoch the line was filled in; a line is only live when its
+    /// epoch matches the cache's (see [`Cache::flush`]).
+    epoch: u64,
+    /// Lazily allocated on first fill — empty until then, so constructing
+    /// and dropping a `Gpu` never touches the (large, mostly unused) data
+    /// arrays.
     data: Vec<u8>,
 }
 
@@ -134,6 +140,16 @@ pub struct Cache {
     tick: u64,
     stats: CacheStats,
     taints: u32,
+    /// Current flush epoch.  A line whose `epoch` lags this value is stale
+    /// (architecturally invalid) even if its `valid` flag is still set:
+    /// bumping the epoch invalidates every line in O(1), which turns the
+    /// per-kernel-launch L1 flush from a full line walk into a counter
+    /// increment whenever nothing needs writeback.
+    epoch: u64,
+    /// Number of lines whose raw `dirty` flag is set (stale or live).  The
+    /// O(1) flush fast path requires this to be zero, which also maintains
+    /// the invariant that stale lines are never dirty.
+    dirty_lines: u32,
     // Latched when fault-flipped state becomes observable: a read (or host
     // peek) hits a tainted line, a tainted dirty victim is written back to
     // the next level, or a tag flip lands on a valid line (tag flips change
@@ -152,7 +168,8 @@ impl Cache {
                 tainted: false,
                 tag: 0,
                 lru: 0,
-                data: vec![0; cfg.line_bytes as usize],
+                epoch: 0,
+                data: Vec::new(),
             })
             .collect();
         Cache {
@@ -161,8 +178,17 @@ impl Cache {
             tick: 0,
             stats: CacheStats::default(),
             taints: 0,
+            epoch: 0,
+            dirty_lines: 0,
             escaped: EscapeLatch::new(false),
         }
+    }
+
+    /// Whether line `i` is architecturally valid: its `valid` flag is set
+    /// *and* it was filled in the current flush epoch.
+    fn live(&self, i: usize) -> bool {
+        let l = &self.lines[i];
+        l.valid && l.epoch == self.epoch
     }
 
     /// Lines currently holding unobserved fault-flipped data.
@@ -172,11 +198,14 @@ impl Cache {
 
     /// Approximate heap footprint of the tag and data arrays, for
     /// checkpoint-store budgeting.
+    ///
+    /// Counted at configured capacity — as if every line's data were
+    /// allocated — not at the current lazy allocation.  The budget is a
+    /// peak bound (a resumed run fills lines on demand), and capacity
+    /// accounting keeps checkpoint placement independent of how many
+    /// lines happen to be filled at capture time.
     pub fn resident_bytes(&self) -> usize {
-        self.lines
-            .iter()
-            .map(|l| std::mem::size_of::<Line>() + l.data.len())
-            .sum()
+        self.lines.len() * (std::mem::size_of::<Line>() + self.cfg.line_bytes as usize)
     }
 
     /// Whether fault-flipped state has become observable (see the field
@@ -229,7 +258,7 @@ impl Cache {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
         self.set_range(set)
-            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+            .find(|&i| self.live(i) && self.lines[i].tag == tag)
     }
 
     /// Whether `line_addr` is currently resident, without touching LRU or
@@ -277,7 +306,10 @@ impl Cache {
                 self.lines[i].lru = self.tick;
                 let o = offset as usize;
                 self.lines[i].data[o..o + bytes.len()].copy_from_slice(bytes);
-                self.lines[i].dirty |= dirty;
+                if dirty && !self.lines[i].dirty {
+                    self.lines[i].dirty = true;
+                    self.dirty_lines += 1;
+                }
                 // A full-line overwrite provably erases any flipped bits; a
                 // partial write keeps the taint (the flip may sit outside
                 // the written range).
@@ -341,14 +373,14 @@ impl Cache {
         let resident = self.find(line_addr);
         let victim = resident.unwrap_or_else(|| {
             self.set_range(set)
-                .min_by_key(|&i| (self.lines[i].valid, self.lines[i].lru))
+                .min_by_key(|&i| (self.live(i), self.lines[i].lru))
                 .expect("sets are non-empty")
         });
         let evicted = if resident.is_some() {
             None
         } else {
             let line = &self.lines[victim];
-            if line.valid && line.dirty {
+            if self.live(victim) && line.dirty {
                 // Writing a tainted victim back carries flipped bits into
                 // the next memory level — they become observable there.
                 if line.tainted {
@@ -367,12 +399,24 @@ impl Cache {
         // is silently dropped, which matches the golden run's state.
         self.clear_taint(victim);
         self.tick += 1;
+        let epoch = self.epoch;
         let line = &mut self.lines[victim];
+        if line.dirty != dirty {
+            if dirty {
+                self.dirty_lines += 1;
+            } else {
+                self.dirty_lines -= 1;
+            }
+        }
         line.valid = true;
         line.dirty = dirty;
         line.tag = tag;
         line.lru = self.tick;
-        line.data.copy_from_slice(data);
+        line.epoch = epoch;
+        // First fill of this way allocates the data array; later fills
+        // reuse the buffer.
+        line.data.clear();
+        line.data.extend_from_slice(data);
         self.stats.fills += 1;
         evicted
     }
@@ -383,20 +427,33 @@ impl Cache {
     pub fn invalidate(&mut self, line_addr: u64) {
         if let Some(i) = self.find(line_addr) {
             self.lines[i].valid = false;
-            self.lines[i].dirty = false;
+            if self.lines[i].dirty {
+                self.lines[i].dirty = false;
+                self.dirty_lines -= 1;
+            }
             self.clear_taint(i);
         }
     }
 
     /// Invalidates every line, returning dirty victims for writeback.
     /// Models the L1 flush at kernel boundaries.
+    ///
+    /// When no line is dirty and no line is tainted — the common case for
+    /// the write-evict L1s, which are flushed after *every* kernel launch —
+    /// the flush is O(1): bumping the epoch makes every resident line stale
+    /// without walking the array.
     pub fn flush(&mut self) -> Vec<Writeback> {
+        if self.dirty_lines == 0 && self.taints == 0 {
+            self.epoch += 1;
+            return Vec::new();
+        }
         let mut out = Vec::new();
         let (sets, ways) = (u64::from(self.cfg.sets), self.cfg.ways as usize);
+        let epoch = self.epoch;
         for i in 0..self.lines.len() {
             let set = (i / ways) as u64;
             let line = &mut self.lines[i];
-            if line.valid && line.dirty {
+            if line.valid && line.epoch == epoch && line.dirty {
                 if line.tainted {
                     self.escaped.set(true);
                 }
@@ -413,12 +470,13 @@ impl Cache {
                 self.taints -= 1;
             }
         }
+        self.dirty_lines = 0;
         out
     }
 
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> u32 {
-        self.lines.iter().filter(|l| l.valid).count() as u32
+        (0..self.lines.len()).filter(|&i| self.live(i)).count() as u32
     }
 
     /// Total injectable bits: every line contributes its data bits plus
@@ -441,10 +499,10 @@ impl Cache {
         assert!(bit < self.total_bits(), "bit {bit} out of cache space");
         let line_idx = (bit / bpl) as usize;
         let within = bit % bpl;
-        let line = &mut self.lines[line_idx];
-        if !line.valid {
+        if !self.live(line_idx) {
             return FlipOutcome::InvalidLine;
         }
+        let line = &mut self.lines[line_idx];
         if within < u64::from(TAG_BITS) {
             line.tag ^= 1 << within;
             // A corrupted tag changes hit/miss behaviour (and thus timing)

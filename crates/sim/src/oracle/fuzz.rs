@@ -32,6 +32,7 @@
 //!   `fuzz_lint` integration test and the `gpufi fuzz` post-check).
 
 use crate::config::GpuConfig;
+use crate::error::Trap;
 use crate::gpu::Gpu;
 use crate::grid::LaunchDims;
 use gpufi_isa::Module;
@@ -84,6 +85,16 @@ impl FuzzRng {
     /// True with probability `pct`/100.
     fn chance(&mut self, pct: u32) -> bool {
         self.below(100) < pct
+    }
+}
+
+/// Formats a memory operand with a signed offset (`[R4+8]` / `[R4-8]`),
+/// matching the assembler's `[Rn+off]` / `[Rn-off]` grammar.
+fn mem_ref(base: &str, off: i64) -> String {
+    if off < 0 {
+        format!("[{base}-{}]", -off)
+    } else {
+        format!("[{base}+{off}]")
     }
 }
 
@@ -154,11 +165,20 @@ pub fn gen_case(seed: u64) -> FuzzCase {
             0 => {
                 let _ = writeln!(src, "    MOV   {w}, 0x{:08x}", rng.next_u64() as u32);
             }
-            1 => {
-                let _ = writeln!(src, "    LDG   {w}, [R6+{}]", 4 * rng.below(SLACK_WORDS));
-            }
-            2 => {
-                let _ = writeln!(src, "    LDT   {w}, [R6+{}]", 4 * rng.below(SLACK_WORDS));
+            1 | 2 => {
+                let mn = if rng.below(2) == 0 { "LDG" } else { "LDT" };
+                let off = i64::from(4 * rng.below(SLACK_WORDS));
+                if rng.chance(40) {
+                    // Negative encoded offset, same effective address: the
+                    // base is biased up and the offset biased down, so the
+                    // sign-extension and wrapping paths are exercised
+                    // without leaving the slack window.
+                    let k = i64::from(4 * (1 + rng.below(16)));
+                    let _ = writeln!(src, "    IADD  R4, R6, {k}");
+                    let _ = writeln!(src, "    {mn}   {w}, {}", mem_ref("R4", off - k));
+                } else {
+                    let _ = writeln!(src, "    {mn}   {w}, [R6+{off}]");
+                }
             }
             _ => {
                 let _ = writeln!(
@@ -336,21 +356,34 @@ fn gen_smem_exchange(rng: &mut FuzzRng, src: &mut String, block: u32) {
     let _ = writeln!(src, "    BAR");
 }
 
-/// Emits a private local-memory round trip at a random aligned offset.
+/// Emits a private local-memory round trip at a random aligned offset,
+/// sometimes through a biased base with a negative encoded offset (same
+/// effective slot).
 fn gen_local(rng: &mut FuzzRng, src: &mut String) {
-    let off = 4 * rng.below(LMEM_BYTES / 4);
+    let off = i64::from(4 * rng.below(LMEM_BYTES / 4));
     let w = *rng.pick(&WORK);
     let w2 = *rng.pick(&WORK);
-    let _ = writeln!(src, "    MOV   R4, {off}");
-    let _ = writeln!(src, "    STL   [R4], {w}");
-    let _ = writeln!(src, "    LDL   {w2}, [R4]");
+    let k = if rng.chance(40) {
+        i64::from(4 * (1 + rng.below(16)))
+    } else {
+        0
+    };
+    let _ = writeln!(src, "    MOV   R4, {}", off + k);
+    let _ = writeln!(src, "    STL   {}, {w}", mem_ref("R4", -k));
+    let _ = writeln!(src, "    LDL   {w2}, {}", mem_ref("R4", -k));
 }
 
 /// Emits a constant-bank load, possibly past the written extent (both
-/// sides read zeros there).
+/// sides read zeros there) and possibly with a negative encoded offset.
 fn gen_const_load(rng: &mut FuzzRng, src: &mut String) {
-    let _ = writeln!(src, "    MOV   R4, {}", 4 * rng.below(CONST_WORDS * 3));
-    let _ = writeln!(src, "    LDC   {}, [R4]", rng.pick(&WORK));
+    let a = i64::from(4 * rng.below(CONST_WORDS * 3));
+    let k = if rng.chance(40) {
+        i64::from(4 * (1 + rng.below(16)))
+    } else {
+        0
+    };
+    let _ = writeln!(src, "    MOV   R4, {}", a + k);
+    let _ = writeln!(src, "    LDC   {}, {}", rng.pick(&WORK), mem_ref("R4", -k));
 }
 
 /// Runs one case through the cycle-level simulator with the lockstep
@@ -410,6 +443,174 @@ pub fn fuzz_sweep(seed: u64, count: u32) -> u32 {
         if let Err(d) = run_case(&case) {
             panic!(
                 "sim-vs-oracle divergence at seed {} (case {i}):\n{d}\nsource:\n{}",
+                case.seed, case.source
+            );
+        }
+    }
+    count
+}
+
+/// One generated trap case: a kernel constructed to fault with a known
+/// trap kind through the address shapes register faults produce (bases
+/// near `u32::MAX`, negative offsets that wrap, null-page pointers).
+///
+/// Campaign injections can corrupt any address register, so the timing
+/// engine and the reference interpreter must not merely both fail — they
+/// must raise the *same kind* of trap, or the DUE sub-classification the
+/// campaign journal records would depend on which engine ran.
+#[derive(Debug, Clone)]
+pub struct TrapCase {
+    /// The seed this case was generated from.
+    pub seed: u64,
+    /// SASS-lite source of the single kernel `fuzz_trap`.
+    pub source: String,
+    /// Block size (threads per CTA).
+    pub block: u32,
+    /// The trap both engines must raise; the payload is a placeholder —
+    /// agreement is on the kind (discriminant).
+    pub expected: Trap,
+}
+
+/// Generates the trap case for `seed`.
+pub fn gen_trap_case(seed: u64) -> TrapCase {
+    let mut rng = FuzzRng::new(seed);
+    let block = *rng.pick(&[32u32, 64]);
+
+    let mut src = String::new();
+    let _ = writeln!(src, ".kernel fuzz_trap");
+    let _ = writeln!(src, ".params 0");
+    let _ = writeln!(src, ".smem {}", block * 4);
+    let _ = writeln!(src, ".lmem {LMEM_BYTES}");
+    // A short healthy prelude so the fault is not the first issue slot.
+    src.push_str(
+        "    S2R   R2, SR_TID.X\n\
+         \x20   SHL   R3, R2, 2\n\
+         \x20   STS   [R3], R2\n",
+    );
+
+    let expected = match rng.below(4) {
+        0 => {
+            // Shared access whose small base plus a larger negative offset
+            // wraps to the top of the 32-bit space (aligned, far past
+            // `.smem`): the shape of a cleared base register.
+            let base = 4 * rng.below(8);
+            let k = i64::from(4 * (2 + rng.below(16))) + i64::from(base);
+            if rng.chance(50) {
+                let _ = writeln!(src, "    MOV   R4, {base}");
+                let _ = writeln!(src, "    LDS   R7, {}", mem_ref("R4", -k));
+            } else {
+                let _ = writeln!(src, "    MOV   R4, {base}");
+                let _ = writeln!(src, "    STS   {}, R2", mem_ref("R4", -k));
+            }
+            Trap::SmemOutOfBounds { offset: 0 }
+        }
+        1 => {
+            // Local access with an aligned base parked near `u32::MAX` —
+            // the region where `base + 4` used to overflow the bounds
+            // check before trapping.
+            let base = 0xFFFF_FFFCu32 - 4 * rng.below(16);
+            let _ = writeln!(src, "    MOV   R4, 0x{base:08x}");
+            if rng.chance(50) {
+                let _ = writeln!(src, "    LDL   R7, [R4]");
+            } else {
+                let _ = writeln!(src, "    STL   [R4], R2");
+            }
+            Trap::LmemOutOfBounds { offset: 0 }
+        }
+        2 => {
+            // Odd address near `u32::MAX` into a word-aligned space.
+            let base = (0xFFFF_FFFFu32 - 4 * rng.below(16)) | 1;
+            let _ = writeln!(src, "    MOV   R4, 0x{base:08x}");
+            match rng.below(3) {
+                0 => {
+                    let _ = writeln!(src, "    LDC   R7, [R4]");
+                }
+                1 => {
+                    let _ = writeln!(src, "    LDS   R7, [R4]");
+                }
+                _ => {
+                    let _ = writeln!(src, "    LDL   R7, [R4]");
+                }
+            }
+            Trap::Misaligned { addr: 0 }
+        }
+        _ => {
+            // Null-page global pointer (aligned, below `GLOBAL_BASE`).
+            let base = 4 * rng.below(0x1000 / 4);
+            let _ = writeln!(src, "    MOV   R4, {base}");
+            if rng.chance(50) {
+                let _ = writeln!(src, "    LDG   R7, [R4]");
+            } else {
+                let _ = writeln!(src, "    STG   [R4], R2");
+            }
+            Trap::InvalidAddress { addr: 0 }
+        }
+    };
+    src.push_str("    EXIT\n");
+
+    TrapCase {
+        seed,
+        source: src,
+        block,
+        expected,
+    }
+}
+
+/// Runs one trap case on the cycle-level simulator with the lockstep
+/// oracle attached, asserting the launch traps with the expected kind and
+/// that the oracle raised the same kind (via the mirror's both-trapped
+/// discriminant check).
+///
+/// # Errors
+///
+/// Returns the latched [`DivergenceReport`] when the two engines trap
+/// with different kinds.
+///
+/// # Panics
+///
+/// Panics if the generated source fails to assemble, the launch does not
+/// trap, or it traps with an unexpected kind — generator or simulator
+/// bugs, not divergences.
+pub fn run_trap_case(case: &TrapCase) -> Result<(), Box<DivergenceReport>> {
+    let module = Module::assemble(&case.source).unwrap_or_else(|e| {
+        panic!(
+            "trap fuzzer (seed {}) generated invalid asm: {e}\n{}",
+            case.seed, case.source
+        )
+    });
+    let kernel = module
+        .kernel("fuzz_trap")
+        .expect("kernel `fuzz_trap` exists");
+    let mut gpu = Gpu::new(fuzz_config());
+    gpu.attach_oracle();
+    let res = gpu.launch(kernel, LaunchDims::new(1, case.block), &[]);
+    let trap = res.expect_err("trap-corpus kernel must not complete");
+    assert_eq!(
+        std::mem::discriminant(&trap),
+        std::mem::discriminant(&case.expected),
+        "trap kind mismatch at seed {}: got {trap:?}, expected the kind of {:?}\nsource:\n{}",
+        case.seed,
+        case.expected,
+        case.source
+    );
+    match gpu.oracle_divergence() {
+        Some(d) => Err(Box::new(d)),
+        None => Ok(()),
+    }
+}
+
+/// Generates and runs `count` trap cases from `seed`, panicking with the
+/// full repro on the first disagreement.  Returns the number of cases run.
+///
+/// # Panics
+///
+/// Panics with the divergence report and kernel source on any mismatch.
+pub fn trap_sweep(seed: u64, count: u32) -> u32 {
+    for i in 0..count {
+        let case = gen_trap_case(seed.wrapping_add(u64::from(i)));
+        if let Err(d) = run_trap_case(&case) {
+            panic!(
+                "sim-vs-oracle trap-kind divergence at seed {} (case {i}):\n{d}\nsource:\n{}",
                 case.seed, case.source
             );
         }

@@ -507,7 +507,14 @@ fn local_eff(
         return Err(Trap::LmemOutOfBounds { offset: base });
     }
     let tid_global = cta * u64::from(dims.threads_per_cta()) + u64::from(tid);
-    Ok(LOCAL_BASE.wrapping_add(((tid_global * u64::from(lmem)) as u32).wrapping_add(base)))
+    // Lockstep with the simulator's local path: resolve in u64 and trap
+    // before truncating, so both engines raise the same trap kind when a
+    // corrupted slot lands past the 32-bit space.
+    let eff64 = u64::from(LOCAL_BASE) + tid_global * u64::from(lmem) + u64::from(base);
+    if eff64 > u64::from(u32::MAX) {
+        return Err(Trap::LmemOutOfBounds { offset: base });
+    }
+    Ok(eff64 as u32)
 }
 
 fn load_shared(smem: &[u8], a: u32) -> Result<u32, Trap> {

@@ -409,19 +409,39 @@ impl OracleMirror {
         let oracle_threads = match run_reference(&mut self.mem, kernel, dims, args) {
             Ok(t) => t,
             Err(oracle_trap) => {
-                if sim_trap.is_none() {
-                    self.latch(
+                match sim_trap {
+                    None => self.latch(
                         Divergence::TrapMismatch {
                             sim: None,
                             oracle: Some(oracle_trap),
                         },
                         context,
                         repro(),
-                    );
-                } else {
-                    // Both sides trapped: outcome agrees, but partial state
-                    // is schedule-dependent — stop shadowing.
-                    self.trapped = true;
+                    ),
+                    // Both sides trapped with a different *kind* of trap:
+                    // the architectural fault model disagrees (e.g. one
+                    // side bounds-checks where the other misaligns).  The
+                    // mirror only runs on fault-free golden executions, so
+                    // the kinds must match exactly; payloads may differ
+                    // because the timing side reports per-lane addresses
+                    // in scheduler order.
+                    Some(t)
+                        if std::mem::discriminant(&t) != std::mem::discriminant(&oracle_trap) =>
+                    {
+                        self.latch(
+                            Divergence::TrapMismatch {
+                                sim: Some(t),
+                                oracle: Some(oracle_trap),
+                            },
+                            context,
+                            repro(),
+                        );
+                    }
+                    Some(_) => {
+                        // Same trap kind: outcome agrees, but partial state
+                        // is schedule-dependent — stop shadowing.
+                        self.trapped = true;
+                    }
                 }
                 return;
             }

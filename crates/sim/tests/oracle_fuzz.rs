@@ -7,7 +7,8 @@
 //! location (structure, address/register, thread) plus a minimal repro
 //! (kernel disassembly, launch geometry, arguments).
 
-use gpufi_sim::oracle::fuzz::{fuzz_sweep, gen_case, run_case};
+use gpufi_sim::oracle::fuzz::{fuzz_sweep, gen_case, gen_trap_case, run_case, trap_sweep};
+use gpufi_sim::Trap;
 
 /// The headline acceptance bar: ≥500 seeded random kernels, zero
 /// divergences.
@@ -46,4 +47,36 @@ fn fuzz_single_case_runs_clean() {
     if let Err(report) = run_case(&case) {
         panic!("seed 7 diverged:\n{report}\nsource:\n{}", case.source);
     }
+}
+
+/// Trap corpus: kernels that fault through the address shapes register
+/// faults produce (near-`u32::MAX` bases, wrapping negative offsets, null
+/// pages).  Both engines must raise the same trap *kind* on every one —
+/// `run_trap_case` asserts the expected kind against the timing engine
+/// and the attached mirror latches any sim-vs-oracle kind disagreement.
+#[test]
+fn trap_corpus_kinds_agree_across_engines() {
+    let ran = trap_sweep(0xBAD_ADD2, 200);
+    assert_eq!(ran, 200);
+}
+
+/// The trap generator covers all four architectural trap kinds within a
+/// modest seed window (so the sweep above is actually exercising each
+/// trap path, not one lucky variant).
+#[test]
+fn trap_corpus_covers_every_kind() {
+    let mut smem = false;
+    let mut lmem = false;
+    let mut mis = false;
+    let mut inv = false;
+    for seed in 0..64u64 {
+        match gen_trap_case(seed).expected {
+            Trap::SmemOutOfBounds { .. } => smem = true,
+            Trap::LmemOutOfBounds { .. } => lmem = true,
+            Trap::Misaligned { .. } => mis = true,
+            Trap::InvalidAddress { .. } => inv = true,
+            other => panic!("unexpected expected trap {other:?}"),
+        }
+    }
+    assert!(smem && lmem && mis && inv, "trap corpus missing a kind");
 }

@@ -1,0 +1,169 @@
+//! Regression tests for fault-corrupted addresses near `u32::MAX`.
+//!
+//! gpuFI-4 campaigns routinely flip pointer registers, so a corrupted base
+//! plus a negative `Ld/St` offset can place the effective address at
+//! `0xFFFFFFFC` or beyond.  The bounds checks in the shared- and
+//! local-memory paths used to compute `addr + 4` in u32 — overflowing
+//! (debug panic, journaled as `sim_panic`) or wrapping to 0 (release,
+//! silently bypassing the check).  Each test below drives one of those
+//! paths and asserts the run ends in the architecturally modelled trap —
+//! a DUE, never a simulator panic — in both debug and release profiles
+//! (CI runs this file under both).
+
+use std::collections::BTreeMap;
+
+use gpufi::prelude::*;
+use gpufi_core::WorkloadError;
+use gpufi_sim::AppStats;
+
+fn small_gpu() -> Gpu {
+    let mut cfg = GpuConfig::rtx2060();
+    cfg.num_sms = 4;
+    Gpu::new(cfg)
+}
+
+/// A golden profile whose contents are irrelevant: `classify` maps every
+/// non-timeout error to Crash before consulting the golden run.
+fn dummy_golden() -> GoldenProfile {
+    GoldenProfile {
+        output: Vec::new(),
+        app: AppStats::default(),
+        fault_spaces: BTreeMap::new(),
+    }
+}
+
+/// Asserts the trap is journaled as a DUE (Crash) with an architectural
+/// detail code, not as a simulator panic.
+fn assert_due(trap: Trap, want: RunDetail) {
+    let result: Result<Vec<u8>, WorkloadError> = Err(WorkloadError::Trap(trap));
+    let detail = detail_of(&result);
+    assert_eq!(detail, want, "trap must map to the architectural detail");
+    assert_ne!(
+        detail,
+        RunDetail::SimPanic,
+        "corrupted addresses must trap, not panic the simulator"
+    );
+    assert_eq!(classify(&result, 0, &dummy_golden()), FaultEffect::Crash);
+}
+
+/// Shared path: a bit flip clears the base register, so the negative
+/// offset wraps the effective address to `0xFFFFFFFC`.  The old
+/// `a + 4 > smem_len` check overflowed u32 there.
+#[test]
+fn corrupted_shared_base_traps_out_of_bounds() {
+    let m = Module::assemble(
+        r#"
+.kernel smem_wild
+.params 0
+.smem 64
+    MOV R7, 4
+    LDS R8, [R7-8]
+    EXIT
+"#,
+    )
+    .unwrap();
+    let mut gpu = small_gpu();
+    // Flip bit 2 of thread 0's R7 after the MOV issues at cycle 0 and
+    // before the LDS reads it: 4 -> 0, so a = 0 - 8 + 4 = 0xFFFFFFFC.
+    gpu.arm_faults(InjectionPlan::single(
+        1,
+        FaultTarget::RegisterFile {
+            scope: Scope::Thread,
+            entry_lot: 0,
+            reg: 7,
+            bits: vec![2],
+        },
+    ));
+    let err = gpu
+        .launch(m.kernel("smem_wild").unwrap(), LaunchDims::new(1, 32), &[])
+        .unwrap_err();
+    assert!(gpu.injection_records()[0].applied);
+    assert!(
+        matches!(err, Trap::SmemOutOfBounds { offset } if offset >= 0xFFFF_FFF8),
+        "expected a wrapped shared offset, got {err:?}"
+    );
+    assert_due(err, RunDetail::SmemOutOfBounds);
+}
+
+/// Local path: a corrupted base at `0xFFFFFFFC` used to wrap the
+/// `base + 4 > lmem` check and then overflow the u32 effective-address
+/// arithmetic `(tid_global * lmem) as u32 + base`.  The corrupted load is
+/// predicated onto the *last* thread of a large grid so the wrap happens
+/// at a big `tid_global * lmem` product, the worst case for the old
+/// truncating arithmetic (low tids keep exercising the in-bounds path).
+#[test]
+fn corrupted_local_base_traps_out_of_bounds_on_large_grid() {
+    let m = Module::assemble(
+        r#"
+.kernel lmem_wild
+.params 1
+.lmem 512
+    S2R R2, SR_TID.X
+    S2R R3, SR_CTAID.X
+    S2R R4, SR_NTID.X
+    IMAD R2, R3, R4, R2
+    MOV R5, 0
+    ISETP.LT P0, R2, R0
+@P0 STL [R5], R2
+@P0 EXIT
+    MOV R6, 8
+    LDL R7, [R6-12]
+    EXIT
+"#,
+    )
+    .unwrap();
+    let mut gpu = small_gpu();
+    let ctas = 64u32;
+    let tpc = 32u32;
+    let last = ctas * tpc - 1;
+    let err = gpu
+        .launch(
+            m.kernel("lmem_wild").unwrap(),
+            LaunchDims::new(ctas, tpc),
+            &[last],
+        )
+        .unwrap_err();
+    // base = 8 - 12 = 0xFFFFFFFC for tid 2047: aligned, far out of the
+    // 512-byte allocation.
+    assert!(
+        matches!(err, Trap::LmemOutOfBounds { offset } if offset == 0xFFFF_FFFC),
+        "expected a wrapped local offset, got {err:?}"
+    );
+    assert_due(err, RunDetail::LmemOutOfBounds);
+}
+
+/// Constant path: a bit flip makes the base odd.  The access must fault
+/// as Misaligned — checked before the timing loop, mirroring the shared
+/// path's order — and never reach a panic.
+#[test]
+fn corrupted_const_base_traps_misaligned() {
+    let m = Module::assemble(
+        r#"
+.kernel const_mis
+.params 0
+    MOV R7, 4
+    LDC R8, [R7]
+    EXIT
+"#,
+    )
+    .unwrap();
+    let mut gpu = small_gpu();
+    gpu.arm_faults(InjectionPlan::single(
+        1,
+        FaultTarget::RegisterFile {
+            scope: Scope::Thread,
+            entry_lot: 0,
+            reg: 7,
+            bits: vec![0],
+        },
+    ));
+    let err = gpu
+        .launch(m.kernel("const_mis").unwrap(), LaunchDims::new(1, 32), &[])
+        .unwrap_err();
+    assert!(gpu.injection_records()[0].applied);
+    assert!(
+        matches!(err, Trap::Misaligned { addr: 5 }),
+        "expected a misaligned constant address, got {err:?}"
+    );
+    assert_due(err, RunDetail::Misaligned);
+}
