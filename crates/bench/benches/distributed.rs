@@ -1,0 +1,117 @@
+//! Scaling benchmark of the distributed campaign service: the same SP
+//! register-file campaign run single-process and then sharded across 1,
+//! 2 and 4 in-process workers over real TCP.
+//!
+//! A dependency-free harness (`harness = false`), timed with
+//! `std::time::Instant` and printed as one-line summaries.  Run with
+//! `cargo bench --bench distributed`.  Results land in
+//! `BENCH_distributed.json` at the repository root.
+//!
+//! Two acceptance figures, machine-dependent:
+//! * on a multi-core host, ≥ 1.7x the serial rate at 2 workers;
+//! * on a single-core host (where workers cannot overlap), the 1-worker
+//!   dispatch overhead — leases, TCP round-trips, merge — stays ≤ 10 %
+//!   of the serial wall time.
+
+use gpufi_core::{
+    profile, run_campaign, run_worker, CampaignConfig, Coordinator, JobSpec, ServeOptions,
+    WorkerOptions,
+};
+use gpufi_faults::{CampaignSpec, Structure};
+use gpufi_sim::GpuConfig;
+use std::thread;
+use std::time::Instant;
+
+const BENCH: &str = "SP";
+const RUNS: usize = 240;
+const SEED: u64 = 9;
+
+fn resolver(name: &str) -> Option<Box<dyn gpufi_core::Workload>> {
+    gpufi_workloads::by_name(name)
+}
+
+/// Steady-state dispatch of `job` over `n` workers: the first (untimed)
+/// job pays worker golden-run profiling and checkpoint recording, the
+/// second measures the sweep-rate a long campaign sees — leases, TCP
+/// round trips and merging on top of the engine.
+fn dispatch(job: &JobSpec, n: usize) -> f64 {
+    let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.addr().to_string();
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || run_worker(&addr, &WorkerOptions::default(), &resolver))
+        })
+        .collect();
+    coordinator.run(job, &ServeOptions::default()).unwrap(); // warm
+    let start = Instant::now();
+    let result = coordinator.run(job, &ServeOptions::default()).unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(result.records.len(), RUNS);
+    coordinator.shutdown();
+    for h in handles {
+        h.join().unwrap().unwrap();
+    }
+    wall
+}
+
+fn main() {
+    let workload = resolver(BENCH).unwrap();
+    let card = GpuConfig::rtx2060();
+    let cfg =
+        CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), RUNS, SEED).with_threads(1);
+    let golden = profile(workload.as_ref(), &card).unwrap();
+    let job = JobSpec::from_config(BENCH, "rtx2060", &cfg);
+
+    // Serial baseline: the single-process engine, one thread (the unit a
+    // worker process contributes).
+    let serial = run_campaign(workload.as_ref(), &card, &cfg, &golden).unwrap();
+    run_campaign(workload.as_ref(), &card, &cfg, &golden).unwrap(); // warm
+    let start = Instant::now();
+    let serial2 = run_campaign(workload.as_ref(), &card, &cfg, &golden).unwrap();
+    let serial_wall = start.elapsed().as_secs_f64();
+    assert_eq!(serial.records, serial2.records);
+    let serial_rate = RUNS as f64 / serial_wall;
+    println!(
+        "{:<44} {:>8.1} runs/s  ({serial_wall:.2} s wall)",
+        "serial_sp_rf_240_1thread", serial_rate
+    );
+
+    let mut rows = Vec::new();
+    let cores = thread::available_parallelism().map_or(1, usize::from);
+    for n in [1usize, 2, 4] {
+        let wall = dispatch(&job, n);
+        let rate = RUNS as f64 / wall;
+        let speedup = serial_wall / wall;
+        let efficiency = speedup / n as f64;
+        println!(
+            "{:<44} {rate:>8.1} runs/s  ({wall:.2} s wall, {speedup:.2}x serial, {:.0} % efficiency)",
+            format!("distributed_sp_rf_240_{n}_workers"),
+            100.0 * efficiency
+        );
+        rows.push(format!(
+            "{{\n      \"workers\": {n},\n      \"wall_s\": {wall:.3},\n      \
+             \"runs_per_sec\": {rate:.2},\n      \"speedup_vs_serial\": {speedup:.3},\n      \
+             \"scaling_efficiency\": {efficiency:.3}\n    }}"
+        ));
+        if n == 1 {
+            let overhead = wall / serial_wall - 1.0;
+            println!(
+                "{:<44} {:>7.1} %  (leases + TCP + merge on top of the engine)",
+                "dispatch_overhead_1_worker",
+                100.0 * overhead
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"distributed_sp_rf_240\",\n  \"workload\": \"{BENCH}\",\n  \
+         \"runs\": {RUNS},\n  \"seed\": {SEED},\n  \"host_cores\": {cores},\n  \
+         \"serial_wall_s\": {serial_wall:.3},\n  \"serial_runs_per_sec\": {serial_rate:.2},\n  \
+         \"dispatches\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_distributed.json");
+    std::fs::write(path, json).expect("write BENCH_distributed.json");
+    println!("results written to BENCH_distributed.json");
+}

@@ -43,8 +43,19 @@ usage:
                  [--bits K] [--kernel <K>] [--scope thread|warp] [--spread]
                  [--seed S] [--threads T] [--no-early-exit] [--no-checkpoints]
                  [--checkpoint-interval C] [--oracle-check] [--no-static-prune]
-                 [--csv FILE] [--journal FILE] [--no-journal] [--resume]
+                 [--csv FILE] [--journal FILE] [--journal-commit N]
+                 [--no-journal] [--resume]
                  [--max-run-seconds S] [--inject-panic-run I]
+  gpufi serve    --bench <NAME> --structure <S> | --matrix
+                 [--benches A,B] [--structures rf,l2] [--card <CARD>]
+                 [--runs N] [--seed S] [--bits K] [--workers W]
+                 [--worker-threads T] [--listen HOST:PORT] [--chunk C]
+                 [--lease-timeout SECS] [--csv FILE] [--out-dir DIR]
+                 [--journal FILE] [--journal-commit N] [--no-journal]
+                 [--resume] (campaign flags: --scope/--spread/--kernel/
+                 --no-early-exit/--no-checkpoints/--checkpoint-interval/
+                 --no-static-prune/--max-run-seconds)
+  gpufi worker   --connect HOST:PORT [--threads T] [--fail-after-results N]
   gpufi analyze  --bench <NAME> [--card <CARD>] [--runs N] [--bits K] [--seed S]
   gpufi fuzz     [--kernels N] [--seed S] [--traps T]
   gpufi lint     [--bench <NAME>] [--json]
@@ -86,7 +97,22 @@ journal (<csv>.journal.jsonl by default, --no-journal disables) and
 missing runs with bit-identical results; --max-run-seconds S adds a
 per-run wall-clock watchdog (classified Timeout, detail=wall_watchdog)
 on top of the 2x-golden-cycles cycle watchdog; --inject-panic-run I
-panics run I on both attempts (supervisor self-test)";
+panics run I on both attempts (supervisor self-test);
+--journal-commit N groups journal fsyncs in batches of N lines (default
+16; 1 = fsync every record) — lines are still written through on every
+record, so a crash loses at most buffered *syncs*, never records
+
+distribution: `serve` binds a coordinator (default 127.0.0.1:0), hands
+out run-index range leases to connected `worker` processes (spawned
+locally with --workers, or started by hand on other hosts pointing
+--connect at the printed address) and merges their streamed records into
+the same canonical CSV a single-process campaign writes, byte for byte;
+leases whose worker dies or stalls past --lease-timeout are reissued to
+the survivors with no loss (runs are keyed and re-drawn by index);
+--matrix sweeps benches x structures (defaults: the paper suite x
+rf,local,shared,l1d,l1t,l2) writing one CSV per cell into --out-dir;
+worker --fail-after-results N drops the connection after N results
+(chaos switch for reissue testing)";
 
 /// Minimal `--flag value` parser over the argument list.
 struct Args<'a> {
@@ -178,6 +204,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         "profile" => cmd_profile(&args),
         "campaign" => cmd_campaign(&args),
+        "serve" => cmd_serve(&args),
+        "worker" => cmd_worker(&args),
         "analyze" => cmd_analyze(&args),
         "fuzz" => cmd_fuzz(&args),
         "lint" => cmd_lint(&args),
@@ -253,6 +281,7 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
             "--checkpoint-interval",
             "--csv",
             "--journal",
+            "--journal-commit",
             "--max-run-seconds",
             "--inject-panic-run",
         ],
@@ -323,6 +352,9 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     if let Some(p) = journal_path {
         cfg = cfg.with_journal(p);
     }
+    let journal_commit: usize =
+        args.parse("--journal-commit", gpufi_core::DEFAULT_JOURNAL_COMMIT)?;
+    cfg = cfg.with_journal_commit(journal_commit);
     if args.flag("--resume") {
         cfg = cfg.with_resume();
     }
@@ -349,13 +381,32 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
         }
     }
     .map_err(|e| e.to_string())?;
-    println!(
-        "benchmark: {}  card: {}  structure: {}  bits/fault: {}  runs: {}",
+    print_campaign_result(
         workload.name(),
-        card.name,
-        structure,
+        &card.name,
+        &structure.to_string(),
         bits,
-        runs
+        &result,
+    )?;
+    if let Some(path) = args.value("--csv") {
+        let csv = gpufi_core::campaign_csv(&result);
+        std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  per-run records written to {path}");
+    }
+    Ok(())
+}
+
+/// The tally + stats block `campaign` and `serve` both print.
+fn print_campaign_result(
+    bench: &str,
+    card: &str,
+    structure: &str,
+    bits: u32,
+    result: &gpufi_core::CampaignResult,
+) -> Result<(), String> {
+    let runs = result.records.len();
+    println!(
+        "benchmark: {bench}  card: {card}  structure: {structure}  bits/fault: {bits}  runs: {runs}"
     );
     let t = &result.tally;
     for effect in FaultEffect::ALL {
@@ -372,10 +423,17 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
         100.0 * margin_of_error(0.99, runs.max(1) as u64, u64::MAX)
     );
     let s = &result.stats;
-    println!(
-        "  engine: {:.1} runs/s on {} threads ({:.0} ms wall)",
-        s.runs_per_sec, s.threads, s.wall_ms
-    );
+    if s.workers > 1 {
+        println!(
+            "  engine: {:.1} runs/s on {} threads across {} workers ({:.0} ms wall)",
+            s.runs_per_sec, s.threads, s.workers, s.wall_ms
+        );
+    } else {
+        println!(
+            "  engine: {:.1} runs/s on {} threads ({:.0} ms wall)",
+            s.runs_per_sec, s.threads, s.wall_ms
+        );
+    }
     println!(
         "  faults applied: {} ({:.1} %)   early exits: {} ({:.1} %)",
         s.applied,
@@ -383,13 +441,15 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
         s.early_exits,
         100.0 * s.early_exit_rate
     );
-    println!(
-        "  checkpoints: {} ({:.1} MiB)   restores: {}   mean cycles skipped: {:.0}",
-        s.checkpoints,
-        s.checkpoint_bytes as f64 / (1024.0 * 1024.0),
-        s.restores,
-        s.mean_skipped_cycles
-    );
+    if s.checkpoints > 0 || s.restores > 0 {
+        println!(
+            "  checkpoints: {} ({:.1} MiB)   restores: {}   mean cycles skipped: {:.0}",
+            s.checkpoints,
+            s.checkpoint_bytes as f64 / (1024.0 * 1024.0),
+            s.restores,
+            s.mean_skipped_cycles
+        );
+    }
     if s.static_pruned > 0 {
         println!(
             "  static prune: {} run(s) in dead registers pre-classified Masked ({:.1} %)",
@@ -403,6 +463,12 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
             s.panics, s.retries
         );
     }
+    if s.lease_reissues > 0 {
+        println!(
+            "  leases: {} reissued after worker death or stall (no runs lost)",
+            s.lease_reissues
+        );
+    }
     if s.resumed > 0 {
         println!(
             "  resume: {} run(s) loaded from the journal, {} executed",
@@ -412,8 +478,8 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
     }
     if s.journal_bytes > 0 {
         println!(
-            "  journal: {} bytes fsync'd ({:.0} ms)",
-            s.journal_bytes, s.journal_ms
+            "  journal: {} bytes in {} fsync(s) ({:.0} ms)",
+            s.journal_bytes, s.journal_syncs, s.journal_ms
         );
     }
     if s.oracle_checked > 0 {
@@ -429,11 +495,296 @@ fn cmd_campaign(args: &Args<'_>) -> Result<(), String> {
             ));
         }
     }
-    if let Some(path) = args.value("--csv") {
-        let csv = gpufi_core::campaign_csv(&result);
-        std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("  per-run records written to {path}");
+    Ok(())
+}
+
+/// One job of a `serve` dispatch: what to run and where its CSV goes.
+struct ServeJob {
+    job: gpufi_core::JobSpec,
+    structure: Structure,
+    bits: u32,
+    csv: Option<String>,
+}
+
+/// `gpufi serve`: bind the coordinator, optionally spawn local worker
+/// processes, dispatch one campaign (or a `--matrix` sweep) across them
+/// and merge the streamed results into canonical CSVs.
+fn cmd_serve(args: &Args<'_>) -> Result<(), String> {
+    args.reject_unknown(
+        &[
+            "--bench",
+            "--benches",
+            "--card",
+            "--structure",
+            "--structures",
+            "--runs",
+            "--seed",
+            "--bits",
+            "--scope",
+            "--kernel",
+            "--checkpoint-interval",
+            "--max-run-seconds",
+            "--workers",
+            "--worker-threads",
+            "--listen",
+            "--chunk",
+            "--lease-timeout",
+            "--csv",
+            "--journal",
+            "--journal-commit",
+            "--out-dir",
+        ],
+        &[
+            "--spread",
+            "--no-early-exit",
+            "--no-checkpoints",
+            "--no-static-prune",
+            "--resume",
+            "--no-journal",
+            "--matrix",
+        ],
+    )?;
+    let card_key = args.value("--card").unwrap_or("rtx2060");
+    let card_name = GpuConfig::preset(card_key)
+        .ok_or_else(|| {
+            format!("unknown card `{card_key}` (serve dispatches presets only, not --config files)")
+        })?
+        .name;
+    let runs: usize = args.parse("--runs", 120)?;
+    let seed: u64 = args.parse("--seed", 1)?;
+    let bits: u32 = args.parse("--bits", 1)?;
+
+    // Turn the flags into one CampaignConfig per (bench, structure) cell.
+    let make_cfg = |structure: Structure| -> Result<CampaignConfig, String> {
+        let mut spec = CampaignSpec::new(structure).bits(bits);
+        if args.flag("--spread") {
+            spec = spec.mode(MultiBitMode::Spread);
+        }
+        if let Some(scope) = args.value("--scope") {
+            spec.scope = match scope {
+                "thread" => Scope::Thread,
+                "warp" => Scope::Warp,
+                other => return Err(format!("unknown scope `{other}`")),
+            };
+        }
+        let mut cfg = CampaignConfig::new(spec, runs, seed);
+        if args.flag("--no-early-exit") {
+            cfg = cfg.no_early_exit();
+        }
+        if args.flag("--no-checkpoints") {
+            cfg = cfg.no_checkpoints();
+        }
+        if args.flag("--no-static-prune") {
+            cfg = cfg.no_static_prune();
+        }
+        let ckpt_interval: u64 = args.parse("--checkpoint-interval", 0)?;
+        if ckpt_interval > 0 {
+            cfg = cfg.with_checkpoint_interval(ckpt_interval);
+        }
+        if let Some(kernel) = args.value("--kernel") {
+            cfg = cfg.for_kernel(kernel);
+        }
+        let max_run_seconds: u64 = args.parse("--max-run-seconds", 0)?;
+        if max_run_seconds > 0 {
+            cfg = cfg.with_max_run_ms(max_run_seconds.saturating_mul(1000));
+        }
+        Ok(cfg)
+    };
+    let canonical_bench = |name: &str| -> Result<String, String> {
+        gpufi_workloads::by_name(name)
+            .map(|w| w.name().to_string())
+            .ok_or_else(|| format!("unknown benchmark `{name}`"))
+    };
+
+    let journal_commit: usize =
+        args.parse("--journal-commit", gpufi_core::DEFAULT_JOURNAL_COMMIT)?;
+    let lease_timeout_s: u64 = args.parse("--lease-timeout", 30)?;
+    let chunk: usize = args.parse("--chunk", 0)?;
+    let base_opts = gpufi_core::ServeOptions {
+        chunk,
+        lease_timeout_ms: lease_timeout_s.saturating_mul(1000).max(1),
+        journal: None,
+        journal_commit,
+        resume: args.flag("--resume"),
+    };
+
+    let mut jobs: Vec<ServeJob> = Vec::new();
+    if args.flag("--matrix") {
+        // The paper-scale sweep: every bench × structure cell, one CSV
+        // (and merge journal) per cell under --out-dir.
+        let out_dir = args.value("--out-dir").unwrap_or("serve-out").to_string();
+        std::fs::create_dir_all(&out_dir)
+            .map_err(|e| format!("cannot create --out-dir `{out_dir}`: {e}"))?;
+        let benches: Vec<String> = match args.value("--benches") {
+            Some(list) => list
+                .split(',')
+                .map(|b| canonical_bench(b.trim()))
+                .collect::<Result<_, _>>()?,
+            None => gpufi_workloads::paper_suite()
+                .iter()
+                .map(|w| w.name().to_string())
+                .collect(),
+        };
+        let structures: Vec<Structure> = match args.value("--structures") {
+            Some(list) => list
+                .split(',')
+                .map(|s| structure_of(s.trim()))
+                .collect::<Result<_, _>>()?,
+            None => Structure::PAPER.to_vec(),
+        };
+        for bench in &benches {
+            for &structure in &structures {
+                let cfg = make_cfg(structure)?;
+                let code = structure_code_of(structure);
+                jobs.push(ServeJob {
+                    job: gpufi_core::JobSpec::from_config(bench, card_key, &cfg),
+                    structure,
+                    bits,
+                    csv: Some(format!("{out_dir}/{bench}_{code}_{runs}_s{seed}.csv")),
+                });
+            }
+        }
+    } else {
+        let bench = canonical_bench(
+            args.value("--bench")
+                .ok_or("--bench is required (or --matrix)")?,
+        )?;
+        let structure = structure_of(args.value("--structure").ok_or("--structure is required")?)?;
+        let cfg = make_cfg(structure)?;
+        jobs.push(ServeJob {
+            job: gpufi_core::JobSpec::from_config(&bench, card_key, &cfg),
+            structure,
+            bits,
+            csv: args.value("--csv").map(str::to_string),
+        });
     }
+
+    let listen = args.value("--listen").unwrap_or("127.0.0.1:0");
+    let mut coordinator = gpufi_core::Coordinator::bind(listen).map_err(|e| e.to_string())?;
+    let addr = coordinator.addr();
+    println!("serve: listening on {addr}");
+
+    // Local worker pool: each worker is its own OS process (panic/SIGKILL
+    // isolation), connecting back over TCP like a remote one would.
+    let workers: usize = args.parse("--workers", 0)?;
+    let worker_threads: usize = args.parse("--worker-threads", 1)?;
+    let mut children = Vec::new();
+    if workers > 0 {
+        let exe =
+            std::env::current_exe().map_err(|e| format!("cannot find own executable: {e}"))?;
+        for _ in 0..workers {
+            let child = std::process::Command::new(&exe)
+                .args([
+                    "worker",
+                    "--connect",
+                    &addr.to_string(),
+                    "--threads",
+                    &worker_threads.to_string(),
+                ])
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| format!("cannot spawn worker: {e}"))?;
+            children.push(child);
+        }
+        println!("serve: spawned {workers} local worker(s) x {worker_threads} thread(s)");
+    }
+
+    let outcome = (|| -> Result<(), String> {
+        let total = jobs.len();
+        for (k, sj) in jobs.iter().enumerate() {
+            let mut opts = base_opts.clone();
+            // Merge journal: explicit --journal (single job), derived
+            // from the CSV path otherwise, --no-journal opts out.
+            opts.journal = if args.flag("--no-journal") {
+                if args.value("--journal").is_some() {
+                    return Err("--no-journal conflicts with --journal".into());
+                }
+                None
+            } else if let Some(j) = args.value("--journal") {
+                if total > 1 {
+                    return Err("--journal is ambiguous with --matrix; use per-cell \
+                                journals derived from --out-dir (the default)"
+                        .into());
+                }
+                Some(j.to_string())
+            } else {
+                sj.csv.as_ref().map(|c| format!("{c}.journal.jsonl"))
+            };
+            if opts.resume && opts.journal.is_none() {
+                return Err(
+                    "--resume needs --journal (or --csv, to derive the journal path)".into(),
+                );
+            }
+            if total > 1 {
+                println!(
+                    "serve: job {}/{total}: {} {}",
+                    k + 1,
+                    sj.job.bench,
+                    structure_code_of(sj.structure)
+                );
+            }
+            let result = coordinator.run(&sj.job, &opts).map_err(|e| e.to_string())?;
+            print_campaign_result(
+                &sj.job.bench,
+                &card_name,
+                &sj.structure.to_string(),
+                sj.bits,
+                &result,
+            )?;
+            if let Some(path) = &sj.csv {
+                let csv = gpufi_core::campaign_csv(&result);
+                std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("  per-run records written to {path}");
+            }
+        }
+        Ok(())
+    })();
+    coordinator.shutdown();
+    for mut c in children {
+        let _ = c.wait();
+    }
+    outcome
+}
+
+/// Short structure code for matrix CSV file names (inverse of
+/// [`structure_of`]).
+fn structure_code_of(s: Structure) -> &'static str {
+    match s {
+        Structure::RegisterFile => "rf",
+        Structure::LocalMemory => "local",
+        Structure::SharedMemory => "shared",
+        Structure::L1Data => "l1d",
+        Structure::L1Tex => "l1t",
+        Structure::L1Const => "l1c",
+        Structure::L2 => "l2",
+    }
+}
+
+/// `gpufi worker`: connect to a coordinator and execute leases until it
+/// says shutdown.  `--fail-after-results` is a chaos-testing switch that
+/// silently drops the connection after N streamed results, emulating a
+/// worker killed mid-lease.
+fn cmd_worker(args: &Args<'_>) -> Result<(), String> {
+    args.reject_unknown(&["--connect", "--threads", "--fail-after-results"], &[])?;
+    let addr = args.value("--connect").ok_or("--connect is required")?;
+    let threads: usize = args.parse("--threads", 1)?;
+    let fail_after: Option<usize> = args
+        .value("--fail-after-results")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("bad value for --fail-after-results: `{v}`"))
+        })
+        .transpose()?;
+    let opts = gpufi_core::WorkerOptions {
+        threads,
+        fail_after_results: fail_after,
+    };
+    let report = gpufi_core::run_worker(addr, &opts, &|name| gpufi_workloads::by_name(name))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "worker: served {} job(s), {} lease(s), {} run(s)",
+        report.jobs, report.leases, report.runs
+    );
     Ok(())
 }
 

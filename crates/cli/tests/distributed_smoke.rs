@@ -1,0 +1,212 @@
+//! Process-level smoke tests of `gpufi serve` / `gpufi worker`: real
+//! binaries, real TCP, a real SIGKILL.  The in-process protocol tests live
+//! in the workspace-root `tests/distributed.rs`; these check the CLI
+//! plumbing end to end — argument parsing, worker spawning, address
+//! printing, CSV output — and that killing a worker process outright
+//! loses no runs.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn gpufi() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpufi"))
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("gpufi-cli-distributed");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+/// Runs the serial campaign and returns its CSV bytes.
+fn serial_csv(runs: &str, seed: &str) -> Vec<u8> {
+    let path = tmp("serial.csv");
+    let out = gpufi()
+        .args([
+            "campaign",
+            "--bench",
+            "SP",
+            "--structure",
+            "rf",
+            "--runs",
+            runs,
+            "--seed",
+            seed,
+            "--csv",
+            &path,
+            "--no-journal",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "serial campaign failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read(&path).unwrap()
+}
+
+/// Starts `gpufi serve` with stdout piped and reads the listen address off
+/// its first line.
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = gpufi()
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines.next().unwrap().unwrap();
+    let addr = first
+        .strip_prefix("serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {first}"))
+        .to_string();
+    // Drain the rest of stdout in the background so the child never
+    // blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn spawn_worker(addr: &str) -> Child {
+    gpufi()
+        .args(["worker", "--connect", addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap()
+}
+
+fn wait_with_deadline(child: &mut Child, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match child.try_wait().unwrap() {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("{what} did not finish in time");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Two self-spawned worker processes produce the byte-identical CSV of the
+/// serial campaign.
+#[test]
+fn serve_with_spawned_workers_matches_serial() {
+    let serial = serial_csv("48", "9");
+    let csv = tmp("spawned.csv");
+    let mut serve = gpufi()
+        .args([
+            "serve",
+            "--bench",
+            "SP",
+            "--structure",
+            "rf",
+            "--runs",
+            "48",
+            "--seed",
+            "9",
+            "--workers",
+            "2",
+            "--csv",
+            &csv,
+            "--no-journal",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap();
+    wait_with_deadline(&mut serve, "serve");
+    assert_eq!(
+        std::fs::read(&csv).unwrap(),
+        serial,
+        "distributed CSV differs from serial"
+    );
+}
+
+/// SIGKILL one of two external worker processes mid-campaign: the
+/// coordinator reissues its leases and the merged CSV is still
+/// byte-identical — no run lost, none double-counted.
+#[test]
+fn sigkilled_worker_loses_no_runs() {
+    let serial = serial_csv("120", "9");
+    let csv = tmp("sigkill.csv");
+    let (mut serve, addr) = spawn_serve(&[
+        "serve",
+        "--bench",
+        "SP",
+        "--structure",
+        "rf",
+        "--runs",
+        "120",
+        "--seed",
+        "9",
+        "--csv",
+        &csv,
+        "--no-journal",
+        "--lease-timeout",
+        "10",
+    ]);
+    let mut victim = spawn_worker(&addr);
+    let mut survivor = spawn_worker(&addr);
+    // Let the victim take a lease or two, then kill -9 it.
+    std::thread::sleep(Duration::from_millis(400));
+    victim.kill().unwrap();
+    victim.wait().unwrap();
+    wait_with_deadline(&mut serve, "serve");
+    let _ = survivor.wait();
+    assert_eq!(
+        std::fs::read(&csv).unwrap(),
+        serial,
+        "CSV after worker SIGKILL differs from serial"
+    );
+}
+
+/// The `--matrix` sweep writes one canonical CSV per (bench, structure)
+/// cell, each with a merge journal next to it.
+#[test]
+fn matrix_sweep_writes_one_csv_per_cell() {
+    let out_dir = tmp("matrix-out");
+    let mut serve = gpufi()
+        .args([
+            "serve",
+            "--matrix",
+            "--benches",
+            "VA",
+            "--structures",
+            "rf,l1d",
+            "--runs",
+            "12",
+            "--seed",
+            "3",
+            "--workers",
+            "1",
+            "--out-dir",
+            &out_dir,
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap();
+    wait_with_deadline(&mut serve, "serve --matrix");
+    for cell in ["VA_rf_12_s3", "VA_l1d_12_s3"] {
+        let csv = format!("{out_dir}/{cell}.csv");
+        let journal = format!("{csv}.journal.jsonl");
+        let body = std::fs::read_to_string(&csv)
+            .unwrap_or_else(|e| panic!("missing matrix CSV {csv}: {e}"));
+        assert_eq!(body.lines().count(), 13, "{cell}: 12 records + header");
+        assert!(
+            std::fs::metadata(&journal).is_ok(),
+            "missing merge journal {journal}"
+        );
+    }
+}

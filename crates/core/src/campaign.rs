@@ -7,7 +7,9 @@ use crate::workload::{Workload, WorkloadError};
 use gpufi_faults::{CampaignSpec, DrawError, MaskGenerator};
 use gpufi_isa::analysis::dead_registers;
 use gpufi_metrics::{FaultEffect, Tally};
-use gpufi_sim::{CheckpointStore, FaultTarget, Gpu, GpuConfig, InjectionPlan, KernelWindow, Trap};
+use gpufi_sim::{
+    CheckpointStore, FaultSpace, FaultTarget, Gpu, GpuConfig, InjectionPlan, KernelWindow, Trap,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -24,6 +26,12 @@ pub const DEFAULT_CHECKPOINT_BUDGET: usize = 256 * 1024 * 1024;
 /// golden cycle count divided by this, so a full-length store holds about
 /// this many snapshots (fewer once the budget bites).
 const AUTO_CHECKPOINT_TARGET: u64 = 24;
+
+/// Default journal group-commit threshold: fsync every this many appended
+/// lines (or 100 ms, whichever comes first).  Process death loses nothing
+/// at any threshold — lines are written through to the OS per append —
+/// only the power-loss window widens.
+pub const DEFAULT_JOURNAL_COMMIT: usize = 16;
 
 /// Configuration of one injection campaign.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +103,13 @@ pub struct CampaignConfig {
     /// watchdog for flips that livelock the simulator inside a cycle.
     #[serde(default)]
     pub max_run_ms: u64,
+    /// Journal group-commit threshold: fsync after this many appended
+    /// lines (and at least every 100 ms) instead of once per line.  `0`
+    /// and `1` both mean per-line fsync — the pre-group-commit behaviour.
+    /// Excluded from the campaign fingerprint: it changes durability
+    /// latency, never a record.
+    #[serde(default)]
+    pub journal_commit: usize,
 }
 
 impl CampaignConfig {
@@ -116,6 +131,7 @@ impl CampaignConfig {
             resume: false,
             static_prune: true,
             max_run_ms: 0,
+            journal_commit: DEFAULT_JOURNAL_COMMIT,
         }
     }
 
@@ -181,6 +197,12 @@ impl CampaignConfig {
         self
     }
 
+    /// Sets the journal group-commit threshold (`1` = fsync per line).
+    pub fn with_journal_commit(mut self, lines: usize) -> Self {
+        self.journal_commit = lines;
+        self
+    }
+
     /// Restricts injection cycles to `[start, end)`.
     pub fn with_cycle_window(mut self, start: u64, end: u64) -> Self {
         self.cycle_window = Some((start, end));
@@ -224,10 +246,19 @@ pub struct RunRecord {
 pub struct CampaignStats {
     /// Total wall-clock time of the campaign, in milliseconds.
     pub wall_ms: f64,
-    /// Injection runs completed per second of wall-clock time.
+    /// Injection runs completed per second of wall-clock time.  In a
+    /// merged distributed result this is runs over the **coordinator's**
+    /// wall clock — the user-visible end-to-end rate — never a single
+    /// worker's local figure.
     pub runs_per_sec: f64,
-    /// Worker threads that executed the campaign.
+    /// Worker threads that executed the campaign.  In a merged
+    /// distributed result: the **aggregate** thread count over every
+    /// worker process that joined the campaign.
     pub threads: usize,
+    /// Worker processes that executed the campaign (`1` for an in-process
+    /// run; the number of connected workers for a distributed one).
+    #[serde(default)]
+    pub workers: usize,
     /// Runs whose fault actually changed machine state.
     pub applied: usize,
     /// `applied / runs`.
@@ -285,6 +316,15 @@ pub struct CampaignStats {
     /// the journal's overhead, reported so regressions are visible.
     #[serde(default)]
     pub journal_ms: f64,
+    /// `fsync` calls the journal issued; with group commit this is the
+    /// observable batching factor (`journal lines / journal_syncs`).
+    #[serde(default)]
+    pub journal_syncs: u64,
+    /// Range leases a distributed coordinator reissued after a worker
+    /// died or stalled past its lease deadline (0 = in-process, or no
+    /// failures).
+    #[serde(default)]
+    pub lease_reissues: usize,
 }
 
 /// The aggregated result of a campaign.
@@ -372,7 +412,7 @@ fn mix_seed(seed: u64, run_idx: u64) -> u64 {
 /// fault (the fork point bound), and the static kernel the faults land in
 /// (the dead-register prune's lookup key).
 #[derive(Debug, Clone)]
-struct RunPlan {
+pub(crate) struct RunPlan {
     plan: InjectionPlan,
     first_cycle: u64,
     kernel: String,
@@ -398,47 +438,122 @@ fn clamp_windows(windows: Vec<KernelWindow>, range: Option<(u64, u64)>) -> Vec<K
         .collect()
 }
 
-/// Draws every run's injection plan up front.
+/// The reusable per-campaign execution context: everything `run_campaign`
+/// sets up once and then applies to many run indices — the clamped window
+/// set, the per-kernel fault-space lookup, the statically-dead register
+/// table and (optionally) the golden-run checkpoint store.
 ///
-/// The window set and the per-kernel fault-space lookups are campaign
-/// invariants — computing them here (once) instead of inside every run
-/// also moves all fallible work ahead of the worker threads, so the run
-/// loop itself cannot fail.
-fn draw_plans(cfg: &CampaignConfig, golden: &GoldenProfile) -> Result<Vec<RunPlan>, CampaignError> {
-    let windows: Vec<KernelWindow> =
-        clamp_windows(golden.windows(cfg.kernel.as_deref()), cfg.cycle_window);
-    if windows.is_empty() {
-        return Err(match &cfg.kernel {
-            Some(k) => CampaignError::UnknownKernel(k.clone()),
-            None => CampaignError::Draw(DrawError::EmptyWindows),
-        });
-    }
-    let kernel_space = match &cfg.kernel {
-        Some(k) => Some(
-            golden
-                .fault_spaces
-                .get(k)
-                .ok_or_else(|| CampaignError::UnknownKernel(k.clone()))?,
-        ),
-        None => None,
-    };
+/// The engine executes **any subset of run indices** with results
+/// bit-identical to a full in-process campaign: each run's RNG derives
+/// from `(campaign seed, run index)` alone, so a distributed worker
+/// executing a leased range `[a, b)` produces exactly the records the
+/// single-process engine would have placed at those indices.  This is the
+/// primitive `gpufi serve` / `gpufi worker` shard campaigns with.
+pub(crate) struct CampaignEngine<'a> {
+    workload: &'a dyn Workload,
+    card: &'a GpuConfig,
+    cfg: &'a CampaignConfig,
+    golden: &'a GoldenProfile,
+    windows: Vec<KernelWindow>,
+    kernel_space: Option<&'a FaultSpace>,
+    /// Statically-dead registers per kernel; empty when pruning is off.
+    dead: BTreeMap<String, Vec<u8>>,
+    store: Option<Arc<CheckpointStore>>,
+}
 
-    let mut plans = Vec::with_capacity(cfg.runs);
-    for run_idx in 0..cfg.runs as u64 {
-        // Derive a per-run generator so results are independent of both
-        // the thread interleaving and the execution order.
+/// What [`CampaignEngine::execute`] produced for one batch of indices.
+pub(crate) struct ExecOutcome {
+    /// `(run index, record, oracle verdict)`, in completion order.
+    pub results: Vec<(usize, RunRecord, OracleVerdict)>,
+    /// Run attempts that ended in a caught simulator panic.
+    pub panics: usize,
+    /// Quarantined runs re-executed once.
+    pub retries: usize,
+}
+
+/// Streaming observer invoked for every completed record (static-pruned,
+/// executed, or poison-retry verdict) as it is produced — the journal
+/// appender in-process, the TCP result stream on a distributed worker.
+pub(crate) type RunSink<'s> = &'s (dyn Fn(usize, &RunRecord) + Sync);
+
+impl<'a> CampaignEngine<'a> {
+    /// Validates the campaign's window set and fault-space lookups and
+    /// builds the dead-register table.  Cheap — the expensive checkpoint
+    /// recording pass is deferred to [`CampaignEngine::build_store`] so a
+    /// fully-resumed campaign never pays it.
+    pub(crate) fn prepare(
+        workload: &'a dyn Workload,
+        card: &'a GpuConfig,
+        cfg: &'a CampaignConfig,
+        golden: &'a GoldenProfile,
+    ) -> Result<CampaignEngine<'a>, CampaignError> {
+        let windows: Vec<KernelWindow> =
+            clamp_windows(golden.windows(cfg.kernel.as_deref()), cfg.cycle_window);
+        if windows.is_empty() {
+            return Err(match &cfg.kernel {
+                Some(k) => CampaignError::UnknownKernel(k.clone()),
+                None => CampaignError::Draw(DrawError::EmptyWindows),
+            });
+        }
+        let kernel_space = match &cfg.kernel {
+            Some(k) => Some(
+                golden
+                    .fault_spaces
+                    .get(k)
+                    .ok_or_else(|| CampaignError::UnknownKernel(k.clone()))?,
+            ),
+            None => None,
+        };
+        // `--oracle-check` exists to validate shortcuts like the static
+        // prune, so it bypasses them.
+        let dead = if cfg.static_prune && !cfg.oracle_check {
+            dead_reg_table(workload)
+        } else {
+            BTreeMap::new()
+        };
+        Ok(CampaignEngine {
+            workload,
+            card,
+            cfg,
+            golden,
+            windows,
+            kernel_space,
+            dead,
+            store: None,
+        })
+    }
+
+    /// Runs the golden checkpoint-recording pass (once per campaign/job)
+    /// if checkpoints are enabled; a no-op otherwise.
+    pub(crate) fn build_store(&mut self) {
+        if self.cfg.checkpoints && self.store.is_none() {
+            self.store = record_store(self.workload, self.card, self.cfg, self.golden);
+        }
+    }
+
+    /// The checkpoint store, for observability.
+    pub(crate) fn store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.store.as_ref()
+    }
+
+    /// Draws the injection plan of run `run_idx` — a pure function of
+    /// `(campaign seed, run index)`, independent of which process, thread
+    /// or execution order evaluates it.
+    fn draw_plan(&self, run_idx: u64) -> Result<RunPlan, CampaignError> {
+        let cfg = self.cfg;
         let mut gen = MaskGenerator::new(mix_seed(cfg.seed, run_idx));
         // For whole-application campaigns, the per-kernel fault space
         // follows the drawn cycle's kernel; approximate by drawing the
         // window first.
-        let (plan, kernel) = match kernel_space {
+        let (plan, kernel) = match self.kernel_space {
             Some(space) => (
-                gen.draw(&cfg.spec, space, &windows)?,
+                gen.draw(&cfg.spec, space, &self.windows)?,
                 cfg.kernel.clone().expect("kernel_space implies a kernel"),
             ),
             None => {
-                let w = pick_weighted(&mut gen, &windows)?;
-                let space = golden
+                let w = pick_weighted(&mut gen, &self.windows)?;
+                let space = self
+                    .golden
                     .fault_spaces
                     .get(&w.kernel)
                     .ok_or_else(|| CampaignError::UnknownKernel(w.kernel.clone()))?;
@@ -449,13 +564,173 @@ fn draw_plans(cfg: &CampaignConfig, golden: &GoldenProfile) -> Result<Vec<RunPla
             }
         };
         let first_cycle = plan.faults.iter().map(|f| f.cycle).min().unwrap_or(0);
-        plans.push(RunPlan {
+        Ok(RunPlan {
             plan,
             first_cycle,
             kernel,
-        });
+        })
     }
-    Ok(plans)
+
+    /// Draws the plans of `indices` (aligned with the input), surfacing
+    /// any draw error before simulation starts.
+    pub(crate) fn draw_plans(&self, indices: &[usize]) -> Result<Vec<RunPlan>, CampaignError> {
+        indices.iter().map(|&i| self.draw_plan(i as u64)).collect()
+    }
+
+    /// Whether this plan is pre-classified Masked by the static
+    /// dead-register prune (always `false` when pruning is disabled).
+    pub(crate) fn is_static_dead(&self, plan: &RunPlan) -> bool {
+        plan_is_static_dead(&plan.plan, self.dead.get(&plan.kernel))
+    }
+
+    /// The record a statically-pruned run gets: exactly what the
+    /// fault-lifetime early exit records for a never-read register, so
+    /// pruned and unpruned campaigns stay diffable — a dead-register flip
+    /// is applied state the machine provably never reads back.
+    pub(crate) fn pruned_record(&self) -> RunRecord {
+        RunRecord {
+            effect: FaultEffect::Masked,
+            cycles: self.golden.total_cycles(),
+            applied: true,
+            early_exit: false,
+            ckpt_skipped_cycles: 0,
+            detail: RunDetail::StaticDead,
+        }
+    }
+
+    /// Executes one batch of pre-drawn runs on `threads` worker threads
+    /// (work stealing over the batch sorted by first injection cycle, so
+    /// neighbouring runs fork from the same hot snapshot), with per-run
+    /// panic isolation and one quarantine retry per panicked run.  `sink`
+    /// observes every record as it completes.
+    pub(crate) fn execute(
+        &self,
+        work: &[(usize, RunPlan)],
+        threads: usize,
+        hook: Option<&FaultHook>,
+        oracle_img: Option<&[u8]>,
+        sink: Option<RunSink<'_>>,
+    ) -> ExecOutcome {
+        let mut order: Vec<usize> = (0..work.len()).collect();
+        order.sort_by_key(|&k| work[k].1.first_cycle);
+
+        let panics = AtomicUsize::new(0);
+        // Positions in `work` whose first attempt panicked, awaiting
+        // their single retry.
+        let quarantine: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+        // One supervised attempt of work position `k`: any panic inside
+        // the simulator is caught and returned as a message.
+        let attempt = |k: usize, n: u32| -> Result<(RunRecord, OracleVerdict), String> {
+            let (i, plan) = &work[k];
+            catch_run(|| {
+                if let Some(h) = hook {
+                    h(*i, n);
+                }
+                one_run(
+                    self.workload,
+                    self.card,
+                    self.cfg,
+                    self.golden,
+                    plan,
+                    self.store.as_ref(),
+                    oracle_img,
+                )
+            })
+        };
+        // First attempt, executed by the workers: stream a completed run
+        // to the sink immediately (crash safety), quarantine a panic.
+        let run_one = |k: usize| -> Option<(usize, RunRecord, OracleVerdict)> {
+            match attempt(k, 0) {
+                Ok((rec, verdict)) => {
+                    let i = work[k].0;
+                    if let Some(s) = sink {
+                        s(i, &rec);
+                    }
+                    Some((i, rec, verdict))
+                }
+                Err(_msg) => {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                    quarantine.lock().expect("quarantine lock poisoned").push(k);
+                    None
+                }
+            }
+        };
+
+        let mut results: Vec<(usize, RunRecord, OracleVerdict)> = Vec::with_capacity(work.len());
+        if threads <= 1 {
+            for &k in &order {
+                if let Some(out) = run_one(k) {
+                    results.push(out);
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let done: Vec<Vec<(usize, RunRecord, OracleVerdict)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let n = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&k) = order.get(n) else { break };
+                                if let Some(out) = run_one(k) {
+                                    local.push(out);
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    // Run panics are caught inside `run_one`; a worker can
+                    // only die from a supervisor-infrastructure bug, which
+                    // must not be masked.
+                    .map(|h| h.join().expect("supervisor worker died outside a run"))
+                    .collect()
+            });
+            results.extend(done.into_iter().flatten());
+        }
+
+        // Quarantine retry: each panicked run is re-executed exactly once,
+        // in run order, to tell deterministic poison runs from incidental
+        // failures.  A reproduced panic becomes the poison verdict —
+        // Crash, `sim_panic` — with deterministic placeholder fields, so a
+        // resumed campaign reproduces it bit for bit.
+        let mut retried: Vec<usize> = quarantine.into_inner().expect("quarantine lock poisoned");
+        retried.sort_unstable_by_key(|&k| work[k].0);
+        let retries = retried.len();
+        for &k in &retried {
+            let (rec, verdict) = match attempt(k, 1) {
+                Ok(out) => out,
+                Err(_msg) => {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                    (
+                        RunRecord {
+                            effect: FaultEffect::Crash,
+                            cycles: 0,
+                            applied: true,
+                            early_exit: false,
+                            ckpt_skipped_cycles: 0,
+                            detail: RunDetail::SimPanic,
+                        },
+                        OracleVerdict::default(),
+                    )
+                }
+            };
+            let i = work[k].0;
+            if let Some(s) = sink {
+                s(i, &rec);
+            }
+            results.push((i, rec, verdict));
+        }
+        ExecOutcome {
+            results,
+            panics: panics.into_inner(),
+            retries,
+        }
+    }
 }
 
 /// Per-kernel statically-dead register sets — registers no reachable
@@ -529,7 +804,7 @@ fn oracle_golden_image(
 
 /// `one_run`'s oracle verdict (all `false` outside `--oracle-check`).
 #[derive(Debug, Clone, Copy, Default)]
-struct OracleVerdict {
+pub(crate) struct OracleVerdict {
     /// The run executed under the early-exit probe.
     checked: bool,
     /// Early exit would have fired and the full simulation confirmed it:
@@ -720,7 +995,9 @@ pub fn run_campaign_with_hook(
     hook: Option<&FaultHook>,
 ) -> Result<CampaignResult, CampaignError> {
     let start = Instant::now();
-    let plans = draw_plans(cfg, golden)?;
+    let mut engine = CampaignEngine::prepare(workload, card, cfg, golden)?;
+    let all: Vec<usize> = (0..cfg.runs).collect();
+    let plans = engine.draw_plans(&all)?;
 
     // Journal / resume: load completed records first, so a resumed
     // campaign schedules (and pays for) only the missing run indices.
@@ -730,7 +1007,7 @@ pub fn run_campaign_with_hook(
         None => None,
         Some(path) => {
             let fp = campaign_fingerprint(workload.name(), &card.name, cfg);
-            if cfg.resume && std::path::Path::new(path).exists() {
+            let j = if cfg.resume && std::path::Path::new(path).exists() {
                 let (j, loaded) =
                     RunJournal::resume(path, fp, cfg.runs).map_err(CampaignError::Journal)?;
                 for (i, rec) in loaded.into_iter().enumerate() {
@@ -739,183 +1016,77 @@ pub fn run_campaign_with_hook(
                         resumed += 1;
                     }
                 }
-                Some(j)
+                j
             } else {
-                Some(RunJournal::create(path, fp, cfg.runs).map_err(CampaignError::Journal)?)
-            }
+                RunJournal::create(path, fp, cfg.runs).map_err(CampaignError::Journal)?
+            };
+            Some(j.with_group_commit(cfg.journal_commit))
         }
     };
     // Static dead-register prune: runs whose every fault lands in a
     // register the faulted kernel never reads are Masked by construction —
     // classify them here, journal them for resume, and never schedule
-    // them.  `--oracle-check` exists to validate such shortcuts, so it
-    // bypasses the prune and fully simulates every run.
-    if cfg.static_prune && !cfg.oracle_check {
-        let dead = dead_reg_table(workload);
-        for (i, slot) in slots.iter_mut().enumerate() {
-            if slot.is_some() || !plan_is_static_dead(&plans[i].plan, dead.get(&plans[i].kernel)) {
-                continue;
-            }
-            // Exactly what the fault-lifetime early exit records for a
-            // never-read register, so pruned and unpruned campaigns stay
-            // diffable: a dead-register flip is applied state the machine
-            // provably never reads back.
-            let rec = RunRecord {
-                effect: FaultEffect::Masked,
-                cycles: golden.total_cycles(),
-                applied: true,
-                early_exit: false,
-                ckpt_skipped_cycles: 0,
-                detail: RunDetail::StaticDead,
-            };
-            if let Some(j) = &journal {
-                j.append(i, &rec).map_err(CampaignError::Journal)?;
-            }
-            *slot = Some((rec, OracleVerdict::default()));
+    // them.
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.is_some() || !engine.is_static_dead(&plans[i]) {
+            continue;
         }
+        let rec = engine.pruned_record();
+        if let Some(j) = &journal {
+            j.append(i, &rec).map_err(CampaignError::Journal)?;
+        }
+        *slot = Some((rec, OracleVerdict::default()));
     }
-    let pending: Vec<usize> = (0..cfg.runs).filter(|&i| slots[i].is_none()).collect();
 
     // Oracle validation first: a functionally wrong golden run poisons
     // every classification, so fail before any injection work.  Both the
     // oracle pass and the checkpoint-recording pass are skipped when the
     // journal already covers every run.
-    let oracle_img: Option<Arc<Vec<u8>>> = if cfg.oracle_check && !pending.is_empty() {
+    let pending = slots.iter().filter(|s| s.is_none()).count();
+    let oracle_img: Option<Arc<Vec<u8>>> = if cfg.oracle_check && pending > 0 {
         Some(Arc::new(oracle_golden_image(workload, card)?))
     } else {
         None
     };
     let img_ref: Option<&[u8]> = oracle_img.as_deref().map(Vec::as_slice);
-    let store = if cfg.checkpoints && !pending.is_empty() {
-        record_store(workload, card, cfg, golden)
-    } else {
-        None
-    };
-    let threads = cfg.effective_threads().clamp(1, pending.len().max(1));
+    if pending > 0 {
+        engine.build_store();
+    }
+    let threads = cfg.effective_threads().clamp(1, pending.max(1));
 
-    let mut order = pending;
-    order.sort_by_key(|&i| plans[i].first_cycle);
+    let work: Vec<(usize, RunPlan)> = plans
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| slots[*i].is_none())
+        .collect();
 
-    let panics = AtomicUsize::new(0);
-    // Runs whose first attempt panicked, awaiting their single retry.
-    let quarantine: Mutex<Vec<usize>> = Mutex::new(Vec::new());
     // First journal-append failure; the campaign fails with it at the end
     // (the workers keep draining so in-memory results are not lost).
     let journal_err: Mutex<Option<String>> = Mutex::new(None);
-
-    // One supervised attempt of run `i`: any panic inside the simulator
-    // is caught and returned as a message instead of unwinding.
-    let attempt = |i: usize, n: u32| -> Result<(RunRecord, OracleVerdict), String> {
-        catch_run(|| {
-            if let Some(h) = hook {
-                h(i, n);
-            }
-            one_run(
-                workload,
-                card,
-                cfg,
-                golden,
-                &plans[i],
-                store.as_ref(),
-                img_ref,
-            )
-        })
-    };
-    // First attempt of run `i`, executed by the workers: journal a
-    // completed run immediately (crash safety), quarantine a panicking one.
-    let run_one = |i: usize| -> Option<(usize, (RunRecord, OracleVerdict))> {
-        match attempt(i, 0) {
-            Ok(out) => {
-                if let Some(j) = &journal {
-                    if let Err(e) = j.append(i, &out.0) {
-                        journal_err
-                            .lock()
-                            .expect("journal error lock poisoned")
-                            .get_or_insert(e);
-                    }
-                }
-                Some((i, out))
-            }
-            Err(_msg) => {
-                panics.fetch_add(1, Ordering::Relaxed);
-                quarantine.lock().expect("quarantine lock poisoned").push(i);
-                None
-            }
-        }
-    };
-
-    if threads <= 1 {
-        for &i in &order {
-            if let Some((i, out)) = run_one(i) {
-                slots[i] = Some(out);
-            }
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let done: Vec<Vec<(usize, (RunRecord, OracleVerdict))>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let k = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&i) = order.get(k) else { break };
-                            if let Some(out) = run_one(i) {
-                                local.push(out);
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                // Run panics are caught inside `run_one`; a worker can only
-                // die from a supervisor-infrastructure bug, which must not
-                // be masked.
-                .map(|h| h.join().expect("supervisor worker died outside a run"))
-                .collect()
-        });
-        for (i, rec) in done.into_iter().flatten() {
-            slots[i] = Some(rec);
-        }
-    }
-
-    // Quarantine retry: each panicked run is re-executed exactly once, in
-    // run order, to tell deterministic poison runs from incidental
-    // failures.  A reproduced panic becomes the poison verdict — Crash,
-    // `sim_panic` — with deterministic placeholder fields, so a resumed
-    // campaign reproduces it bit for bit.
-    let mut retried: Vec<usize> = quarantine.into_inner().expect("quarantine lock poisoned");
-    retried.sort_unstable();
-    let retries = retried.len();
-    for &i in &retried {
-        let out = match attempt(i, 1) {
-            Ok(out) => out,
-            Err(_msg) => {
-                panics.fetch_add(1, Ordering::Relaxed);
-                (
-                    RunRecord {
-                        effect: FaultEffect::Crash,
-                        cycles: 0,
-                        applied: true,
-                        early_exit: false,
-                        ckpt_skipped_cycles: 0,
-                        detail: RunDetail::SimPanic,
-                    },
-                    OracleVerdict::default(),
-                )
-            }
-        };
+    // Journal a completed run the moment it finishes (crash safety).
+    let sink = |i: usize, rec: &RunRecord| {
         if let Some(j) = &journal {
-            if let Err(e) = j.append(i, &out.0) {
+            if let Err(e) = j.append(i, rec) {
                 journal_err
                     .lock()
                     .expect("journal error lock poisoned")
                     .get_or_insert(e);
             }
         }
-        slots[i] = Some(out);
+    };
+    let outcome = engine.execute(&work, threads, hook, img_ref, Some(&sink));
+    for (i, rec, verdict) in outcome.results {
+        slots[i] = Some((rec, verdict));
+    }
+    if let Some(j) = &journal {
+        // Group commit defers fsync; settle the tail before declaring the
+        // campaign done.
+        if let Err(e) = j.flush() {
+            journal_err
+                .lock()
+                .expect("journal error lock poisoned")
+                .get_or_insert(e);
+        }
     }
     if let Some(e) = journal_err
         .into_inner()
@@ -956,6 +1127,7 @@ pub fn run_campaign_with_hook(
         wall_ms: wall * 1e3,
         runs_per_sec: if wall > 0.0 { n as f64 / wall } else { 0.0 },
         threads,
+        workers: 1,
         applied,
         applied_rate: if n > 0 {
             applied as f64 / n as f64
@@ -968,8 +1140,8 @@ pub fn run_campaign_with_hook(
         } else {
             0.0
         },
-        checkpoints: store.as_ref().map_or(0, |s| s.len()),
-        checkpoint_bytes: store.as_ref().map_or(0, |s| s.resident_bytes()),
+        checkpoints: engine.store().map_or(0, |s| s.len()),
+        checkpoint_bytes: engine.store().map_or(0, |s| s.resident_bytes()),
         restores,
         mean_skipped_cycles: if n > 0 {
             skipped as f64 / n as f64
@@ -985,11 +1157,13 @@ pub fn run_campaign_with_hook(
         oracle_checked: verdicts.iter().filter(|v| v.checked).count(),
         oracle_verified: verdicts.iter().filter(|v| v.verified).count(),
         oracle_mismatches: verdicts.iter().filter(|v| v.mismatch).count(),
-        panics: panics.into_inner(),
-        retries,
+        panics: outcome.panics,
+        retries: outcome.retries,
         resumed,
         journal_bytes: journal.as_ref().map_or(0, RunJournal::bytes_written),
         journal_ms: journal.as_ref().map_or(0.0, RunJournal::wall_ms),
+        journal_syncs: journal.as_ref().map_or(0, RunJournal::sync_count),
+        lease_reissues: 0,
     };
     Ok(CampaignResult {
         spec: cfg.spec.clone(),

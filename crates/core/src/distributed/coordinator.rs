@@ -1,0 +1,676 @@
+//! The campaign coordinator behind `gpufi serve`.
+//!
+//! One [`Coordinator`] owns a TCP listener and a run-index [lease
+//! table](super::lease).  Workers connect, announce their thread count,
+//! verify the campaign fingerprint and then pull range leases; every
+//! completed run streams back as one journal-format line, which the
+//! coordinator merges by run index into the canonical result — and, when
+//! a merge journal is configured, appends to the same crash-safe journal
+//! format `--resume` reads.  A worker that disconnects or stalls past the
+//! lease deadline has its unfinished indices reissued to the survivors;
+//! duplicate results (the reissue race) are verified identical, turning
+//! the engine's per-run determinism into an end-to-end check.
+
+use super::lease::LeaseTable;
+use super::net::{LineReader, ReadOutcome};
+use super::protocol::{
+    encode_fin, encode_job, encode_lease, encode_shutdown, parse_msg, JobSpec, Msg,
+};
+use super::DistError;
+use crate::campaign::{CampaignResult, CampaignStats, RunRecord};
+use crate::classify::RunDetail;
+use crate::supervisor::{campaign_fingerprint, RunJournal};
+use gpufi_metrics::Tally;
+use gpufi_sim::GpuConfig;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How a `gpufi serve` run is dispatched: lease sizing, worker-death
+/// deadline and the coordinator's merge journal.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Runs per lease; `0` auto-sizes to `(runs / 16).clamp(1, 64)` so a
+    /// handful of workers pipeline without starving.
+    pub chunk: usize,
+    /// A lease with no result for this long is reclaimed and its
+    /// unfinished runs reissued.  Must exceed the slowest single run.
+    pub lease_timeout_ms: u64,
+    /// Path of the coordinator's merge journal (same format as the
+    /// single-process campaign journal); `None` disables it.
+    pub journal: Option<String>,
+    /// Group-commit threshold for the merge journal.
+    pub journal_commit: usize,
+    /// Resume a half-finished distributed sweep from the merge journal.
+    pub resume: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            chunk: 0,
+            lease_timeout_ms: 30_000,
+            journal: None,
+            journal_commit: crate::campaign::DEFAULT_JOURNAL_COMMIT,
+            resume: false,
+        }
+    }
+}
+
+/// The mutable per-job state every connection handler shares.
+#[derive(Debug, Default)]
+struct CoordState {
+    /// Job generation: bumped once per [`Coordinator::run`], so handlers
+    /// (which survive across jobs) know which campaign a message belongs
+    /// to.
+    gen: u64,
+    /// The encoded `job` message of the current generation, `None`
+    /// between jobs.
+    job_line: Option<String>,
+    fingerprint: u64,
+    chunk: usize,
+    leases: LeaseTable,
+    /// Merged records by run index (pre-filled from a resumed journal).
+    results: Vec<Option<RunRecord>>,
+    /// Unfilled slots left.
+    remaining: usize,
+    /// Records accepted but not yet appended to the merge journal.
+    to_journal: Vec<(usize, RunRecord)>,
+    /// First unrecoverable failure; fails the whole job.
+    fatal: Option<String>,
+    shutdown: bool,
+    ready_workers: usize,
+    ready_threads: usize,
+    peak_workers: usize,
+    peak_threads: usize,
+}
+
+#[derive(Default)]
+struct Shared {
+    state: Mutex<CoordState>,
+    cv: Condvar,
+    owner_seq: AtomicU64,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CoordState> {
+        // Poison-tolerant: a panicking handler must not take the
+        // coordinator (and its Drop-time shutdown) down with it.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wait<'g>(
+        &self,
+        guard: std::sync::MutexGuard<'g, CoordState>,
+        ms: u64,
+    ) -> std::sync::MutexGuard<'g, CoordState> {
+        self.cv
+            .wait_timeout(guard, Duration::from_millis(ms))
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0
+    }
+}
+
+/// The serve-side endpoint: accepts worker connections and runs campaigns
+/// over them.  One coordinator can [`run`](Coordinator::run) any number
+/// of jobs in sequence (the `--matrix` sweep) over the same connected
+/// workers.
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds the listener (e.g. `127.0.0.1:0` for an OS-assigned port)
+    /// and starts accepting workers in the background.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] when the address cannot be bound.
+    pub fn bind(addr: &str) -> Result<Coordinator, DistError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| DistError::Io(format!("cannot bind `{addr}`: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| DistError::Io(e.to_string()))?;
+        let shared = Arc::new(Shared::default());
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.lock().shutdown {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let shared = Arc::clone(&shared);
+                        thread::spawn(move || handle_conn(&shared, stream));
+                    }
+                }
+            })
+        };
+        Ok(Coordinator {
+            shared,
+            addr: local,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0), for workers to connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Dispatches one campaign across the connected workers and blocks
+    /// until every run index has a record (leases reissued around worker
+    /// deaths and stalls as needed), returning the merged result — by
+    /// construction byte-identical, record for record, to the
+    /// single-process `run_campaign` of the same fingerprint.
+    ///
+    /// Blocks until workers connect if none are connected yet.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Journal`] when the merge journal cannot be written or
+    /// does not belong to this campaign; [`DistError::Fatal`] on a
+    /// protocol violation, a fingerprint mismatch, an unknown card
+    /// preset, or a determinism violation between duplicate results.
+    pub fn run(&self, job: &JobSpec, opts: &ServeOptions) -> Result<CampaignResult, DistError> {
+        let card = GpuConfig::preset(&job.card)
+            .ok_or_else(|| DistError::Fatal(format!("unknown card preset `{}`", job.card)))?;
+        let cfg = job.to_config();
+        let fingerprint = campaign_fingerprint(&job.bench, &card.name, &cfg);
+
+        // Merge journal / resume: pre-fill merged slots so only the
+        // missing indices are leased out.
+        let mut prefill: Vec<Option<RunRecord>> = vec![None; job.runs];
+        let mut resumed = 0usize;
+        let journal = match &opts.journal {
+            None => None,
+            Some(path) => {
+                let j = if opts.resume && std::path::Path::new(path).exists() {
+                    let (j, loaded) = RunJournal::resume(path, fingerprint, job.runs)
+                        .map_err(DistError::Journal)?;
+                    for (i, rec) in loaded.into_iter().enumerate() {
+                        if let Some(r) = rec {
+                            prefill[i] = Some(r);
+                            resumed += 1;
+                        }
+                    }
+                    j
+                } else {
+                    RunJournal::create(path, fingerprint, job.runs).map_err(DistError::Journal)?
+                };
+                Some(j.with_group_commit(opts.journal_commit))
+            }
+        };
+        let missing: Vec<usize> = (0..job.runs).filter(|&i| prefill[i].is_none()).collect();
+        let remaining = missing.len();
+        let chunk = if opts.chunk > 0 {
+            opts.chunk
+        } else {
+            (job.runs / 16).clamp(1, 64)
+        };
+
+        let start = Instant::now();
+        let gen = {
+            let mut st = self.shared.lock();
+            st.gen += 1;
+            st.job_line = Some(encode_job(job));
+            st.fingerprint = fingerprint;
+            st.chunk = chunk;
+            st.leases = LeaseTable::new(&missing);
+            st.results = prefill;
+            st.remaining = remaining;
+            st.to_journal.clear();
+            st.fatal = None;
+            st.peak_workers = 0;
+            st.peak_threads = 0;
+            self.shared.cv.notify_all();
+            st.gen
+        };
+
+        // Merge loop: drain accepted records into the journal, reclaim
+        // stalled leases, stop when every slot is filled (or something
+        // fatal happened).  Journal writes happen outside the state lock
+        // so an fsync never stalls result application.
+        let timeout = Duration::from_millis(opts.lease_timeout_ms.max(1));
+        let mut journal_failure: Option<String> = None;
+        loop {
+            let (queue, finished, fatal) = {
+                let mut st = self.shared.lock();
+                let CoordState {
+                    leases, results, ..
+                } = &mut *st;
+                leases.expire(Instant::now(), timeout, &mut |i| results[i].is_some());
+                let queue = std::mem::take(&mut st.to_journal);
+                let finished = st.remaining == 0;
+                let fatal = st.fatal.clone();
+                if queue.is_empty() && !finished && fatal.is_none() {
+                    drop(self.shared.wait(st, 100));
+                }
+                (queue, finished, fatal)
+            };
+            if let Some(j) = &journal {
+                for (i, rec) in &queue {
+                    if let Err(e) = j.append(*i, rec) {
+                        journal_failure.get_or_insert(e);
+                    }
+                }
+            }
+            if journal_failure.is_some() {
+                break;
+            }
+            if let Some(f) = fatal {
+                self.end_job(gen);
+                return Err(DistError::Fatal(f));
+            }
+            // `remaining == 0` means no further result can be accepted,
+            // so the queue taken in the same critical section was the
+            // final one.
+            if finished && queue.is_empty() {
+                break;
+            }
+        }
+        if let Some(j) = &journal {
+            if let Err(e) = j.flush() {
+                journal_failure.get_or_insert(e);
+            }
+        }
+
+        let (merged, reissues, peak_workers, peak_threads) = {
+            let mut st = self.shared.lock();
+            st.job_line = None;
+            self.shared.cv.notify_all();
+            (
+                std::mem::take(&mut st.results),
+                st.leases.reissues(),
+                st.peak_workers,
+                st.peak_threads,
+            )
+        };
+        if let Some(e) = journal_failure {
+            return Err(DistError::Journal(e));
+        }
+
+        // Quiesce: every handler registered for this generation must
+        // deliver its `fin` (and unregister) before the next `run` may
+        // bump the generation — a new job line reaching a worker still
+        // awaiting `fin` is a protocol violation that kills the worker.
+        // Bounded by the lease timeout: a connected-but-wedged worker
+        // that never acknowledged its lease is already considered dead.
+        {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.lock();
+            while st.ready_workers > 0 && Instant::now() < deadline {
+                st = self.shared.wait(st, 200);
+            }
+        }
+
+        let mut records = Vec::with_capacity(job.runs);
+        for (i, slot) in merged.into_iter().enumerate() {
+            match slot {
+                Some(r) => records.push(r),
+                None => {
+                    return Err(DistError::Fatal(format!(
+                        "internal: run {i} has no record after completion"
+                    )))
+                }
+            }
+        }
+        let tally: Tally = records.iter().map(|r| r.effect).collect();
+        let wall = start.elapsed().as_secs_f64();
+        let n = records.len();
+        let applied = records.iter().filter(|r| r.applied).count();
+        let early_exits = records.iter().filter(|r| r.early_exit).count();
+        let restores = records.iter().filter(|r| r.ckpt_skipped_cycles > 0).count();
+        let static_pruned = records
+            .iter()
+            .filter(|r| r.detail == RunDetail::StaticDead)
+            .count();
+        let skipped: u64 = records.iter().map(|r| r.ckpt_skipped_cycles).sum();
+        let rate = |k: usize| if n > 0 { k as f64 / n as f64 } else { 0.0 };
+        // Checkpoint stores are worker-local (each worker records its
+        // own), so those two gauges are not observable here; `panics`
+        // counts the reproduced poison runs visible in the records.
+        let stats = CampaignStats {
+            wall_ms: wall * 1e3,
+            runs_per_sec: if wall > 0.0 { n as f64 / wall } else { 0.0 },
+            threads: peak_threads.max(1),
+            workers: peak_workers.max(1),
+            applied,
+            applied_rate: rate(applied),
+            early_exits,
+            early_exit_rate: rate(early_exits),
+            checkpoints: 0,
+            checkpoint_bytes: 0,
+            restores,
+            mean_skipped_cycles: if n > 0 {
+                skipped as f64 / n as f64
+            } else {
+                0.0
+            },
+            static_pruned,
+            static_pruned_rate: rate(static_pruned),
+            oracle_checked: 0,
+            oracle_verified: 0,
+            oracle_mismatches: 0,
+            panics: records
+                .iter()
+                .filter(|r| r.detail == RunDetail::SimPanic)
+                .count(),
+            retries: 0,
+            resumed,
+            journal_bytes: journal.as_ref().map_or(0, RunJournal::bytes_written),
+            journal_ms: journal.as_ref().map_or(0.0, RunJournal::wall_ms),
+            journal_syncs: journal.as_ref().map_or(0, RunJournal::sync_count),
+            lease_reissues: reissues,
+        };
+        Ok(CampaignResult {
+            spec: cfg.spec.clone(),
+            kernel: cfg.kernel.clone(),
+            tally,
+            records,
+            stats,
+        })
+    }
+
+    /// Clears the current job (error path) so handlers stop serving it.
+    fn end_job(&self, gen: u64) {
+        let mut st = self.shared.lock();
+        if st.gen == gen {
+            st.job_line = None;
+        }
+        self.shared.cv.notify_all();
+    }
+
+    /// Tells every connected worker to disconnect and stops accepting.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            if st.shutdown {
+                return;
+            }
+            st.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts one merged record; duplicates (the reissue race) must match
+/// the already-merged record bit for bit, or the job fails with a
+/// determinism violation.
+fn apply_result(st: &mut CoordState, run: usize, rec: &RunRecord) {
+    if run >= st.results.len() {
+        st.fatal
+            .get_or_insert_with(|| format!("worker reported out-of-range run {run}"));
+        return;
+    }
+    match &st.results[run] {
+        Some(prev) if prev != rec => {
+            st.fatal.get_or_insert_with(|| {
+                format!("determinism violation: run {run} produced two different records")
+            });
+        }
+        Some(_) => {} // benign duplicate after a reissue
+        None => {
+            st.results[run] = Some(*rec);
+            st.remaining -= 1;
+            st.to_journal.push((run, *rec));
+        }
+    }
+}
+
+/// What the lease-acquisition wait decided for a handler.
+enum Next {
+    Lease(u64, usize, usize),
+    Fin,
+    /// The generation moved on under this handler; `fin` the worker back
+    /// to its between-jobs state and catch up.
+    NewGen,
+    /// Shutdown or fatal: release and let the `'jobs` loop deliver the
+    /// verdict.
+    Requeue,
+}
+
+/// One worker connection, served for its whole lifetime (across jobs).
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Reads tick every 200 ms so the handler notices shutdown / job
+    // changes even while idle on the socket.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(stream);
+    let owner = shared.owner_seq.fetch_add(1, Ordering::Relaxed) + 1;
+
+    // Handshake: the worker leads with its thread count.
+    let threads = {
+        let mut abort = || shared.lock().shutdown;
+        match reader.read_line(&mut abort) {
+            Ok(ReadOutcome::Line(l)) => match parse_msg(&l) {
+                Ok(Msg::Hello { threads }) => threads.max(1),
+                _ => return,
+            },
+            _ => return,
+        }
+    };
+
+    // Reclaims the handler's leases and drops its registration — the
+    // common cleanup for every "this worker is gone / job over" path.
+    let release = |registered: &mut bool, fail_leases: bool| {
+        let mut st = shared.lock();
+        if fail_leases {
+            let CoordState {
+                leases, results, ..
+            } = &mut *st;
+            // `results` is empty once `run` has taken the merged slots
+            // (the job is over but this handler raced its cleanup) — a
+            // bounds-safe probe keeps the late requeue harmless.
+            leases.fail_owner(owner, &mut |i| results.get(i).is_some_and(Option::is_some));
+        }
+        if *registered {
+            st.ready_workers -= 1;
+            st.ready_threads -= threads;
+            *registered = false;
+        }
+        shared.cv.notify_all();
+    };
+
+    let mut seen_gen = 0u64;
+    'jobs: loop {
+        // Wait for a job this handler has not served yet.
+        let (gen, job_line, fingerprint) = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    let _ = writer.write_all(encode_shutdown().as_bytes());
+                    return;
+                }
+                if st.gen > seen_gen {
+                    if let Some(line) = st.job_line.clone() {
+                        break (st.gen, line, st.fingerprint);
+                    }
+                }
+                st = shared.wait(st, 200);
+            }
+        };
+        seen_gen = gen;
+        if writer.write_all(job_line.as_bytes()).is_err() {
+            return;
+        }
+
+        // Fingerprint handshake: the worker re-derives the campaign
+        // identity from the job description; a mismatch means the two
+        // sides would merge records of different campaigns.
+        let mut abort = || {
+            let st = shared.lock();
+            st.shutdown || st.gen != gen || st.fatal.is_some()
+        };
+        match reader.read_line(&mut abort) {
+            Ok(ReadOutcome::Line(l)) => match parse_msg(&l) {
+                Ok(Msg::Ready { fingerprint: fp }) if fp == fingerprint => {}
+                Ok(Msg::Ready { fingerprint: fp }) => {
+                    shared.lock().fatal.get_or_insert_with(|| {
+                        format!(
+                            "worker fingerprint {fp:016x} does not match \
+                             coordinator fingerprint {fingerprint:016x}"
+                        )
+                    });
+                    shared.cv.notify_all();
+                    continue 'jobs;
+                }
+                Ok(Msg::Error { reason }) => {
+                    shared
+                        .lock()
+                        .fatal
+                        .get_or_insert_with(|| format!("worker rejected job: {reason}"));
+                    shared.cv.notify_all();
+                    continue 'jobs;
+                }
+                _ => return,
+            },
+            Ok(ReadOutcome::Aborted) => continue 'jobs,
+            Ok(ReadOutcome::Eof) | Err(_) => return,
+        }
+
+        let mut registered = true;
+        {
+            let mut st = shared.lock();
+            if st.gen != gen {
+                // The job ended (or was replaced) while this worker was
+                // getting ready; `fin` hands it back to the between-jobs
+                // state — silence would leave it awaiting a lease when
+                // the next job line arrives.
+                drop(st);
+                let _ = writer.write_all(encode_fin().as_bytes());
+                continue 'jobs;
+            }
+            st.ready_workers += 1;
+            st.ready_threads += threads;
+            st.peak_workers = st.peak_workers.max(st.ready_workers);
+            st.peak_threads = st.peak_threads.max(st.ready_threads);
+        }
+
+        loop {
+            let next = {
+                let mut st = shared.lock();
+                loop {
+                    // A finished job acknowledges with `fin` even when a
+                    // shutdown raced it — the worker deserves credit for a
+                    // completed job before the goodbye.
+                    if st.gen == gen && st.fatal.is_none() && st.remaining == 0 {
+                        break Next::Fin;
+                    }
+                    if st.shutdown || st.fatal.is_some() {
+                        break Next::Requeue;
+                    }
+                    if st.gen != gen {
+                        break Next::NewGen;
+                    }
+                    let chunk = st.chunk;
+                    if let Some((id, s, e)) = st.leases.grant(owner, chunk, Instant::now()) {
+                        break Next::Lease(id, s, e);
+                    }
+                    st = shared.wait(st, 200);
+                }
+            };
+            let (id, s, e) = match next {
+                Next::Requeue => {
+                    release(&mut registered, true);
+                    continue 'jobs;
+                }
+                Next::NewGen => {
+                    release(&mut registered, true);
+                    let _ = writer.write_all(encode_fin().as_bytes());
+                    continue 'jobs;
+                }
+                Next::Fin => {
+                    release(&mut registered, false);
+                    let _ = writer.write_all(encode_fin().as_bytes());
+                    continue 'jobs;
+                }
+                Next::Lease(id, s, e) => (id, s, e),
+            };
+            if writer.write_all(encode_lease(s, e).as_bytes()).is_err() {
+                release(&mut registered, true);
+                return;
+            }
+            // Stream results until the lease's `done`.
+            loop {
+                let mut abort = || {
+                    let st = shared.lock();
+                    st.shutdown || st.gen != gen || st.fatal.is_some()
+                };
+                match reader.read_line(&mut abort) {
+                    Ok(ReadOutcome::Line(l)) => match parse_msg(&l) {
+                        Ok(Msg::Result { run, rec }) => {
+                            let mut st = shared.lock();
+                            if st.gen == gen {
+                                apply_result(&mut st, run, &rec);
+                                st.leases.progress(id, Instant::now());
+                            }
+                            shared.cv.notify_all();
+                        }
+                        Ok(Msg::Done { start, end }) => {
+                            let mut st = shared.lock();
+                            if (start, end) != (s, e) {
+                                st.fatal.get_or_insert_with(|| {
+                                    format!(
+                                        "lease acknowledgement [{start},{end}) does not match \
+                                         the granted range [{s},{e})"
+                                    )
+                                });
+                            } else if st.gen == gen {
+                                st.leases.complete(id);
+                            }
+                            shared.cv.notify_all();
+                            break;
+                        }
+                        Ok(Msg::Error { reason }) => {
+                            shared
+                                .lock()
+                                .fatal
+                                .get_or_insert_with(|| format!("worker failed: {reason}"));
+                            release(&mut registered, true);
+                            continue 'jobs;
+                        }
+                        other => {
+                            shared.lock().fatal.get_or_insert_with(|| {
+                                format!("unexpected message during lease: {other:?}")
+                            });
+                            release(&mut registered, true);
+                            continue 'jobs;
+                        }
+                    },
+                    Ok(ReadOutcome::Aborted) => {
+                        release(&mut registered, true);
+                        continue 'jobs;
+                    }
+                    Ok(ReadOutcome::Eof) | Err(_) => {
+                        release(&mut registered, true);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}

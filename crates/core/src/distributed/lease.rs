@@ -1,0 +1,262 @@
+//! Crash-tolerant range leases over the campaign's run indices.
+//!
+//! The coordinator owns one [`LeaseTable`] per job.  Pending work is a
+//! queue of half-open index ranges; granting a lease splits a chunk off
+//! the front and tracks it with a deadline that refreshes on every
+//! per-run result.  A lease whose owner disconnects or stalls past the
+//! deadline is **reclaimed**: its not-yet-completed indices go back to
+//! the front of the queue for the surviving workers.  Reissue is safe
+//! because results are keyed by run index and each run's RNG derives from
+//! `(campaign seed, run index)` — a run executed twice produces the same
+//! record, which the coordinator verifies on duplicate arrival.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// One outstanding lease: `[start, end)` granted to `owner`.
+#[derive(Debug)]
+struct Lease {
+    id: u64,
+    owner: u64,
+    start: usize,
+    end: usize,
+    /// Refreshed on grant and on every result of the range; the staleness
+    /// clock for expiry.
+    last_progress: Instant,
+}
+
+/// The coordinator's ledger of pending ranges and outstanding leases.
+#[derive(Debug, Default)]
+pub(crate) struct LeaseTable {
+    /// Half-open ranges not yet leased, granted front-first.
+    pending: VecDeque<(usize, usize)>,
+    outstanding: Vec<Lease>,
+    next_id: u64,
+    reissues: usize,
+}
+
+/// Compresses a sorted index list into maximal half-open ranges.
+fn compress(indices: &[usize]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for &i in indices {
+        match ranges.last_mut() {
+            Some((_, end)) if *end == i => *end = i + 1,
+            _ => ranges.push((i, i + 1)),
+        }
+    }
+    ranges
+}
+
+impl LeaseTable {
+    /// A table over the (sorted) run indices still missing a result.
+    pub(crate) fn new(missing: &[usize]) -> LeaseTable {
+        LeaseTable {
+            pending: compress(missing).into(),
+            ..LeaseTable::default()
+        }
+    }
+
+    /// Grants up to `chunk` runs to `owner`, splitting the front pending
+    /// range.  Returns `(lease id, start, end)`, or `None` when no work
+    /// is pending (outstanding leases may still be in flight).
+    pub(crate) fn grant(
+        &mut self,
+        owner: u64,
+        chunk: usize,
+        now: Instant,
+    ) -> Option<(u64, usize, usize)> {
+        let chunk = chunk.max(1);
+        let (start, end) = self.pending.pop_front()?;
+        let granted_end = end.min(start + chunk);
+        if granted_end < end {
+            self.pending.push_front((granted_end, end));
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        self.outstanding.push(Lease {
+            id,
+            owner,
+            start,
+            end: granted_end,
+            last_progress: now,
+        });
+        Some((id, start, granted_end))
+    }
+
+    /// Refreshes lease `id`'s deadline (a result for its range arrived).
+    /// Unknown ids — results for an already-reclaimed lease — are ignored.
+    pub(crate) fn progress(&mut self, id: u64, now: Instant) {
+        if let Some(l) = self.outstanding.iter_mut().find(|l| l.id == id) {
+            l.last_progress = now;
+        }
+    }
+
+    /// Retires lease `id` after its `done` acknowledgement.  Returns
+    /// whether the lease was still outstanding (false after a reclaim).
+    pub(crate) fn complete(&mut self, id: u64) -> bool {
+        let before = self.outstanding.len();
+        self.outstanding.retain(|l| l.id != id);
+        self.outstanding.len() < before
+    }
+
+    /// Reclaims every lease stalled past `timeout` (no result since
+    /// `last_progress`): its indices still missing a result — per `done` —
+    /// return to the *front* of the pending queue.  Returns the number of
+    /// leases reclaimed.
+    pub(crate) fn expire(
+        &mut self,
+        now: Instant,
+        timeout: Duration,
+        done: &mut dyn FnMut(usize) -> bool,
+    ) -> usize {
+        let stale: Vec<usize> = self
+            .outstanding
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| now.duration_since(l.last_progress) >= timeout)
+            .map(|(k, _)| k)
+            .collect();
+        for &k in stale.iter().rev() {
+            let lease = self.outstanding.swap_remove(k);
+            self.requeue(&lease, done);
+        }
+        stale.len()
+    }
+
+    /// Reclaims every lease of `owner` (its connection died).  Returns
+    /// the number of leases reclaimed.
+    pub(crate) fn fail_owner(&mut self, owner: u64, done: &mut dyn FnMut(usize) -> bool) -> usize {
+        let mut reclaimed = 0;
+        while let Some(k) = self.outstanding.iter().position(|l| l.owner == owner) {
+            let lease = self.outstanding.swap_remove(k);
+            self.requeue(&lease, done);
+            reclaimed += 1;
+        }
+        reclaimed
+    }
+
+    fn requeue(&mut self, lease: &Lease, done: &mut dyn FnMut(usize) -> bool) {
+        let missing: Vec<usize> = (lease.start..lease.end).filter(|&i| !done(i)).collect();
+        // Front of the queue: reclaimed work is the oldest, finish it
+        // first so a sweep's tail latency stays bounded.
+        for range in compress(&missing).into_iter().rev() {
+            self.pending.push_front(range);
+        }
+        self.reissues += 1;
+    }
+
+    /// Whether any range is waiting to be granted.
+    #[cfg(test)]
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Total leases reclaimed (stalls + dead owners) over the job.
+    pub(crate) fn reissues(&self) -> usize {
+        self.reissues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_split_ranges_and_drain() {
+        let now = Instant::now();
+        let mut t = LeaseTable::new(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let (a, s, e) = t.grant(1, 3, now).unwrap();
+        assert_eq!((s, e), (0, 3));
+        let (b, s, e) = t.grant(2, 3, now).unwrap();
+        assert_eq!((s, e), (3, 6));
+        let (_c, s, e) = t.grant(1, 3, now).unwrap();
+        assert_eq!((s, e), (6, 8));
+        assert!(t.grant(2, 3, now).is_none());
+        assert!(t.complete(a));
+        assert!(t.complete(b));
+        assert!(!t.complete(a), "double-complete must be a no-op");
+    }
+
+    #[test]
+    fn new_compresses_sparse_missing_indices() {
+        let now = Instant::now();
+        // Holes at 2 and 5 (already journaled): ranges [0,2) [3,5) [6,8).
+        let mut t = LeaseTable::new(&[0, 1, 3, 4, 6, 7]);
+        let mut got = Vec::new();
+        while let Some((_, s, e)) = t.grant(1, 100, now) {
+            got.push((s, e));
+        }
+        assert_eq!(got, vec![(0, 2), (3, 5), (6, 8)]);
+    }
+
+    #[test]
+    fn expiry_reclaims_only_unfinished_indices() {
+        let now = Instant::now();
+        let mut t = LeaseTable::new(&[0, 1, 2, 3]);
+        let (_id, s, e) = t.grant(1, 4, now).unwrap();
+        assert_eq!((s, e), (0, 4));
+        // Runs 0 and 2 reported before the stall.
+        let finished = [0usize, 2];
+        let reclaimed = t.expire(
+            now + Duration::from_secs(60),
+            Duration::from_secs(30),
+            &mut |i| finished.contains(&i),
+        );
+        assert_eq!(reclaimed, 1);
+        assert_eq!(t.reissues(), 1);
+        let (_, s, e) = t.grant(2, 10, now).unwrap();
+        assert_eq!((s, e), (1, 2));
+        let (_, s, e) = t.grant(2, 10, now).unwrap();
+        assert_eq!((s, e), (3, 4));
+    }
+
+    #[test]
+    fn progress_defers_expiry() {
+        let t0 = Instant::now();
+        let mut t = LeaseTable::new(&[0, 1]);
+        let (id, _, _) = t.grant(1, 2, t0).unwrap();
+        t.progress(id, t0 + Duration::from_secs(25));
+        // 26 s after grant but only 1 s after the last result: alive.
+        let n = t.expire(
+            t0 + Duration::from_secs(26),
+            Duration::from_secs(10),
+            &mut |_| false,
+        );
+        assert_eq!(n, 0);
+        let n = t.expire(
+            t0 + Duration::from_secs(40),
+            Duration::from_secs(10),
+            &mut |_| false,
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn fail_owner_requeues_at_the_front() {
+        let now = Instant::now();
+        let mut t = LeaseTable::new(&[0, 1, 2, 3, 4, 5]);
+        let (_a, ..) = t.grant(7, 3, now).unwrap(); // [0,3) to owner 7
+        let (_b, ..) = t.grant(8, 3, now).unwrap(); // [3,6) to owner 8
+        assert!(!t.has_pending());
+        assert_eq!(t.fail_owner(7, &mut |_| false), 1);
+        // Reclaimed range comes back before any fresh work.
+        let (_, s, e) = t.grant(8, 3, now).unwrap();
+        assert_eq!((s, e), (0, 3));
+    }
+
+    #[test]
+    fn reclaimed_results_are_ignored_by_progress() {
+        let now = Instant::now();
+        let mut t = LeaseTable::new(&[0, 1]);
+        let (id, ..) = t.grant(1, 2, now).unwrap();
+        t.expire(
+            now + Duration::from_secs(60),
+            Duration::from_secs(1),
+            &mut |_| false,
+        );
+        // The dead worker's late progress / done must not corrupt state.
+        t.progress(id, now + Duration::from_secs(61));
+        assert!(!t.complete(id));
+        assert!(t.has_pending());
+    }
+}

@@ -1,0 +1,70 @@
+//! # Distributed campaigns: `gpufi serve` / `gpufi worker`
+//!
+//! Shards a campaign's run indices across worker processes (local or
+//! across hosts) with crash-tolerant **range leases**, merging the
+//! streamed results back into the one canonical, byte-identical
+//! CSV/tally.  The design leans entirely on the engine's determinism:
+//!
+//! * every run's RNG derives from `(campaign seed, run index)` — a run
+//!   computes the same record no matter which process executes it, so
+//!   run indices are free to move between workers;
+//! * the campaign **fingerprint** (the journal identity) doubles as the
+//!   wire handshake — a worker re-derives it from the job description
+//!   and the coordinator refuses a mismatch, so two builds or configs
+//!   that would merge different campaigns never exchange a lease;
+//! * the journal's line format doubles as the wire format — a worker's
+//!   `result` message *is* a journal line, and the coordinator's merge
+//!   journal makes `serve --resume` pick up a half-finished distributed
+//!   sweep exactly like a single-process `--resume`.
+//!
+//! Failure story (the supervisor's crash-safety lifted one level): every
+//! lease has a deadline refreshed by per-run results.  A worker that
+//! disconnects or stalls has its unfinished indices reissued to the
+//! survivors; duplicated results from the reissue race are verified
+//! bit-identical (a free end-to-end determinism check).  See the
+//! "Distributed campaigns" section of `DESIGN.md` for the full protocol
+//! and failure matrix.
+
+mod coordinator;
+mod lease;
+mod net;
+mod protocol;
+mod worker;
+
+pub use coordinator::{Coordinator, ServeOptions};
+pub use protocol::JobSpec;
+pub use worker::{run_worker, WorkerOptions, WorkerReport};
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a coordinator or worker gave up.
+#[derive(Debug)]
+pub enum DistError {
+    /// Socket-level failure (bind, connect, read, write).
+    Io(String),
+    /// Protocol violation, fingerprint mismatch, unknown bench/card, or
+    /// a determinism violation between duplicate results.
+    Fatal(String),
+    /// The coordinator's merge journal could not be written or belongs
+    /// to a different campaign.
+    Journal(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "i/o error: {e}"),
+            DistError::Fatal(e) => write!(f, "{e}"),
+            DistError::Journal(e) => write!(f, "merge journal error: {e}"),
+        }
+    }
+}
+
+impl Error for DistError {}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> DistError {
+        DistError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal line framing over a `TcpStream`.
+//!
+//! `BufReader::read_line` cannot be safely retried across a read timeout
+//! (a partial line stays in the caller's buffer), so the coordinator uses
+//! this reader instead: bytes accumulate internally, a line is only
+//! surfaced once its `\n` arrived, and timeout ticks invoke an abort
+//! probe so a blocked handler still notices shutdown or job changes.
+
+use std::io::{ErrorKind, Read};
+use std::net::TcpStream;
+
+/// What one `read_line` call produced.
+pub(crate) enum ReadOutcome {
+    /// A complete line (terminator included).
+    Line(String),
+    /// The peer closed the connection.
+    Eof,
+    /// The abort probe fired before a full line arrived.
+    Aborted,
+}
+
+/// A `TcpStream` line reader that survives read timeouts.
+pub(crate) struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    pub(crate) fn new(stream: TcpStream) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Blocks until a full line, EOF, or `abort()` returning true at a
+    /// read-timeout tick (streams without a read timeout never tick, so
+    /// their `abort` is only consulted once per call).
+    pub(crate) fn read_line(
+        &mut self,
+        abort: &mut dyn FnMut() -> bool,
+    ) -> std::io::Result<ReadOutcome> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Ok(ReadOutcome::Line(
+                    String::from_utf8_lossy(&line).into_owned(),
+                ));
+            }
+            if abort() {
+                return Ok(ReadOutcome::Aborted);
+            }
+            let mut tmp = [0u8; 4096];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! The line-delimited JSON wire protocol between `gpufi serve` and
+//! `gpufi worker`.
+//!
+//! Every message is one JSON object on one line, built and parsed with the
+//! same plain field scans the crash-safe journal uses (`json_field` in the
+//! supervisor) — no JSON dependency, and the `result` message embeds
+//! exactly the journal's record fields, so a result line *is* a journal
+//! line with a `type` tag in front.
+//!
+//! Values never contain `,`, `{`, `}` or `"`; free-text reasons are
+//! sanitized on encode.
+
+use crate::campaign::{CampaignConfig, RunRecord};
+use crate::supervisor::{json_field, parse_record_line, record_line};
+use gpufi_faults::{CampaignSpec, MultiBitMode, Structure};
+use gpufi_sim::Scope;
+
+/// One campaign, as the coordinator describes it to a worker: the full
+/// record-determining parameter set (everything the campaign fingerprint
+/// hashes), with the card as a **preset key** (`rtx2060`, `gv100`,
+/// `titan`) — workers resolve the preset locally, so a job description
+/// stays a one-line message rather than a config file transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark name (resolved by the worker's workload registry).
+    pub bench: String,
+    /// Card preset key.
+    pub card: String,
+    /// The fault shape.
+    pub spec: CampaignSpec,
+    /// Number of injection runs.
+    pub runs: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Target static kernel, or `None` for the whole application.
+    pub kernel: Option<String>,
+    /// Fault-lifetime early exit enabled.
+    pub early_exit: bool,
+    /// Checkpoint forking enabled.
+    pub checkpoints: bool,
+    /// Checkpoint stride in cycles (`0` = auto).
+    pub checkpoint_interval: u64,
+    /// Checkpoint store memory budget in bytes.
+    pub checkpoint_budget: usize,
+    /// Injection cycle restriction, `None` = whole golden run.
+    pub cycle_window: Option<(u64, u64)>,
+    /// Static dead-register pruning enabled.
+    pub static_prune: bool,
+    /// Per-run wall-clock watchdog in milliseconds (`0` = off).
+    pub max_run_ms: u64,
+}
+
+impl JobSpec {
+    /// Describes `cfg` (a campaign on `bench` and card preset `card`) as a
+    /// distributable job.  Journal/resume/threads settings deliberately do
+    /// not travel: they are local to each side, exactly as they are
+    /// excluded from the campaign fingerprint.
+    pub fn from_config(bench: &str, card: &str, cfg: &CampaignConfig) -> JobSpec {
+        JobSpec {
+            bench: bench.to_string(),
+            card: card.to_string(),
+            spec: cfg.spec.clone(),
+            runs: cfg.runs,
+            seed: cfg.seed,
+            kernel: cfg.kernel.clone(),
+            early_exit: cfg.early_exit,
+            checkpoints: cfg.checkpoints,
+            checkpoint_interval: cfg.checkpoint_interval,
+            checkpoint_budget: cfg.checkpoint_budget,
+            cycle_window: cfg.cycle_window,
+            static_prune: cfg.static_prune,
+            max_run_ms: cfg.max_run_ms,
+        }
+    }
+
+    /// Reconstructs the campaign config this job describes.  Both sides
+    /// derive the fingerprint from this — identical inputs, identical
+    /// hash — which is what the worker's `ready` handshake verifies.
+    pub fn to_config(&self) -> CampaignConfig {
+        let mut cfg = CampaignConfig::new(self.spec.clone(), self.runs, self.seed);
+        cfg.kernel = self.kernel.clone();
+        cfg.early_exit = self.early_exit;
+        cfg.checkpoints = self.checkpoints;
+        cfg.checkpoint_interval = self.checkpoint_interval;
+        cfg.checkpoint_budget = self.checkpoint_budget;
+        cfg.cycle_window = self.cycle_window;
+        cfg.static_prune = self.static_prune;
+        cfg.max_run_ms = self.max_run_ms;
+        cfg
+    }
+}
+
+/// Canonical short code of a structure (the CLI's `--structure` codes).
+pub(crate) fn structure_code(s: Structure) -> &'static str {
+    match s {
+        Structure::RegisterFile => "rf",
+        Structure::LocalMemory => "local",
+        Structure::SharedMemory => "shared",
+        Structure::L1Data => "l1d",
+        Structure::L1Tex => "l1t",
+        Structure::L1Const => "l1c",
+        Structure::L2 => "l2",
+    }
+}
+
+fn structure_from(code: &str) -> Option<Structure> {
+    Some(match code {
+        "rf" => Structure::RegisterFile,
+        "local" => Structure::LocalMemory,
+        "shared" => Structure::SharedMemory,
+        "l1d" => Structure::L1Data,
+        "l1t" => Structure::L1Tex,
+        "l1c" => Structure::L1Const,
+        "l2" => Structure::L2,
+        _ => return None,
+    })
+}
+
+/// Strips every character that would break the one-line field-scan format
+/// out of a free-text value (panic payloads, io error strings).
+pub(crate) fn sanitize(reason: &str) -> String {
+    reason
+        .chars()
+        .filter(|c| !matches!(c, ',' | '{' | '}' | '"' | '\n' | '\r'))
+        .take(200)
+        .collect()
+}
+
+/// A parsed protocol message (either direction).
+#[derive(Debug)]
+pub(crate) enum Msg {
+    /// Worker → coordinator, once per connection: announce thread count.
+    Hello {
+        /// Worker threads the sender will run leases on.
+        threads: usize,
+    },
+    /// Coordinator → worker: the next campaign to execute.
+    Job(Box<JobSpec>),
+    /// Worker → coordinator: job accepted, fingerprint computed locally.
+    Ready {
+        /// The worker's locally computed campaign fingerprint.
+        fingerprint: u64,
+    },
+    /// Coordinator → worker: execute runs `[start, end)`.
+    Lease {
+        /// First run index of the lease.
+        start: usize,
+        /// One past the last run index.
+        end: usize,
+    },
+    /// Worker → coordinator: one completed run of the current lease.
+    Result {
+        /// Run index.
+        run: usize,
+        /// The run's record (journal-identical fields).
+        rec: RunRecord,
+    },
+    /// Worker → coordinator: every run of the lease has been reported.
+    Done {
+        /// Leased range start (echo).
+        start: usize,
+        /// Leased range end (echo).
+        end: usize,
+    },
+    /// Coordinator → worker: the current job is complete.
+    Fin,
+    /// Coordinator → worker: no more jobs; disconnect.
+    Shutdown,
+    /// Either direction: unrecoverable failure, with a sanitized reason.
+    Error {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+pub(crate) fn encode_hello(threads: usize) -> String {
+    format!("{{\"type\":\"hello\",\"threads\":{threads}}}\n")
+}
+
+pub(crate) fn encode_job(job: &JobSpec) -> String {
+    let mut line = format!(
+        "{{\"type\":\"job\",\"bench\":\"{}\",\"card\":\"{}\",\"structure\":\"{}\",\
+         \"scope\":\"{}\",\"bits\":{},\"mode\":\"{}\",\"replicate\":{},\"runs\":{},\"seed\":{}",
+        job.bench,
+        job.card,
+        structure_code(job.spec.structure),
+        match job.spec.scope {
+            Scope::Thread => "thread",
+            Scope::Warp => "warp",
+        },
+        job.spec.bits_per_fault,
+        match job.spec.multi_bit {
+            MultiBitMode::SameEntry => "same",
+            MultiBitMode::Spread => "spread",
+        },
+        job.spec.replicate,
+        job.runs,
+        job.seed,
+    );
+    if let Some(k) = &job.kernel {
+        line.push_str(&format!(",\"kernel\":\"{k}\""));
+    }
+    if let Some((lo, hi)) = job.cycle_window {
+        line.push_str(&format!(",\"window\":\"{lo}:{hi}\""));
+    }
+    line.push_str(&format!(
+        ",\"early_exit\":{},\"checkpoints\":{},\"interval\":{},\"budget\":{},\
+         \"static_prune\":{},\"max_run_ms\":{}}}\n",
+        job.early_exit,
+        job.checkpoints,
+        job.checkpoint_interval,
+        job.checkpoint_budget,
+        job.static_prune,
+        job.max_run_ms,
+    ));
+    line
+}
+
+pub(crate) fn encode_ready(fingerprint: u64) -> String {
+    format!("{{\"type\":\"ready\",\"fingerprint\":\"{fingerprint:016x}\"}}\n")
+}
+
+pub(crate) fn encode_lease(start: usize, end: usize) -> String {
+    format!("{{\"type\":\"lease\",\"start\":{start},\"end\":{end}}}\n")
+}
+
+/// A `result` message is the journal's record line with a `type` tag
+/// spliced in front — the coordinator can parse it with the same scanner.
+pub(crate) fn encode_result(run: usize, rec: &RunRecord) -> String {
+    format!("{{\"type\":\"result\",{}", &record_line(run, rec)[1..])
+}
+
+pub(crate) fn encode_done(start: usize, end: usize) -> String {
+    format!("{{\"type\":\"done\",\"start\":{start},\"end\":{end}}}\n")
+}
+
+pub(crate) fn encode_fin() -> String {
+    "{\"type\":\"fin\"}\n".to_string()
+}
+
+pub(crate) fn encode_shutdown() -> String {
+    "{\"type\":\"shutdown\"}\n".to_string()
+}
+
+pub(crate) fn encode_error(reason: &str) -> String {
+    format!(
+        "{{\"type\":\"error\",\"reason\":\"{}\"}}\n",
+        sanitize(reason)
+    )
+}
+
+fn parse_bool(v: &str) -> Option<bool> {
+    match v {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+fn parse_job(line: &str) -> Option<JobSpec> {
+    let structure = structure_from(json_field(line, "structure")?)?;
+    let mut spec = CampaignSpec::new(structure);
+    spec.scope = match json_field(line, "scope")? {
+        "thread" => Scope::Thread,
+        "warp" => Scope::Warp,
+        _ => return None,
+    };
+    spec.bits_per_fault = json_field(line, "bits")?.parse().ok()?;
+    spec.multi_bit = match json_field(line, "mode")? {
+        "same" => MultiBitMode::SameEntry,
+        "spread" => MultiBitMode::Spread,
+        _ => return None,
+    };
+    spec.replicate = json_field(line, "replicate")?.parse().ok()?;
+    let cycle_window = match json_field(line, "window") {
+        None => None,
+        Some(w) => {
+            let (lo, hi) = w.split_once(':')?;
+            Some((lo.parse().ok()?, hi.parse().ok()?))
+        }
+    };
+    Some(JobSpec {
+        bench: json_field(line, "bench")?.to_string(),
+        card: json_field(line, "card")?.to_string(),
+        spec,
+        runs: json_field(line, "runs")?.parse().ok()?,
+        seed: json_field(line, "seed")?.parse().ok()?,
+        kernel: json_field(line, "kernel").map(str::to_string),
+        early_exit: parse_bool(json_field(line, "early_exit")?)?,
+        checkpoints: parse_bool(json_field(line, "checkpoints")?)?,
+        checkpoint_interval: json_field(line, "interval")?.parse().ok()?,
+        checkpoint_budget: json_field(line, "budget")?.parse().ok()?,
+        cycle_window,
+        static_prune: parse_bool(json_field(line, "static_prune")?)?,
+        max_run_ms: json_field(line, "max_run_ms")?.parse().ok()?,
+    })
+}
+
+/// Parses one wire line into a [`Msg`].
+///
+/// # Errors
+///
+/// Returns the offending line (truncated) when it is not a well-formed
+/// protocol message — a framing bug, never expected in operation.
+pub(crate) fn parse_msg(line: &str) -> Result<Msg, String> {
+    let line = line.trim_end_matches(['\n', '\r']);
+    let bad = || format!("malformed protocol line: `{}`", sanitize(line));
+    let ty = json_field(line, "type").ok_or_else(bad)?;
+    match ty {
+        "hello" => Ok(Msg::Hello {
+            threads: json_field(line, "threads")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(bad)?,
+        }),
+        "job" => Ok(Msg::Job(Box::new(parse_job(line).ok_or_else(bad)?))),
+        "ready" => Ok(Msg::Ready {
+            fingerprint: json_field(line, "fingerprint")
+                .and_then(|v| u64::from_str_radix(v, 16).ok())
+                .ok_or_else(bad)?,
+        }),
+        "lease" => Ok(Msg::Lease {
+            start: json_field(line, "start")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(bad)?,
+            end: json_field(line, "end")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(bad)?,
+        }),
+        "result" => {
+            let (run, rec) = parse_record_line(line).ok_or_else(bad)?;
+            Ok(Msg::Result { run, rec })
+        }
+        "done" => Ok(Msg::Done {
+            start: json_field(line, "start")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(bad)?,
+            end: json_field(line, "end")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(bad)?,
+        }),
+        "fin" => Ok(Msg::Fin),
+        "shutdown" => Ok(Msg::Shutdown),
+        "error" => Ok(Msg::Error {
+            reason: json_field(line, "reason").unwrap_or("unknown").to_string(),
+        }),
+        other => Err(format!(
+            "unknown protocol message type `{}`",
+            sanitize(other)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::RunDetail;
+    use gpufi_metrics::FaultEffect;
+
+    fn job() -> JobSpec {
+        let mut cfg = CampaignConfig::new(CampaignSpec::new(Structure::L1Data), 240, 7);
+        cfg.kernel = Some("fan1".into());
+        cfg.cycle_window = Some((100, 900));
+        cfg.spec.bits_per_fault = 3;
+        cfg.spec.multi_bit = MultiBitMode::Spread;
+        cfg.spec.scope = Scope::Warp;
+        cfg.early_exit = false;
+        cfg.max_run_ms = 5000;
+        JobSpec::from_config("GE", "rtx2060", &cfg)
+    }
+
+    #[test]
+    fn job_round_trips_through_the_wire() {
+        let j = job();
+        let line = encode_job(&j);
+        match parse_msg(&line).unwrap() {
+            Msg::Job(parsed) => assert_eq!(*parsed, j),
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_without_kernel_or_window_round_trips() {
+        let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 16, 1);
+        let j = JobSpec::from_config("SP", "titan", &cfg);
+        match parse_msg(&encode_job(&j)).unwrap() {
+            Msg::Job(parsed) => {
+                assert_eq!(*parsed, j);
+                assert_eq!(parsed.kernel, None);
+                assert_eq!(parsed.cycle_window, None);
+            }
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_config_round_trips_the_fingerprint_inputs() {
+        let j = job();
+        let cfg = j.to_config();
+        assert_eq!(JobSpec::from_config("GE", "rtx2060", &cfg), j);
+    }
+
+    #[test]
+    fn result_message_round_trips_a_record() {
+        let rec = RunRecord {
+            effect: FaultEffect::Sdc,
+            cycles: 12345,
+            applied: true,
+            early_exit: false,
+            ckpt_skipped_cycles: 678,
+            detail: RunDetail::None,
+        };
+        let line = encode_result(42, &rec);
+        match parse_msg(&line).unwrap() {
+            Msg::Result { run, rec: parsed } => {
+                assert_eq!(run, 42);
+                assert_eq!(parsed, rec);
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        assert!(matches!(
+            parse_msg(&encode_hello(4)).unwrap(),
+            Msg::Hello { threads: 4 }
+        ));
+        assert!(matches!(
+            parse_msg(&encode_ready(0xdead_beef)).unwrap(),
+            Msg::Ready {
+                fingerprint: 0xdead_beef
+            }
+        ));
+        assert!(matches!(
+            parse_msg(&encode_lease(10, 25)).unwrap(),
+            Msg::Lease { start: 10, end: 25 }
+        ));
+        assert!(matches!(
+            parse_msg(&encode_done(10, 25)).unwrap(),
+            Msg::Done { start: 10, end: 25 }
+        ));
+        assert!(matches!(parse_msg(&encode_fin()).unwrap(), Msg::Fin));
+        assert!(matches!(
+            parse_msg(&encode_shutdown()).unwrap(),
+            Msg::Shutdown
+        ));
+    }
+
+    #[test]
+    fn error_reasons_are_sanitized() {
+        let line = encode_error("bad, {\"thing\"}\nhappened");
+        match parse_msg(&line).unwrap() {
+            Msg::Error { reason } => assert_eq!(reason, "bad thinghappened"),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        assert!(parse_msg("garbage").is_err());
+        assert!(parse_msg("{\"type\":\"nope\"}").is_err());
+        assert!(parse_msg("{\"type\":\"lease\",\"start\":5}").is_err());
+    }
+}

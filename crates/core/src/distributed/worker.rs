@@ -1,0 +1,258 @@
+//! The lease-executing side of a distributed campaign (`gpufi worker`).
+//!
+//! A worker connects to a coordinator, announces its thread count, and
+//! then serves jobs: for each it resolves the benchmark and card preset
+//! locally, profiles the golden run, re-derives the campaign fingerprint
+//! (the handshake that proves both sides describe the same campaign),
+//! records its own checkpoint store once, and executes leases with the
+//! full single-process engine — early exit, checkpoint forking, static
+//! pruning and panic supervision all compose unchanged.  Every completed
+//! run streams back immediately as one journal-format line, so a worker
+//! killed mid-lease has still delivered everything it finished.
+
+use super::net::{LineReader, ReadOutcome};
+use super::protocol::{
+    encode_done, encode_error, encode_hello, encode_ready, encode_result, parse_msg, JobSpec, Msg,
+};
+use super::DistError;
+use crate::campaign::{CampaignEngine, RunPlan, RunRecord};
+use crate::profile::{profile, GoldenProfile};
+use crate::supervisor::campaign_fingerprint;
+use crate::workload::Workload;
+use gpufi_sim::GpuConfig;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps a benchmark name to a workload.  The core crate cannot depend on
+/// the workload registry (it is layered the other way around), so the
+/// caller supplies the lookup — the CLI passes `gpufi_workloads::by_name`.
+pub type WorkloadResolver<'a> = &'a (dyn Fn(&str) -> Option<Box<dyn Workload>> + Sync);
+
+/// How a worker process runs.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Engine threads per lease (`0` = 1).
+    pub threads: usize,
+    /// Test-only chaos switch: silently drop the connection after this
+    /// many streamed results, emulating a worker killed mid-lease.
+    pub fail_after_results: Option<usize>,
+}
+
+/// What a worker did over one connection, for logging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Jobs served to completion.
+    pub jobs: usize,
+    /// Leases executed.
+    pub leases: usize,
+    /// Runs executed (including statically pruned ones).
+    pub runs: usize,
+}
+
+/// Connects to a coordinator at `addr` and serves jobs until it says
+/// shutdown (or the connection drops).
+///
+/// # Errors
+///
+/// [`DistError::Io`] when the connection fails or drops mid-lease;
+/// [`DistError::Fatal`] when a job cannot be executed (unknown benchmark
+/// or card, profiling failure, draw error) — the same reason is reported
+/// to the coordinator first, so the whole sweep fails loudly rather than
+/// hanging.
+pub fn run_worker(
+    addr: &str,
+    opts: &WorkerOptions,
+    resolve: WorkloadResolver<'_>,
+) -> Result<WorkerReport, DistError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| DistError::Io(format!("cannot connect to coordinator at `{addr}`: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let writer = Mutex::new(
+        stream
+            .try_clone()
+            .map_err(|e| DistError::Io(e.to_string()))?,
+    );
+    let mut reader = LineReader::new(stream);
+    let threads = opts.threads.max(1);
+    send(&writer, &encode_hello(threads))?;
+
+    let mut report = WorkerReport::default();
+    // Golden profiles are campaign-independent (bench + card only), so a
+    // matrix sweep of S structures over the same benchmark profiles once,
+    // not S times, per worker.
+    let mut profiles: HashMap<String, GoldenProfile> = HashMap::new();
+    let mut never = || false;
+    // Between jobs the connection is idle; the coordinator tearing it
+    // down (exit, reset) is equivalent to an explicit shutdown.
+    while let Ok(outcome) = reader.read_line(&mut never) {
+        match outcome {
+            ReadOutcome::Eof => break,
+            ReadOutcome::Aborted => unreachable!("worker reads have no abort probe"),
+            ReadOutcome::Line(l) => match parse_msg(&l).map_err(DistError::Fatal)? {
+                Msg::Shutdown => break,
+                Msg::Job(job) => {
+                    if !serve_job(
+                        &job,
+                        opts,
+                        resolve,
+                        &writer,
+                        &mut reader,
+                        &mut report,
+                        &mut profiles,
+                    )? {
+                        break;
+                    }
+                    report.jobs += 1;
+                }
+                other => {
+                    return Err(DistError::Fatal(format!(
+                        "unexpected message awaiting a job: {other:?}"
+                    )))
+                }
+            },
+        }
+    }
+    Ok(report)
+}
+
+fn send(writer: &Mutex<TcpStream>, line: &str) -> Result<(), DistError> {
+    writer
+        .lock()
+        .expect("worker writer lock poisoned")
+        .write_all(line.as_bytes())
+        .map_err(|e| DistError::Io(format!("coordinator connection lost: {e}")))
+}
+
+/// Reports a job-fatal reason to the coordinator (so the sweep fails with
+/// the cause, not a silent hang) and returns it as this side's error.
+fn reject(writer: &Mutex<TcpStream>, reason: String) -> DistError {
+    let _ = send(writer, &encode_error(&reason));
+    DistError::Fatal(reason)
+}
+
+/// Serves one job: handshake, then leases until `fin`.  Returns `false`
+/// when the coordinator said shutdown mid-job.
+fn serve_job(
+    job: &JobSpec,
+    opts: &WorkerOptions,
+    resolve: WorkloadResolver<'_>,
+    writer: &Mutex<TcpStream>,
+    reader: &mut LineReader,
+    report: &mut WorkerReport,
+    profiles: &mut HashMap<String, GoldenProfile>,
+) -> Result<bool, DistError> {
+    let workload = resolve(&job.bench)
+        .ok_or_else(|| reject(writer, format!("unknown benchmark `{}`", job.bench)))?;
+    let card = GpuConfig::preset(&job.card)
+        .ok_or_else(|| reject(writer, format!("unknown card preset `{}`", job.card)))?;
+    let cfg = job.to_config();
+    let profile_key = format!("{}|{}", job.bench, job.card);
+    if !profiles.contains_key(&profile_key) {
+        let golden = profile(workload.as_ref(), &card)
+            .map_err(|e| reject(writer, format!("profiling failed: {e}")))?;
+        profiles.insert(profile_key.clone(), golden);
+    }
+    let golden = &profiles[&profile_key];
+    let fingerprint = campaign_fingerprint(workload.name(), &card.name, &cfg);
+    let mut engine = CampaignEngine::prepare(workload.as_ref(), &card, &cfg, golden)
+        .map_err(|e| reject(writer, format!("cannot prepare campaign: {e}")))?;
+    send(writer, &encode_ready(fingerprint))?;
+
+    // Chaos switch bookkeeping (see `WorkerOptions::fail_after_results`).
+    let sent = AtomicUsize::new(0);
+    let chaos_tripped = || {
+        opts.fail_after_results
+            .is_some_and(|limit| sent.load(Ordering::Relaxed) >= limit)
+    };
+    // The engine's worker threads stream results concurrently; the first
+    // write failure is latched and surfaced after the lease.
+    let stream_err: Mutex<Option<String>> = Mutex::new(None);
+    let emit = |run: usize, rec: &RunRecord| {
+        if let Some(limit) = opts.fail_after_results {
+            if sent.fetch_add(1, Ordering::Relaxed) >= limit {
+                // Emulate SIGKILL: drop the connection without a word.
+                let _ = writer
+                    .lock()
+                    .expect("worker writer lock poisoned")
+                    .shutdown(Shutdown::Both);
+                return;
+            }
+        }
+        if let Err(e) = writer
+            .lock()
+            .expect("worker writer lock poisoned")
+            .write_all(encode_result(run, rec).as_bytes())
+        {
+            stream_err
+                .lock()
+                .expect("stream error lock poisoned")
+                .get_or_insert(e.to_string());
+        }
+    };
+
+    let mut never = || false;
+    loop {
+        match reader.read_line(&mut never)? {
+            ReadOutcome::Eof => {
+                if chaos_tripped() {
+                    return Err(DistError::Fatal(
+                        "chaos: connection dropped on purpose".into(),
+                    ));
+                }
+                return Err(DistError::Io(
+                    "coordinator closed the connection mid-job".into(),
+                ));
+            }
+            ReadOutcome::Aborted => unreachable!("worker reads have no abort probe"),
+            ReadOutcome::Line(l) => match parse_msg(&l).map_err(DistError::Fatal)? {
+                Msg::Fin => return Ok(true),
+                Msg::Shutdown => return Ok(false),
+                Msg::Lease { start, end } => {
+                    // The checkpoint store records on the first lease and
+                    // is reused for the rest of the job.
+                    engine.build_store();
+                    let indices: Vec<usize> = (start..end).collect();
+                    let plans = engine
+                        .draw_plans(&indices)
+                        .map_err(|e| reject(writer, format!("plan draw failed: {e}")))?;
+                    let mut work: Vec<(usize, RunPlan)> = Vec::with_capacity(plans.len());
+                    for (&i, plan) in indices.iter().zip(plans) {
+                        if engine.is_static_dead(&plan) {
+                            emit(i, &engine.pruned_record());
+                        } else {
+                            work.push((i, plan));
+                        }
+                    }
+                    engine.execute(&work, threads_of(opts, work.len()), None, None, Some(&emit));
+                    if chaos_tripped() {
+                        return Err(DistError::Fatal(
+                            "chaos: connection dropped on purpose".into(),
+                        ));
+                    }
+                    if let Some(e) = stream_err
+                        .lock()
+                        .expect("stream error lock poisoned")
+                        .take()
+                    {
+                        return Err(DistError::Io(format!("coordinator connection lost: {e}")));
+                    }
+                    send(writer, &encode_done(start, end))?;
+                    report.leases += 1;
+                    report.runs += end.saturating_sub(start);
+                }
+                other => {
+                    return Err(DistError::Fatal(format!(
+                        "unexpected message during job: {other:?}"
+                    )))
+                }
+            },
+        }
+    }
+}
+
+fn threads_of(opts: &WorkerOptions, work: usize) -> usize {
+    opts.threads.max(1).min(work.max(1))
+}

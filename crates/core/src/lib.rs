@@ -61,6 +61,7 @@
 mod analysis;
 mod campaign;
 mod classify;
+pub mod distributed;
 mod profile;
 mod report;
 mod supervisor;
@@ -71,9 +72,12 @@ pub use analysis::{
 };
 pub use campaign::{
     run_campaign, run_campaign_with_hook, CampaignConfig, CampaignError, CampaignResult,
-    CampaignStats, FaultHook, RunRecord, DEFAULT_CHECKPOINT_BUDGET,
+    CampaignStats, FaultHook, RunRecord, DEFAULT_CHECKPOINT_BUDGET, DEFAULT_JOURNAL_COMMIT,
 };
 pub use classify::{classify, detail_of, RunDetail};
+pub use distributed::{
+    run_worker, Coordinator, DistError, JobSpec, ServeOptions, WorkerOptions, WorkerReport,
+};
 pub use profile::{profile, GoldenProfile};
 pub use report::{analysis_csv, campaign_csv, campaign_summary_csv, CAMPAIGN_CSV_HEADER};
 pub use supervisor::{campaign_fingerprint, RunJournal};

@@ -54,9 +54,10 @@ pub use gpufi_workloads as workloads;
 pub mod prelude {
     pub use gpufi_core::{
         analyze, analyze_with_golden, campaign_fingerprint, classify, detail_of, profile,
-        run_campaign, run_campaign_with_hook, AnalysisConfig, AppAnalysis, CampaignConfig,
-        CampaignError, CampaignResult, CampaignStats, FaultHook, GoldenProfile, RunDetail,
-        RunJournal, RunRecord, Workload, WorkloadError,
+        run_campaign, run_campaign_with_hook, run_worker, AnalysisConfig, AppAnalysis,
+        CampaignConfig, CampaignError, CampaignResult, CampaignStats, Coordinator, DistError,
+        FaultHook, GoldenProfile, JobSpec, RunDetail, RunJournal, RunRecord, ServeOptions,
+        WorkerOptions, WorkerReport, Workload, WorkloadError,
     };
     pub use gpufi_faults::{CampaignSpec, MaskGenerator, MultiBitMode, Structure};
     pub use gpufi_isa::Module;

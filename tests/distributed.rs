@@ -1,0 +1,258 @@
+//! Validation of the distributed campaign service: sharding a campaign's
+//! run indices across worker processes over range leases must never change
+//! what the campaign concludes — the merged result is byte-identical,
+//! record for record, to the single-process engine — even when workers
+//! die mid-lease or the coordinator resumes from a torn merge journal.
+
+use gpufi::core::campaign_csv;
+use gpufi::prelude::*;
+use std::thread;
+
+fn resolver(name: &str) -> Option<Box<dyn Workload>> {
+    gpufi::workloads::by_name(name)
+}
+
+/// Runs `job` on a fresh coordinator with `workers` in-process workers
+/// (each its own thread, connecting over real TCP) and returns the merged
+/// result plus each worker's outcome.
+fn run_distributed(
+    job: &JobSpec,
+    opts: &ServeOptions,
+    workers: Vec<WorkerOptions>,
+) -> (CampaignResult, Vec<Result<WorkerReport, DistError>>) {
+    let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.addr().to_string();
+    let handles: Vec<_> = workers
+        .into_iter()
+        .map(|w| {
+            let addr = addr.clone();
+            thread::spawn(move || run_worker(&addr, &w, &resolver))
+        })
+        .collect();
+    let result = coordinator.run(job, opts).unwrap();
+    coordinator.shutdown();
+    let reports = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    (result, reports)
+}
+
+/// The acceptance bar: a GE register-file campaign sharded across two
+/// local workers merges into the exact records, tally and CSV of the
+/// single-process run — per-run determinism survives distribution.
+#[test]
+fn two_workers_match_serial_byte_identically() {
+    let workload = resolver("GE").unwrap();
+    let card = GpuConfig::rtx2060();
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 40, 13);
+    let golden = profile(workload.as_ref(), &card).unwrap();
+    let serial = run_campaign(workload.as_ref(), &card, &cfg, &golden).unwrap();
+
+    let job = JobSpec::from_config("GE", "rtx2060", &cfg);
+    let (merged, reports) = run_distributed(
+        &job,
+        &ServeOptions::default(),
+        vec![WorkerOptions::default(), WorkerOptions::default()],
+    );
+
+    assert_eq!(merged.records, serial.records, "records diverge");
+    assert_eq!(merged.tally, serial.tally, "tallies diverge");
+    assert_eq!(
+        campaign_csv(&merged),
+        campaign_csv(&serial),
+        "CSV not byte-identical"
+    );
+    assert_eq!(merged.stats.workers, 2, "both workers must register");
+    assert_eq!(merged.stats.lease_reissues, 0);
+    let total_runs: usize = reports.iter().map(|r| r.as_ref().unwrap().runs).sum();
+    assert_eq!(total_runs, 40, "every run executed exactly once");
+    for r in &reports {
+        assert!(r.as_ref().unwrap().leases > 0, "a worker sat idle");
+    }
+}
+
+/// A worker that silently drops its connection mid-lease (the in-process
+/// stand-in for SIGKILL) loses nothing: its unfinished indices are
+/// reissued to the survivor and the merged result is still bit-identical.
+#[test]
+fn dead_worker_leases_are_reissued_without_loss() {
+    let workload = resolver("VA").unwrap();
+    let card = GpuConfig::rtx2060();
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 60, 5);
+    let golden = profile(workload.as_ref(), &card).unwrap();
+    let serial = run_campaign(workload.as_ref(), &card, &cfg, &golden).unwrap();
+
+    let job = JobSpec::from_config("VA", "rtx2060", &cfg);
+    let chaos = WorkerOptions {
+        fail_after_results: Some(3),
+        ..WorkerOptions::default()
+    };
+    let (merged, reports) = run_distributed(
+        &job,
+        &ServeOptions::default(),
+        vec![chaos, WorkerOptions::default()],
+    );
+
+    assert_eq!(merged.records, serial.records, "records diverge");
+    assert!(
+        merged.stats.lease_reissues >= 1,
+        "the dead worker's lease was never reclaimed"
+    );
+    assert!(
+        matches!(reports[0], Err(DistError::Fatal(_))),
+        "chaos worker should report its own demise: {:?}",
+        reports[0]
+    );
+    assert!(reports[1].is_ok(), "survivor failed: {:?}", reports[1]);
+}
+
+/// One coordinator dispatches several campaigns in sequence (the
+/// `--matrix` path) over the *same* connected workers; every job matches
+/// its single-process twin.
+#[test]
+fn sequential_jobs_reuse_connected_workers() {
+    let workload = resolver("VA").unwrap();
+    let card = GpuConfig::rtx2060();
+    let golden = profile(workload.as_ref(), &card).unwrap();
+
+    let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.addr().to_string();
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || run_worker(&addr, &WorkerOptions::default(), &resolver))
+        })
+        .collect();
+
+    for structure in [Structure::RegisterFile, Structure::L1Data] {
+        let cfg = CampaignConfig::new(CampaignSpec::new(structure), 24, 11);
+        let serial = run_campaign(workload.as_ref(), &card, &cfg, &golden).unwrap();
+        let job = JobSpec::from_config("VA", "rtx2060", &cfg);
+        let merged = coordinator.run(&job, &ServeOptions::default()).unwrap();
+        assert_eq!(
+            merged.records, serial.records,
+            "{structure:?}: records diverge"
+        );
+    }
+    coordinator.shutdown();
+    let reports: Vec<WorkerReport> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap().unwrap())
+        .collect();
+    let jobs_served: usize = reports.iter().map(|r| r.jobs).sum();
+    assert_eq!(
+        jobs_served, 4,
+        "both workers must serve both jobs: {reports:?}"
+    );
+}
+
+/// Back-to-back dispatches of the *same* job with no pause between them
+/// (the benchmark's warm-then-time pattern): `run` must quiesce — deliver
+/// every `fin` — before the next generation starts, or the new job line
+/// reaches a worker still inside the previous job and kills it.
+#[test]
+fn back_to_back_jobs_do_not_race_the_fin() {
+    let workload = resolver("VA").unwrap();
+    let card = GpuConfig::rtx2060();
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 24, 7);
+    let golden = profile(workload.as_ref(), &card).unwrap();
+    let serial = run_campaign(workload.as_ref(), &card, &cfg, &golden).unwrap();
+    let job = JobSpec::from_config("VA", "rtx2060", &cfg);
+
+    let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.addr().to_string();
+    let handle = {
+        let addr = addr.clone();
+        thread::spawn(move || run_worker(&addr, &WorkerOptions::default(), &resolver))
+    };
+    for round in 0..3 {
+        let merged = coordinator.run(&job, &ServeOptions::default()).unwrap();
+        assert_eq!(merged.records, serial.records, "round {round} diverged");
+    }
+    coordinator.shutdown();
+    let report = handle.join().unwrap().unwrap();
+    assert_eq!(report.jobs, 3, "the worker must survive all three jobs");
+}
+
+/// A coordinator interrupted mid-sweep leaves a merge journal with a torn
+/// tail (the in-flight line of a crash); `resume` truncates the torn line,
+/// loads the durable prefix and leases out only the missing indices — the
+/// final result is still bit-identical to the serial run.
+#[test]
+fn serve_resumes_from_a_torn_merge_journal() {
+    let workload = resolver("VA").unwrap();
+    let card = GpuConfig::rtx2060();
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 30, 23);
+    let golden = profile(workload.as_ref(), &card).unwrap();
+    let serial = run_campaign(workload.as_ref(), &card, &cfg, &golden).unwrap();
+    let job = JobSpec::from_config("VA", "rtx2060", &cfg);
+
+    let dir = std::env::temp_dir().join("gpufi-distributed-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir
+        .join(format!("resume-{}.journal.jsonl", std::process::id()))
+        .to_str()
+        .unwrap()
+        .to_string();
+
+    // First pass: complete the sweep with a merge journal.
+    let opts = ServeOptions {
+        journal: Some(path.clone()),
+        ..ServeOptions::default()
+    };
+    let (first, _) = run_distributed(&job, &opts, vec![WorkerOptions::default()]);
+    assert_eq!(first.records, serial.records);
+
+    // Simulate a coordinator SIGKILL mid-journal: keep the header and the
+    // first 12 record lines, then a torn half-line.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines = text.lines();
+    let mut kept: Vec<&str> = Vec::new();
+    kept.push(lines.next().unwrap()); // header
+    for _ in 0..12 {
+        kept.push(lines.next().unwrap());
+    }
+    let torn = &lines.next().unwrap()[..10];
+    std::fs::write(&path, format!("{}\n{torn}", kept.join("\n"))).unwrap();
+
+    // Second pass: resume.  Only the missing runs are executed.
+    let opts = ServeOptions {
+        journal: Some(path.clone()),
+        resume: true,
+        ..ServeOptions::default()
+    };
+    let (resumed, reports) = run_distributed(&job, &opts, vec![WorkerOptions::default()]);
+    assert_eq!(resumed.records, serial.records, "records diverge");
+    assert_eq!(resumed.stats.resumed, 12, "torn line must not be loaded");
+    assert_eq!(
+        reports[0].as_ref().unwrap().runs,
+        30 - 12,
+        "resume re-executed journaled runs"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The fingerprint handshake: a worker whose job description derives a
+/// different campaign identity must fail the job loudly instead of
+/// merging records of the wrong campaign.
+#[test]
+fn fingerprint_mismatch_fails_the_job() {
+    let cfg = CampaignConfig::new(CampaignSpec::new(Structure::RegisterFile), 8, 3);
+    // The coordinator believes the benchmark is VA, but ships a job the
+    // worker resolves to a different campaign: corrupt the bench name
+    // after fingerprinting by constructing the job for another seed.
+    let job = JobSpec::from_config("no-such-benchmark", "rtx2060", &cfg);
+
+    let mut coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.addr().to_string();
+    let handle = {
+        let addr = addr.clone();
+        thread::spawn(move || run_worker(&addr, &WorkerOptions::default(), &resolver))
+    };
+    let err = coordinator.run(&job, &ServeOptions::default()).unwrap_err();
+    assert!(
+        err.to_string().contains("unknown benchmark"),
+        "unexpected error: {err}"
+    );
+    coordinator.shutdown();
+    let report = handle.join().unwrap();
+    assert!(report.is_err(), "worker should reject the job: {report:?}");
+}
